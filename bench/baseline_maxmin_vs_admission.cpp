@@ -1,0 +1,78 @@
+// BASE — our ablation: admission control (the paper's approach) vs
+// uncontrolled max-min fair sharing (the "Internet way") across load. For
+// max-min, a transfer that misses its deadline fails after consuming
+// bandwidth; the table reports success rate and wasted bytes, next to the
+// accept rate and (by construction, waste-free) goodput of the WINDOW and
+// GREEDY admission schedulers.
+//
+// This regenerates the paper's §5.3 argument: "concurrent high speed TCP
+// flows have great difficulties in obtaining bandwidth ... bulk transfers
+// often fail before ending", while scheduled transfers are reliable.
+
+#include <vector>
+
+#include "baseline/maxmin.hpp"
+#include "bench_common.hpp"
+#include "heuristics/registry.hpp"
+#include "workload/generator.hpp"
+#include "workload/scenario.hpp"
+
+namespace gridbw {
+namespace {
+
+using heuristics::BandwidthPolicy;
+
+int run(int argc, const char* const* argv) {
+  const auto args = bench::BenchArgs::parse(argc, argv);
+  const std::vector<double> interarrivals =
+      args.quick ? std::vector<double>{1.0, 10.0}
+                 : std::vector<double>{0.5, 1.0, 2.0, 5.0, 10.0, 20.0};
+  const Duration horizon = Duration::seconds(args.quick ? 200 : 400);
+
+  Table table{{"interarrival_s", "maxmin success", "maxmin wasted TB",
+               "greedy accept", "window accept", "window goodput TB"}};
+
+  for (const double ia : interarrivals) {
+    // Slack 1.5: tight deadlines, the regime where fair sharing breaks.
+    const workload::Scenario scenario =
+        workload::paper_flexible(Duration::seconds(ia), horizon, 1.5);
+
+    const auto greedy = heuristics::make_greedy(BandwidthPolicy::fraction_of_max(1.0));
+    heuristics::WindowOptions opt;
+    opt.step = Duration::seconds(100);
+    opt.policy = BandwidthPolicy::fraction_of_max(1.0);
+    const auto window = heuristics::make_window(opt);
+
+    const auto stats = metrics::run_replicated(args.config, [&](Rng& rng, std::size_t) {
+      const auto requests = workload::generate(scenario.spec, rng);
+      metrics::MetricBag bag;
+      const auto fluid = baseline::simulate_maxmin(scenario.network, requests);
+      bag["maxmin success"] = fluid.success_rate();
+      bag["maxmin wasted"] = fluid.wasted_bytes().to_terabytes();
+      bag["greedy accept"] = greedy.run(scenario.network, requests).accept_rate();
+      const auto w = window.run(scenario.network, requests);
+      bag["window accept"] = w.accept_rate();
+      Volume goodput = Volume::zero();
+      for (const Request& r : requests) {
+        if (w.schedule.is_accepted(r.id)) goodput += r.volume;
+      }
+      bag["window goodput"] = goodput.to_terabytes();
+      return bag;
+    });
+
+    table.add_row({format_double(ia, 1),
+                   bench::cell(metrics::metric(stats, "maxmin success")),
+                   bench::cell(metrics::metric(stats, "maxmin wasted")),
+                   bench::cell(metrics::metric(stats, "greedy accept")),
+                   bench::cell(metrics::metric(stats, "window accept")),
+                   bench::cell(metrics::metric(stats, "window goodput"))});
+  }
+
+  bench::emit("Baseline — max-min fair sharing vs admission control", table, args);
+  return 0;
+}
+
+}  // namespace
+}  // namespace gridbw
+
+int main(int argc, char** argv) { return gridbw::run(argc, argv); }

@@ -1,0 +1,62 @@
+// Shared plumbing for the figure-reproduction benches: flag parsing,
+// replication configs, and consistent table/CSV output. Every bench accepts
+//
+//   --reps=N        replications per sweep point (default 8)
+//   --threads=N     worker threads (default: hardware concurrency)
+//   --seed=S        base seed (default 42)
+//   --quick         cut workloads down for smoke runs
+//   --csv=PATH      also write the table as CSV
+//
+// and prints the same series the corresponding paper figure plots.
+
+#pragma once
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "metrics/experiment.hpp"
+#include "util/flags.hpp"
+#include "util/table.hpp"
+
+namespace gridbw::bench {
+
+struct BenchArgs {
+  metrics::ExperimentConfig config;
+  bool quick{false};
+  std::string csv_path;
+
+  static BenchArgs parse(int argc, const char* const* argv) {
+    const Flags flags{argc, argv};
+    BenchArgs args;
+    args.config.replications =
+        static_cast<std::size_t>(flags.get_int("reps", 8));
+    args.config.threads = static_cast<std::size_t>(flags.get_int("threads", 0));
+    args.config.base_seed = static_cast<std::uint64_t>(flags.get_int("seed", 42));
+    args.quick = flags.get_bool("quick", false);
+    args.csv_path = flags.get_string("csv", "");
+    if (args.quick && !flags.has("reps")) args.config.replications = 3;
+    return args;
+  }
+};
+
+/// Prints the banner, the table, and (optionally) the CSV file.
+inline void emit(const std::string& title, const Table& table,
+                 const BenchArgs& args) {
+  std::cout << "\n=== " << title << " ===\n";
+  table.print(std::cout);
+  if (!args.csv_path.empty()) {
+    std::ofstream out{args.csv_path};
+    out << table.to_csv();
+    std::cout << "(csv written to " << args.csv_path << ")\n";
+  }
+  std::cout.flush();
+}
+
+/// "0.5321 ±0.0123" cell.
+inline std::string cell(const RunningStats& stats) {
+  return format_mean_ci(stats);
+}
+
+}  // namespace gridbw::bench

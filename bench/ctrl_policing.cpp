@@ -1,0 +1,104 @@
+// CTRL — control-plane ablation (§5.4): (a) the token-bucket policer keeps
+// misbehaving senders at their reservation so conforming flows are
+// unharmed; (b) the distributed reservation protocol's egress-conflict rate
+// as a function of the overlay's mesh latency.
+
+#include <vector>
+
+#include "bench_common.hpp"
+#include "control/control_plane.hpp"
+#include "control/policer.hpp"
+#include "workload/generator.hpp"
+
+namespace gridbw {
+namespace {
+
+void policing_panel(const bench::BenchArgs& args) {
+  Table table{{"overload factor", "conforming delivery", "misbehaving delivery",
+               "dropped / offered", "peak aggregate GB/s"}};
+  for (const double factor : {1.0, 1.5, 2.0, 5.0, 10.0}) {
+    // 10 conforming flows at 50 MB/s, 10 misbehaving at factor x 50 MB/s,
+    // all policed at the 50 MB/s reservation on a 1 GB/s port.
+    std::vector<control::PolicedFlow> flows;
+    for (RequestId id = 1; id <= 10; ++id) {
+      flows.push_back(control::PolicedFlow{id, Bandwidth::megabytes_per_second(50),
+                                           Bandwidth::megabytes_per_second(50)});
+    }
+    for (RequestId id = 11; id <= 20; ++id) {
+      flows.push_back(control::PolicedFlow{
+          id, Bandwidth::megabytes_per_second(50),
+          Bandwidth::megabytes_per_second(50.0 * factor)});
+    }
+    const auto report =
+        control::police_flows(flows, Duration::seconds(args.quick ? 2 : 10));
+    double conforming = 0.0, misbehaving = 0.0;
+    Volume offered = Volume::zero();
+    for (const auto& f : report.flows) {
+      (f.id <= 10 ? conforming : misbehaving) += f.delivery_ratio() / 10.0;
+      offered += f.offered;
+    }
+    table.add_row({format_double(factor, 1), format_double(conforming, 4),
+                   format_double(misbehaving, 4),
+                   format_double(report.total_dropped() / offered, 4),
+                   format_double(report.peak_aggregate.to_gigabytes_per_second(), 3)});
+  }
+  bench::emit("Token-bucket policing — conforming flows protected (§5.4)", table,
+              args);
+}
+
+void control_plane_panel(const bench::BenchArgs& args) {
+  Table table{{"mesh latency ms", "accept rate", "egress conflicts",
+               "mean response ms", "control msgs"}};
+  for (const double mesh_ms : {1.0, 10.0, 50.0, 200.0}) {
+    auto topo_sites = std::vector<control::Site>{};
+    for (std::size_t m = 0; m < 8; ++m) {
+      control::Site s;
+      s.name = "site-" + std::to_string(m);
+      s.connections = 64;
+      s.access_capacity = Bandwidth::gigabytes_per_second(1);
+      s.local_latency = Duration::seconds(0.0005);
+      s.mesh_latency = Duration::seconds(mesh_ms / 1000.0);
+      topo_sites.push_back(s);
+    }
+    const control::OverlayTopology topo{topo_sites};
+
+    workload::WorkloadSpec spec;
+    spec.ingress_count = 8;
+    spec.egress_count = 8;
+    spec.mean_interarrival = Duration::seconds(0.05);  // a request burst
+    spec.horizon = Duration::seconds(args.quick ? 10 : 30);
+    spec.slack = workload::SlackLaw::flexible(1.5, 4.0);
+
+    metrics::ExperimentConfig cfg = args.config;
+    const auto stats = metrics::run_replicated(cfg, [&](Rng& rng, std::size_t) {
+      const auto requests = workload::generate(spec, rng);
+      control::ControlPlaneOptions opt;
+      opt.policy = heuristics::BandwidthPolicy::fraction_of_max(1.0);
+      const auto report = control::run_control_plane(topo, requests, opt);
+      return metrics::MetricBag{
+          {"accept", report.result.accept_rate()},
+          {"conflicts", static_cast<double>(report.egress_conflicts)},
+          {"response_ms", report.response_time_s.mean() * 1000.0},
+          {"messages", static_cast<double>(report.control_messages)}};
+    });
+    table.add_row({format_double(mesh_ms, 1),
+                   bench::cell(metrics::metric(stats, "accept")),
+                   bench::cell(metrics::metric(stats, "conflicts")),
+                   format_double(metrics::metric(stats, "response_ms").mean(), 3),
+                   format_double(metrics::metric(stats, "messages").mean(), 0)});
+  }
+  bench::emit("Reservation control plane — staleness conflicts vs mesh latency",
+              table, args);
+}
+
+int run(int argc, const char* const* argv) {
+  const auto args = bench::BenchArgs::parse(argc, argv);
+  policing_panel(args);
+  control_plane_panel(args);
+  return 0;
+}
+
+}  // namespace
+}  // namespace gridbw
+
+int main(int argc, char** argv) { return gridbw::run(argc, argv); }

@@ -1,0 +1,119 @@
+// EXT — ablations for the two implemented future-work extensions (§7):
+//
+//  (a) hot-spot-aware WINDOW cost: accept rate and per-port utilization
+//      imbalance vs the plain cost, on a skewed workload where two ports
+//      attract most of the demand;
+//  (b) distributed admission: accept rate and egress-conflict rate vs the
+//      view-synchronization period, against the centralized greedy.
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "heuristics/distributed.hpp"
+#include "heuristics/flexible_greedy.hpp"
+#include "heuristics/flexible_window.hpp"
+#include "workload/generator.hpp"
+#include "workload/scenario.hpp"
+
+namespace gridbw {
+namespace {
+
+using heuristics::BandwidthPolicy;
+
+/// Skews a workload: a fraction of requests is redirected to ports {0, 1}.
+std::vector<Request> skew(std::vector<Request> requests, Rng& rng, double fraction) {
+  for (Request& r : requests) {
+    if (rng.bernoulli(fraction)) {
+      r.ingress = IngressId{static_cast<std::size_t>(rng.uniform_int(0, 1))};
+      r.egress = EgressId{static_cast<std::size_t>(rng.uniform_int(0, 1))};
+    }
+  }
+  return requests;
+}
+
+/// Max/mean ratio of granted volume across egress ports (1 = perfectly even).
+double imbalance(const Network& net, std::span<const Request> requests,
+                 const Schedule& schedule) {
+  std::vector<double> granted(net.egress_count(), 0.0);
+  for (const Request& r : requests) {
+    if (schedule.is_accepted(r.id)) granted[r.egress.value] += r.volume.to_bytes();
+  }
+  const double total = std::accumulate(granted.begin(), granted.end(), 0.0);
+  if (total == 0.0) return 1.0;
+  const double mean = total / static_cast<double>(granted.size());
+  return *std::max_element(granted.begin(), granted.end()) / mean;
+}
+
+void hotspot_panel(const bench::BenchArgs& args) {
+  Table table{{"hotspot weight", "accept rate", "egress imbalance (max/mean)"}};
+  const workload::Scenario scenario = workload::paper_flexible(
+      Duration::seconds(1.0), Duration::seconds(args.quick ? 300 : 1000), 4.0);
+
+  for (const double weight : {0.0, 0.5, 1.0, 2.0}) {
+    const auto stats = metrics::run_replicated(args.config, [&](Rng& rng, std::size_t) {
+      auto requests = workload::generate(scenario.spec, rng);
+      requests = skew(std::move(requests), rng, 0.5);
+      heuristics::WindowOptions opt;
+      opt.step = Duration::seconds(100);
+      opt.policy = BandwidthPolicy::fraction_of_max(1.0);
+      opt.hotspot_weight = weight;
+      const auto result =
+          heuristics::schedule_flexible_window(scenario.network, requests, opt);
+      return metrics::MetricBag{
+          {"accept", result.accept_rate()},
+          {"imbalance", imbalance(scenario.network, requests, result.schedule)}};
+    });
+    table.add_row({format_double(weight, 1),
+                   bench::cell(metrics::metric(stats, "accept")),
+                   bench::cell(metrics::metric(stats, "imbalance"))});
+  }
+  bench::emit("Extension (a) — hot-spot-aware WINDOW cost on a skewed workload",
+              table, args);
+}
+
+void distributed_panel(const bench::BenchArgs& args) {
+  Table table{{"sync period s", "accept rate", "conflict rate", "vs centralized"}};
+  const workload::Scenario scenario = workload::paper_flexible(
+      Duration::seconds(0.5), Duration::seconds(args.quick ? 200 : 600), 4.0);
+
+  for (const double sync_s : {0.0, 5.0, 30.0, 120.0}) {
+    const auto stats = metrics::run_replicated(args.config, [&](Rng& rng, std::size_t) {
+      const auto requests = workload::generate(scenario.spec, rng);
+      heuristics::DistributedOptions opt;
+      opt.policy = BandwidthPolicy::fraction_of_max(1.0);
+      opt.sync_period = Duration::seconds(sync_s);
+      const auto out =
+          heuristics::schedule_flexible_distributed(scenario.network, requests, opt);
+      const auto central = heuristics::schedule_flexible_greedy(
+          scenario.network, requests, opt.policy);
+      const double central_rate = central.accept_rate();
+      return metrics::MetricBag{
+          {"accept", out.result.accept_rate()},
+          {"conflicts", requests.empty()
+                            ? 0.0
+                            : static_cast<double>(out.egress_conflicts) /
+                                  static_cast<double>(requests.size())},
+          {"delta", out.result.accept_rate() - central_rate}};
+    });
+    table.add_row({format_double(sync_s, 1),
+                   bench::cell(metrics::metric(stats, "accept")),
+                   bench::cell(metrics::metric(stats, "conflicts")),
+                   bench::cell(metrics::metric(stats, "delta"))});
+  }
+  bench::emit("Extension (b) — distributed admission vs egress-view staleness",
+              table, args);
+}
+
+int run(int argc, const char* const* argv) {
+  const auto args = bench::BenchArgs::parse(argc, argv);
+  hotspot_panel(args);
+  distributed_panel(args);
+  return 0;
+}
+
+}  // namespace
+}  // namespace gridbw
+
+int main(int argc, char** argv) { return gridbw::run(argc, argv); }

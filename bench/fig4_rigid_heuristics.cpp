@@ -1,0 +1,72 @@
+// FIG4 — reproduces Figure 4: rigid-request heuristics (FCFS/FIFO,
+// CUMULATED-SLOTS, MINBW-SLOTS, MINVOL-SLOTS) compared on (a) request
+// accept rate and (b) resource utilization ratio, across system load.
+//
+// Paper shape to match (§4.4): FIFO is far worst (~10 % accept, < 20 %
+// utilization); MINVOL-SLOTS trails MINBW-SLOTS and CUMULATED-SLOTS, which
+// are very close to each other.
+
+#include <vector>
+
+#include "bench_common.hpp"
+#include "heuristics/registry.hpp"
+#include "metrics/objectives.hpp"
+#include "workload/generator.hpp"
+#include "workload/load.hpp"
+#include "workload/scenario.hpp"
+
+namespace gridbw {
+namespace {
+
+int run(int argc, const char* const* argv) {
+  const auto args = bench::BenchArgs::parse(argc, argv);
+  const std::vector<double> loads =
+      args.quick ? std::vector<double>{1.0, 4.0}
+                 : std::vector<double>{0.5, 1.0, 2.0, 3.0, 4.0, 6.0, 8.0};
+  const Duration horizon = Duration::seconds(args.quick ? 1000 : 4000);
+  const auto lineup = heuristics::rigid_schedulers();
+
+  std::vector<std::string> header{"load"};
+  for (const auto& h : lineup) {
+    header.push_back(h.name + " accept");
+    header.push_back(h.name + " util");
+  }
+  Table table{header};
+
+  for (const double load : loads) {
+    workload::Scenario scenario = workload::paper_rigid(Duration::seconds(1), horizon);
+    scenario.spec.mean_interarrival =
+        workload::interarrival_for_load(scenario.spec, scenario.network, load);
+
+    const auto stats = metrics::run_replicated(args.config, [&](Rng& rng, std::size_t) {
+      const auto requests = workload::generate(scenario.spec, rng);
+      metrics::MetricBag bag;
+      for (const auto& h : lineup) {
+        const auto result = h.run(scenario.network, requests);
+        bag[h.name + "/accept"] =
+            metrics::accept_rate(requests, result.schedule);
+        bag[h.name + "/util"] =
+            metrics::utilization_over(scenario.network, requests, result.schedule,
+                                      TimePoint::origin(),
+                                      TimePoint::origin() + horizon);
+      }
+      return bag;
+    });
+
+    std::vector<std::string> row{format_double(load, 2)};
+    for (const auto& h : lineup) {
+      row.push_back(bench::cell(metrics::metric(stats, h.name + "/accept")));
+      row.push_back(bench::cell(metrics::metric(stats, h.name + "/util")));
+    }
+    table.add_row(std::move(row));
+  }
+
+  bench::emit("Fig. 4 — rigid heuristics vs load (accept rate, utilization)", table,
+              args);
+  return 0;
+}
+
+}  // namespace
+}  // namespace gridbw
+
+int main(int argc, char** argv) { return gridbw::run(argc, argv); }

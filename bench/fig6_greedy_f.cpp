@@ -1,0 +1,80 @@
+// FIG6 — reproduces Figure 6: the FCFS/greedy heuristic under different
+// bandwidth allocation policies (MIN BW and f x MaxRate for several f),
+// under heavy load (left panel: inter-arrival 0.1 .. 5 s) and underloaded
+// conditions (right panel: 3 .. 20 s).
+//
+// Paper shape to match: a smaller allocated bandwidth yields more accepted
+// requests when the network is not too loaded; under heavy load the
+// ordering compresses (full-rate transfers leave the network sooner and
+// free their ports).
+
+#include <vector>
+
+#include "bench_common.hpp"
+#include "heuristics/registry.hpp"
+#include "workload/generator.hpp"
+#include "workload/scenario.hpp"
+
+namespace gridbw {
+namespace {
+
+using heuristics::BandwidthPolicy;
+
+std::vector<heuristics::NamedScheduler> lineup() {
+  std::vector<heuristics::NamedScheduler> all;
+  all.push_back(heuristics::make_greedy(BandwidthPolicy::min_rate()));
+  for (const double f : {0.2, 0.5, 0.8, 1.0}) {
+    all.push_back(heuristics::make_greedy(BandwidthPolicy::fraction_of_max(f)));
+  }
+  return all;
+}
+
+void panel(const bench::BenchArgs& args, const std::string& title,
+           const std::vector<double>& interarrivals, Duration horizon) {
+  const auto schedulers = lineup();
+  std::vector<std::string> header{"interarrival_s"};
+  for (const auto& h : schedulers) header.push_back(h.name);
+  Table table{header};
+
+  for (const double ia : interarrivals) {
+    const workload::Scenario scenario =
+        workload::paper_flexible(Duration::seconds(ia), horizon, 4.0);
+    const auto stats = metrics::run_replicated(args.config, [&](Rng& rng, std::size_t) {
+      const auto requests = workload::generate(scenario.spec, rng);
+      metrics::MetricBag bag;
+      for (const auto& h : schedulers) {
+        bag[h.name] = h.run(scenario.network, requests).accept_rate();
+      }
+      return bag;
+    });
+    std::vector<std::string> row{format_double(ia, 2)};
+    for (const auto& h : schedulers) {
+      row.push_back(bench::cell(metrics::metric(stats, h.name)));
+    }
+    table.add_row(std::move(row));
+  }
+  bench::emit(title, table, args);
+}
+
+int run(int argc, const char* const* argv) {
+  auto args = bench::BenchArgs::parse(argc, argv);
+  const std::string csv = args.csv_path;
+
+  args.csv_path = csv.empty() ? "" : csv + ".heavy.csv";
+  panel(args, "Fig. 6 (left) — GREEDY accept rate vs f, heavy load",
+        args.quick ? std::vector<double>{0.5, 2.0}
+                   : std::vector<double>{0.1, 0.2, 0.5, 1.0, 2.0, 5.0},
+        Duration::seconds(args.quick ? 300 : 1000));
+
+  args.csv_path = csv.empty() ? "" : csv + ".light.csv";
+  panel(args, "Fig. 6 (right) — GREEDY accept rate vs f, underloaded",
+        args.quick ? std::vector<double>{5.0, 20.0}
+                   : std::vector<double>{3.0, 5.0, 8.0, 12.0, 16.0, 20.0},
+        Duration::seconds(args.quick ? 2000 : 8000));
+  return 0;
+}
+
+}  // namespace
+}  // namespace gridbw
+
+int main(int argc, char** argv) { return gridbw::run(argc, argv); }

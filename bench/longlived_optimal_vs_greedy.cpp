@@ -1,0 +1,71 @@
+// LONG — the companion long-lived problem (§2.1/§3): uniform long-lived
+// requests scheduled by the polynomial optimum (max-flow) vs the online
+// greedy, across demand intensity. The paper states the uniform case is
+// polynomial; this bench measures how much optimality is worth over greedy
+// and how the gap closes as the per-flow rate shrinks (more slots per port
+// -> greedy's early mistakes matter less).
+
+#include <vector>
+
+#include "bench_common.hpp"
+#include "longlived/longlived.hpp"
+#include "util/random.hpp"
+
+namespace gridbw {
+namespace {
+
+int run(int argc, const char* const* argv) {
+  const auto args = bench::BenchArgs::parse(argc, argv);
+  const std::size_t ports = 10;
+  const Network net =
+      Network::uniform(ports, ports, Bandwidth::gigabytes_per_second(1));
+
+  Table table{{"flow rate MB/s", "demand/capacity", "greedy accept", "optimal accept",
+               "greedy/optimal"}};
+
+  const std::vector<double> rates = args.quick
+                                        ? std::vector<double>{100.0, 500.0}
+                                        : std::vector<double>{50.0, 100.0, 250.0,
+                                                              500.0, 1000.0};
+  for (const double rate_mbps : rates) {
+    for (const double demand_ratio : {1.0, 2.0, 4.0}) {
+      const Bandwidth rate = Bandwidth::megabytes_per_second(rate_mbps);
+      // Number of requests targeting `demand_ratio` x the schedulable slots.
+      const double slots_per_port = 1000.0 / rate_mbps;
+      const auto count = static_cast<std::size_t>(
+          demand_ratio * slots_per_port * static_cast<double>(ports));
+
+      const auto stats =
+          metrics::run_replicated(args.config, [&](Rng& rng, std::size_t) {
+            std::vector<longlived::LongLivedRequest> rs;
+            for (RequestId id = 1; id <= count; ++id) {
+              rs.push_back(longlived::LongLivedRequest{
+                  id, IngressId{static_cast<std::size_t>(rng.uniform_int(0, 9))},
+                  EgressId{static_cast<std::size_t>(rng.uniform_int(0, 9))}, rate});
+            }
+            const auto greedy = longlived::schedule_greedy(net, rs);
+            const auto optimal = longlived::schedule_uniform_optimal(net, rs, rate);
+            const double opt = static_cast<double>(optimal.accepted_count());
+            return metrics::MetricBag{
+                {"greedy", greedy.accept_rate()},
+                {"optimal", optimal.accept_rate()},
+                {"ratio", opt == 0.0 ? 1.0
+                                     : static_cast<double>(greedy.accepted_count()) /
+                                           opt}};
+          });
+
+      table.add_row({format_double(rate_mbps, 0), format_double(demand_ratio, 1),
+                     bench::cell(metrics::metric(stats, "greedy")),
+                     bench::cell(metrics::metric(stats, "optimal")),
+                     bench::cell(metrics::metric(stats, "ratio"))});
+    }
+  }
+  bench::emit("Long-lived uniform requests — polynomial optimum vs greedy (§3)",
+              table, args);
+  return 0;
+}
+
+}  // namespace
+}  // namespace gridbw
+
+int main(int argc, char** argv) { return gridbw::run(argc, argv); }

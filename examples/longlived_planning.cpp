@@ -1,0 +1,69 @@
+// longlived_planning — the *long-lived* side of the paper's model (§2.1):
+// persistent instrument streams (telescope feeds, detector pipelines) that
+// hold a fixed rate indefinitely. For uniform rates the optimal assignment
+// is polynomial (§3); this example plans a stream layout with the max-flow
+// optimum, compares it with what first-come-first-served would have kept,
+// and prints the per-port budget the plan consumes.
+//
+// Run:  ./longlived_planning [--seed=N] [--streams=K] [--rate-mbps=R]
+
+#include <iostream>
+
+#include "gridbw.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gridbw;
+  const Flags flags{argc, argv};
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 5));
+  const auto streams = static_cast<std::size_t>(flags.get_int("streams", 60));
+  const Bandwidth rate =
+      Bandwidth::megabytes_per_second(flags.get_double("rate-mbps", 250.0));
+
+  const auto topology = control::OverlayTopology::grid5000_like(8);
+  const Network network = topology.data_plane();
+
+  // Stream demands: skewed toward two popular sites (the archive and the
+  // main compute centre), which is where greedy placement goes wrong.
+  Rng rng{seed};
+  std::vector<longlived::LongLivedRequest> demands;
+  for (RequestId id = 1; id <= streams; ++id) {
+    const bool hot = rng.bernoulli(0.5);
+    const auto ingress =
+        IngressId{static_cast<std::size_t>(rng.uniform_int(0, 7))};
+    const auto egress = hot ? EgressId{static_cast<std::size_t>(rng.uniform_int(0, 1))}
+                            : EgressId{static_cast<std::size_t>(rng.uniform_int(2, 7))};
+    demands.push_back(longlived::LongLivedRequest{id, ingress, egress, rate});
+  }
+
+  const auto greedy = longlived::schedule_greedy(network, demands);
+  const auto optimal = longlived::schedule_uniform_optimal(network, demands, rate);
+
+  std::cout << "persistent streams at " << to_string(rate) << ": " << streams
+            << " demanded\n";
+  std::cout << "greedy placement     : " << greedy.accepted_count() << " carried\n";
+  std::cout << "optimal placement    : " << optimal.accepted_count()
+            << " carried (max-flow, §3 polynomial case)\n";
+
+  if (!longlived::is_feasible(network, demands, optimal.accepted)) {
+    std::cerr << "optimal placement violates a port budget\n";
+    return 1;
+  }
+
+  // Per-egress budget under the optimal plan.
+  std::vector<std::size_t> per_egress(network.egress_count(), 0);
+  for (const RequestId id : optimal.accepted) {
+    per_egress[demands[id - 1].egress.value] += 1;
+  }
+  Table table{{"site", "streams in", "egress budget used"}};
+  for (std::size_t e = 0; e < per_egress.size(); ++e) {
+    const double used = static_cast<double>(per_egress[e]) * rate.to_bytes_per_second();
+    table.add_row({topology.site(e).name, std::to_string(per_egress[e]),
+                   format_double(
+                       used / network.egress_capacity(EgressId{e}).to_bytes_per_second(),
+                       2)});
+  }
+  table.print(std::cout);
+  std::cout << "The optimum shifts streams away from saturated sites; greedy keeps\n"
+               "whatever arrived first and strands capacity elsewhere.\n";
+  return 0;
+}

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Full verification pass: configure, build, run the test suite, and smoke
+# every bench in --quick mode. Exits non-zero on the first failure.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure
+
+for b in build/bench/*; do
+  [ -f "$b" ] && [ -x "$b" ] || continue
+  echo "== $(basename "$b") =="
+  if [[ "$(basename "$b")" == micro_* ]]; then
+    "$b" --benchmark_min_time=0.01s > /dev/null
+  else
+    "$b" --quick > /dev/null
+  fi
+done
+echo "all checks passed"

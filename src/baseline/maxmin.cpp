@@ -1,0 +1,211 @@
+#include "baseline/maxmin.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+namespace gridbw::baseline {
+
+std::size_t MaxMinResult::completed_count() const {
+  std::size_t count = 0;
+  for (const FlowOutcome& f : flows) count += f.completed ? 1 : 0;
+  return count;
+}
+
+double MaxMinResult::success_rate() const {
+  if (flows.empty()) return 0.0;
+  return static_cast<double>(completed_count()) / static_cast<double>(flows.size());
+}
+
+Volume MaxMinResult::wasted_bytes() const {
+  Volume total = Volume::zero();
+  for (const FlowOutcome& f : flows) {
+    if (!f.completed) total += f.transferred;
+  }
+  return total;
+}
+
+Volume MaxMinResult::useful_bytes() const {
+  Volume total = Volume::zero();
+  for (const FlowOutcome& f : flows) {
+    if (f.completed) total += f.transferred;
+  }
+  return total;
+}
+
+std::vector<Bandwidth> maxmin_allocation(const Network& network,
+                                         std::span<const ActiveFlow> flows) {
+  const std::size_t count = flows.size();
+  std::vector<double> rate(count, 0.0);
+  std::vector<char> frozen(count, 0);
+
+  std::vector<double> rem_in(network.ingress_count());
+  std::vector<double> rem_out(network.egress_count());
+  for (std::size_t i = 0; i < rem_in.size(); ++i) {
+    rem_in[i] = network.ingress_capacity(IngressId{i}).to_bytes_per_second();
+  }
+  for (std::size_t e = 0; e < rem_out.size(); ++e) {
+    rem_out[e] = network.egress_capacity(EgressId{e}).to_bytes_per_second();
+  }
+
+  // Progressive filling: raise all unfrozen flows equally until a port
+  // saturates or a flow reaches its host limit; freeze and repeat.
+  std::size_t unfrozen = count;
+  while (unfrozen > 0) {
+    std::vector<std::size_t> users_in(rem_in.size(), 0), users_out(rem_out.size(), 0);
+    for (std::size_t f = 0; f < count; ++f) {
+      if (frozen[f]) continue;
+      ++users_in[flows[f].ingress.value];
+      ++users_out[flows[f].egress.value];
+    }
+
+    double delta = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < rem_in.size(); ++i) {
+      if (users_in[i] > 0) delta = std::min(delta, rem_in[i] / static_cast<double>(users_in[i]));
+    }
+    for (std::size_t e = 0; e < rem_out.size(); ++e) {
+      if (users_out[e] > 0) delta = std::min(delta, rem_out[e] / static_cast<double>(users_out[e]));
+    }
+    for (std::size_t f = 0; f < count; ++f) {
+      if (frozen[f]) continue;
+      delta = std::min(delta, flows[f].max_rate.to_bytes_per_second() - rate[f]);
+    }
+    delta = std::max(delta, 0.0);
+
+    for (std::size_t f = 0; f < count; ++f) {
+      if (frozen[f]) continue;
+      rate[f] += delta;
+      rem_in[flows[f].ingress.value] -= delta;
+      rem_out[flows[f].egress.value] -= delta;
+    }
+
+    // Freeze flows that hit their host limit or sit on a saturated port.
+    bool froze_any = false;
+    for (std::size_t f = 0; f < count; ++f) {
+      if (frozen[f]) continue;
+      const double cap_in = network.ingress_capacity(flows[f].ingress).to_bytes_per_second();
+      const double cap_out = network.egress_capacity(flows[f].egress).to_bytes_per_second();
+      const bool at_host_limit =
+          rate[f] >= flows[f].max_rate.to_bytes_per_second() - 1e-6;
+      const bool in_saturated = rem_in[flows[f].ingress.value] <= 1e-9 * cap_in + 1e-6;
+      const bool out_saturated = rem_out[flows[f].egress.value] <= 1e-9 * cap_out + 1e-6;
+      if (at_host_limit || in_saturated || out_saturated) {
+        frozen[f] = 1;
+        froze_any = true;
+        --unfrozen;
+      }
+    }
+    if (!froze_any) {
+      // delta == 0 with nothing newly frozen would loop forever; freeze
+      // everything (numerical corner).
+      for (std::size_t f = 0; f < count; ++f) {
+        if (!frozen[f]) {
+          frozen[f] = 1;
+          --unfrozen;
+        }
+      }
+    }
+  }
+
+  std::vector<Bandwidth> out(count);
+  for (std::size_t f = 0; f < count; ++f) out[f] = Bandwidth::bytes_per_second(rate[f]);
+  return out;
+}
+
+namespace {
+
+struct LiveFlow {
+  std::size_t index;  // into the original request span / result vector
+  IngressId ingress;
+  EgressId egress;
+  Bandwidth max_rate;
+  TimePoint deadline;
+  double remaining_bytes;
+};
+
+}  // namespace
+
+MaxMinResult simulate_maxmin(const Network& network, std::span<const Request> requests) {
+  std::vector<std::size_t> arrival_order(requests.size());
+  for (std::size_t k = 0; k < requests.size(); ++k) arrival_order[k] = k;
+  std::sort(arrival_order.begin(), arrival_order.end(), [&](std::size_t a, std::size_t b) {
+    if (requests[a].release != requests[b].release) {
+      return requests[a].release < requests[b].release;
+    }
+    return requests[a].id < requests[b].id;
+  });
+
+  MaxMinResult result;
+  result.flows.resize(requests.size());
+  for (std::size_t k = 0; k < requests.size(); ++k) {
+    result.flows[k] = FlowOutcome{requests[k].id, false, requests[k].deadline,
+                                  Volume::zero()};
+  }
+
+  std::vector<LiveFlow> live;
+  std::size_t next_arrival = 0;
+  TimePoint now = requests.empty() ? TimePoint::origin()
+                                   : requests[arrival_order[0]].release;
+
+  while (next_arrival < arrival_order.size() || !live.empty()) {
+    if (live.empty()) {
+      now = requests[arrival_order[next_arrival]].release;
+    }
+    // Admit arrivals at the current instant.
+    while (next_arrival < arrival_order.size() &&
+           requests[arrival_order[next_arrival]].release <= now) {
+      const std::size_t k = arrival_order[next_arrival++];
+      const Request& r = requests[k];
+      live.push_back(LiveFlow{k, r.ingress, r.egress, r.max_rate, r.deadline,
+                              r.volume.to_bytes()});
+    }
+
+    // Current max-min rates.
+    std::vector<ActiveFlow> active;
+    active.reserve(live.size());
+    for (const LiveFlow& f : live) {
+      active.push_back(ActiveFlow{f.ingress, f.egress, f.max_rate});
+    }
+    const std::vector<Bandwidth> rates = maxmin_allocation(network, active);
+
+    // Next event: arrival, earliest completion, or earliest deadline.
+    double dt = std::numeric_limits<double>::infinity();
+    if (next_arrival < arrival_order.size()) {
+      dt = requests[arrival_order[next_arrival]].release.to_seconds() - now.to_seconds();
+    }
+    for (std::size_t f = 0; f < live.size(); ++f) {
+      const double rate = rates[f].to_bytes_per_second();
+      if (rate > 0.0) dt = std::min(dt, live[f].remaining_bytes / rate);
+      dt = std::min(dt, live[f].deadline.to_seconds() - now.to_seconds());
+    }
+    dt = std::max(dt, 0.0);
+
+    // Advance the fluid by dt.
+    now += Duration::seconds(dt);
+    for (std::size_t f = 0; f < live.size(); ++f) {
+      const double moved = rates[f].to_bytes_per_second() * dt;
+      live[f].remaining_bytes = std::max(0.0, live[f].remaining_bytes - moved);
+      result.flows[live[f].index].transferred += Volume::bytes(moved);
+    }
+
+    // Retire completed and expired flows.
+    std::erase_if(live, [&](const LiveFlow& f) {
+      if (f.remaining_bytes <= 1e-3) {  // < a millibyte of fluid left
+        result.flows[f.index].completed = true;
+        result.flows[f.index].finish = now;
+        result.flows[f.index].transferred = requests[f.index].volume;
+        return true;
+      }
+      if (now.to_seconds() >= f.deadline.to_seconds() - 1e-9) {
+        result.flows[f.index].completed = false;
+        result.flows[f.index].finish = f.deadline;
+        return true;
+      }
+      return false;
+    });
+  }
+  return result;
+}
+
+}  // namespace gridbw::baseline

@@ -1,0 +1,58 @@
+// gridbw/control/control_plane.hpp
+//
+// Message-level simulation of the paper's reservation control plane
+// (§5.4): clients submit reservation requests to their site's overlay
+// router; the *ingress router decides locally* (the paper's design choice,
+// unlike hop-by-hop RSVP) using its own exact ingress counter plus a view
+// of the other routers' egress counters maintained by broadcast updates
+// over the full mesh. Views are stale by the mesh latency, so two routers
+// can momentarily over-commit an egress port; the enforcement point (the
+// true counters) NACKs the later arrival — those conflicts are counted.
+//
+// The grant returned to the client carries the allocated rate and start
+// time; the client-measured response time is two local hops (the decision
+// never leaves the ingress router).
+
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "control/topology.hpp"
+#include "core/request.hpp"
+#include "core/schedule.hpp"
+#include "heuristics/bandwidth_policy.hpp"
+#include "util/stats.hpp"
+
+namespace gridbw::control {
+
+struct ControlPlaneOptions {
+  heuristics::BandwidthPolicy policy{heuristics::BandwidthPolicy::min_rate()};
+  /// When set, every protocol message is serialized (control/messages
+  /// wire format) into ControlPlaneReport::wire_log, in simulation order —
+  /// a replayable trace of the reservation session.
+  bool record_wire_log{false};
+};
+
+struct ControlPlaneReport {
+  ScheduleResult result;
+  /// Optimistic admissions NACKed at enforcement because a concurrent
+  /// decision at another router had already filled the egress port.
+  std::size_t egress_conflicts{0};
+  /// Client-observed reservation response times (seconds).
+  RunningStats response_time_s;
+  /// Broadcast messages carried by the overlay mesh.
+  std::size_t control_messages{0};
+  /// Serialized protocol trace (only when options.record_wire_log).
+  std::vector<std::string> wire_log;
+};
+
+/// Runs the reservation protocol for `requests` over `topology`. Request
+/// ingress/egress ids index the topology's sites (one ingress and one
+/// egress port per site, as produced by OverlayTopology::data_plane()).
+[[nodiscard]] ControlPlaneReport run_control_plane(const OverlayTopology& topology,
+                                                   std::span<const Request> requests,
+                                                   const ControlPlaneOptions& options = {});
+
+}  // namespace gridbw::control

@@ -1,0 +1,60 @@
+#include "control/policer.hpp"
+
+#include <stdexcept>
+
+namespace gridbw::control {
+
+Volume PolicingReport::total_delivered() const {
+  Volume total = Volume::zero();
+  for (const FlowPolicingStats& f : flows) total += f.delivered;
+  return total;
+}
+
+Volume PolicingReport::total_dropped() const {
+  Volume total = Volume::zero();
+  for (const FlowPolicingStats& f : flows) total += f.dropped;
+  return total;
+}
+
+PolicingReport police_flows(std::span<const PolicedFlow> flows, Duration duration,
+                            const PolicerOptions& options) {
+  if (!options.quantum.is_positive()) {
+    throw std::invalid_argument{"police_flows: quantum must be positive"};
+  }
+  if (options.burst_quanta < 1.0) {
+    throw std::invalid_argument{"police_flows: burst must be >= 1 quantum"};
+  }
+
+  PolicingReport report;
+  report.peak_aggregate = Bandwidth::zero();
+
+  std::vector<TokenBucket> buckets;
+  buckets.reserve(flows.size());
+  for (const PolicedFlow& f : flows) {
+    if (!f.reserved.is_positive() || !f.offered.is_positive()) {
+      throw std::invalid_argument{"police_flows: rates must be positive"};
+    }
+    buckets.emplace_back(f.reserved, f.reserved * options.quantum * options.burst_quanta);
+    report.flows.push_back(FlowPolicingStats{f.id, Volume::zero(), Volume::zero(),
+                                             Volume::zero()});
+  }
+
+  const auto steps = static_cast<std::size_t>(duration / options.quantum);
+  for (std::size_t s = 1; s <= steps; ++s) {
+    const TimePoint now = TimePoint::origin() + options.quantum * static_cast<double>(s);
+    Volume tick_delivered = Volume::zero();
+    for (std::size_t f = 0; f < flows.size(); ++f) {
+      const Volume offered = flows[f].offered * options.quantum;
+      const Volume granted = buckets[f].consume_up_to(now, offered);
+      report.flows[f].offered += offered;
+      report.flows[f].delivered += granted;
+      report.flows[f].dropped += offered - granted;
+      tick_delivered += granted;
+    }
+    report.peak_aggregate =
+        max(report.peak_aggregate, tick_delivered / options.quantum);
+  }
+  return report;
+}
+
+}  // namespace gridbw::control

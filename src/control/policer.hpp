@@ -1,0 +1,64 @@
+// gridbw/control/policer.hpp
+//
+// Access-point flow policing (§5.4): each admitted flow is policed by a
+// token bucket sized from its reservation; traffic beyond the reservation
+// is dropped so that misbehaving senders cannot crowd out conforming ones.
+// The simulation feeds each flow's offered traffic in fixed quanta and
+// reports delivered/dropped volumes per flow plus the aggregate the port
+// actually carried (which must stay within the port capacity whenever all
+// reservations do).
+
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "control/token_bucket.hpp"
+#include "core/ids.hpp"
+#include "util/quantity.hpp"
+
+namespace gridbw::control {
+
+/// One sender sharing the policed access point.
+struct PolicedFlow {
+  RequestId id{0};
+  /// The reserved (granted) rate — the policer enforces this.
+  Bandwidth reserved;
+  /// The rate the sender actually offers. conforming: offered == reserved;
+  /// misbehaving: offered > reserved.
+  Bandwidth offered;
+};
+
+struct FlowPolicingStats {
+  RequestId id{0};
+  Volume offered;
+  Volume delivered;
+  Volume dropped;
+
+  [[nodiscard]] double delivery_ratio() const {
+    return offered.is_positive() ? delivered / offered : 1.0;
+  }
+};
+
+struct PolicingReport {
+  std::vector<FlowPolicingStats> flows;
+  /// Peak aggregate delivered rate observed over any quantum.
+  Bandwidth peak_aggregate;
+
+  [[nodiscard]] Volume total_delivered() const;
+  [[nodiscard]] Volume total_dropped() const;
+};
+
+struct PolicerOptions {
+  /// Simulation quantum (senders emit offered_rate * quantum each tick).
+  Duration quantum{Duration::seconds(0.01)};
+  /// Bucket depth as a multiple of reserved_rate * quantum (>= 1).
+  double burst_quanta{4.0};
+};
+
+/// Polices `flows` for `duration` and reports per-flow and aggregate stats.
+[[nodiscard]] PolicingReport police_flows(std::span<const PolicedFlow> flows,
+                                          Duration duration,
+                                          const PolicerOptions& options = {});
+
+}  // namespace gridbw::control

@@ -1,0 +1,43 @@
+#include "control/token_bucket.hpp"
+
+#include <stdexcept>
+
+namespace gridbw::control {
+
+TokenBucket::TokenBucket(Bandwidth rate, Volume burst)
+    : rate_{rate}, burst_{burst}, tokens_{burst}, last_{TimePoint::origin()} {
+  if (!rate.is_positive()) throw std::invalid_argument{"TokenBucket: rate must be positive"};
+  if (!burst.is_positive()) throw std::invalid_argument{"TokenBucket: burst must be positive"};
+}
+
+void TokenBucket::refill(TimePoint now) {
+  if (now < last_) throw std::invalid_argument{"TokenBucket: time went backwards"};
+  tokens_ = min(burst_, tokens_ + rate_ * (now - last_));
+  last_ = now;
+}
+
+bool TokenBucket::try_consume(TimePoint now, Volume bytes) {
+  refill(now);
+  // Byte-granularity tolerance: lazy refill accumulates floating-point
+  // error, and a flow sending at exactly its reserved rate must conform.
+  const double slack = 1e-9 * burst_.to_bytes() + 1e-3;
+  if (bytes.to_bytes() <= tokens_.to_bytes() + slack) {
+    tokens_ = max(Volume::zero(), tokens_ - bytes);
+    return true;
+  }
+  return false;
+}
+
+Volume TokenBucket::consume_up_to(TimePoint now, Volume bytes) {
+  refill(now);
+  const Volume granted = min(bytes, tokens_);
+  tokens_ -= granted;
+  return granted;
+}
+
+Volume TokenBucket::tokens_at(TimePoint now) const {
+  if (now < last_) throw std::invalid_argument{"TokenBucket: time went backwards"};
+  return min(burst_, tokens_ + rate_ * (now - last_));
+}
+
+}  // namespace gridbw::control

@@ -1,0 +1,44 @@
+// gridbw/control/token_bucket.hpp
+//
+// The client-side rate enforcement mechanism of §5.4: a token bucket with
+// rate r (the allocated bandwidth) and burst b. The policer at the access
+// point uses it to verify that a bulk flow conforms to its reservation and
+// drops the excess so misbehaving flows "do not hurt other well behaving
+// TCP flows".
+
+#pragma once
+
+#include "util/quantity.hpp"
+
+namespace gridbw::control {
+
+class TokenBucket {
+ public:
+  /// `rate`: sustained token refill (bytes/s). `burst`: bucket depth
+  /// (bytes); also the initial fill. Both must be positive.
+  TokenBucket(Bandwidth rate, Volume burst);
+
+  /// Attempts to consume `bytes` at time `now`. Refills lazily from the
+  /// last update, caps at the burst size, then consumes atomically: either
+  /// the whole amount conforms (true) or nothing is consumed (false).
+  /// `now` must not go backwards.
+  [[nodiscard]] bool try_consume(TimePoint now, Volume bytes);
+
+  /// Consumes what fits and returns the conforming fraction of `bytes`
+  /// (partial policing, used by the fluid policer).
+  [[nodiscard]] Volume consume_up_to(TimePoint now, Volume bytes);
+
+  [[nodiscard]] Volume tokens_at(TimePoint now) const;
+  [[nodiscard]] Bandwidth rate() const { return rate_; }
+  [[nodiscard]] Volume burst() const { return burst_; }
+
+ private:
+  void refill(TimePoint now);
+
+  Bandwidth rate_;
+  Volume burst_;
+  Volume tokens_;
+  TimePoint last_;
+};
+
+}  // namespace gridbw::control

@@ -1,0 +1,65 @@
+// gridbw/control/topology.hpp
+//
+// The grid overlay of the paper's Figure 1: M grid sites, each behind one
+// overlay (edge) router with N host connections, fully meshed over a
+// well-provisioned core. The overlay carries the *control* traffic
+// (reservation requests); the data plane is abstracted by the core Network
+// (one ingress + one egress port per router).
+
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/network.hpp"
+#include "util/quantity.hpp"
+
+namespace gridbw::control {
+
+struct Site {
+  std::string name;
+  /// Host connections behind this site's router (N in the paper's model).
+  std::size_t connections{0};
+  /// Access-point capacity, both directions (ingress = egress in the
+  /// symmetric overlay; the data model keeps them distinct).
+  Bandwidth access_capacity;
+  /// One-way control-message latency between a host at this site and its
+  /// router, and between this router and any other router (full mesh).
+  Duration local_latency{Duration::seconds(0.001)};
+  Duration mesh_latency{Duration::seconds(0.01)};
+};
+
+class OverlayTopology {
+ public:
+  explicit OverlayTopology(std::vector<Site> sites);
+
+  /// A Grid'5000-flavoured preset: `site_count` sites (the project federates
+  /// eight sites across France), each with `connections` hosts and 1 GB/s
+  /// access links; 10 ms inter-site control latency.
+  [[nodiscard]] static OverlayTopology grid5000_like(std::size_t site_count = 8,
+                                                     std::size_t connections = 64);
+
+  [[nodiscard]] std::size_t site_count() const { return sites_.size(); }
+  [[nodiscard]] const Site& site(std::size_t index) const { return sites_.at(index); }
+
+  /// Total overlay links in the full mesh: M * (M - 1) directed pairs.
+  [[nodiscard]] std::size_t mesh_link_count() const;
+
+  /// Host attachment links: sum of per-site connections (the O(MN) term of
+  /// the paper's §2).
+  [[nodiscard]] std::size_t attachment_count() const;
+
+  /// One-way control latency from a host at `from` to the router of `to`
+  /// (local hop + mesh hop when the sites differ).
+  [[nodiscard]] Duration control_latency(std::size_t from, std::size_t to) const;
+
+  /// The data-plane Network: ingress port i / egress port i = site i's
+  /// access point.
+  [[nodiscard]] Network data_plane() const;
+
+ private:
+  std::vector<Site> sites_;
+};
+
+}  // namespace gridbw::control

@@ -1,0 +1,45 @@
+// gridbw/core/ids.hpp
+//
+// Strongly-typed identifiers. Ingress and egress ports are both small
+// indices; distinct types prevent the classic swapped-argument bug when a
+// request's two endpoints travel through the scheduling stack together.
+
+#pragma once
+
+#include <compare>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace gridbw {
+
+/// Index of an ingress port within a Network (0-based, dense).
+struct IngressId {
+  std::size_t value{0};
+  friend constexpr auto operator<=>(IngressId, IngressId) = default;
+};
+
+/// Index of an egress port within a Network (0-based, dense).
+struct EgressId {
+  std::size_t value{0};
+  friend constexpr auto operator<=>(EgressId, EgressId) = default;
+};
+
+/// Identifier of a request, unique within one workload / experiment run.
+using RequestId = std::uint64_t;
+
+}  // namespace gridbw
+
+template <>
+struct std::hash<gridbw::IngressId> {
+  std::size_t operator()(gridbw::IngressId id) const noexcept {
+    return std::hash<std::size_t>{}(id.value);
+  }
+};
+
+template <>
+struct std::hash<gridbw::EgressId> {
+  std::size_t operator()(gridbw::EgressId id) const noexcept {
+    return std::hash<std::size_t>{}(id.value);
+  }
+};

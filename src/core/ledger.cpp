@@ -1,0 +1,76 @@
+#include "core/ledger.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace gridbw {
+
+NetworkLedger::NetworkLedger(const Network& network)
+    : network_{&network},
+      ingress_(network.ingress_count()),
+      egress_(network.egress_count()) {}
+
+bool NetworkLedger::fits(IngressId i, EgressId e, TimePoint t0, TimePoint t1,
+                         Bandwidth bw) const {
+  const double in_peak = ingress_.at(i.value).max_over(t0, t1);
+  const double out_peak = egress_.at(e.value).max_over(t0, t1);
+  const double add = bw.to_bytes_per_second();
+  return approx_le(Bandwidth::bytes_per_second(in_peak + add),
+                   network_->ingress_capacity(i)) &&
+         approx_le(Bandwidth::bytes_per_second(out_peak + add),
+                   network_->egress_capacity(e));
+}
+
+void NetworkLedger::reserve(IngressId i, EgressId e, TimePoint t0, TimePoint t1,
+                            Bandwidth bw) {
+  ingress_.at(i.value).add(t0, t1, bw.to_bytes_per_second());
+  egress_.at(e.value).add(t0, t1, bw.to_bytes_per_second());
+}
+
+void NetworkLedger::release(IngressId i, EgressId e, TimePoint t0, TimePoint t1,
+                            Bandwidth bw) {
+  ingress_.at(i.value).add(t0, t1, -bw.to_bytes_per_second());
+  egress_.at(e.value).add(t0, t1, -bw.to_bytes_per_second());
+}
+
+Bandwidth NetworkLedger::headroom(IngressId i, EgressId e, TimePoint t0,
+                                  TimePoint t1) const {
+  const double in_room = network_->ingress_capacity(i).to_bytes_per_second() -
+                         ingress_.at(i.value).max_over(t0, t1);
+  const double out_room = network_->egress_capacity(e).to_bytes_per_second() -
+                          egress_.at(e.value).max_over(t0, t1);
+  return Bandwidth::bytes_per_second(std::max(0.0, std::min(in_room, out_room)));
+}
+
+CounterLedger::CounterLedger(const Network& network)
+    : network_{&network},
+      ingress_(network.ingress_count(), Bandwidth::zero()),
+      egress_(network.egress_count(), Bandwidth::zero()) {}
+
+bool CounterLedger::fits(IngressId i, EgressId e, Bandwidth bw) const {
+  return approx_le(ingress_.at(i.value) + bw, network_->ingress_capacity(i)) &&
+         approx_le(egress_.at(e.value) + bw, network_->egress_capacity(e));
+}
+
+void CounterLedger::allocate(IngressId i, EgressId e, Bandwidth bw) {
+  ingress_.at(i.value) += bw;
+  egress_.at(e.value) += bw;
+}
+
+void CounterLedger::reclaim(IngressId i, EgressId e, Bandwidth bw) {
+  ingress_.at(i.value) -= bw;
+  egress_.at(e.value) -= bw;
+  // Guard against drift below zero after many allocate/reclaim pairs.
+  if (ingress_.at(i.value) < Bandwidth::zero()) ingress_.at(i.value) = Bandwidth::zero();
+  if (egress_.at(e.value) < Bandwidth::zero()) egress_.at(e.value) = Bandwidth::zero();
+}
+
+double CounterLedger::ingress_util_with(IngressId i, Bandwidth bw) const {
+  return (ingress_.at(i.value) + bw) / network_->ingress_capacity(i);
+}
+
+double CounterLedger::egress_util_with(EgressId e, Bandwidth bw) const {
+  return (egress_.at(e.value) + bw) / network_->egress_capacity(e);
+}
+
+}  // namespace gridbw

@@ -1,0 +1,94 @@
+// gridbw/core/ledger.hpp
+//
+// Two bandwidth-accounting books:
+//
+//  * NetworkLedger — the exact, time-aware book. Each port owns a
+//    StepFunction allocation profile; `fits` asks whether an extra `bw`
+//    over [t0, t1) would exceed the port capacity anywhere. Used by the
+//    rigid heuristics (whose reservations span arbitrary future windows)
+//    and by the optimality solvers.
+//
+//  * CounterLedger — the paper's O(1) online book (`ali`/`ale` in
+//    Algorithms 2 and 3): one running counter per port, increased on accept
+//    and reclaimed when a transfer finishes. Valid only for *online* use
+//    where all active allocations share the current instant.
+
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/ids.hpp"
+#include "core/network.hpp"
+#include "core/step_function.hpp"
+#include "util/quantity.hpp"
+
+namespace gridbw {
+
+/// Exact time-aware allocation book over all ports of a network.
+class NetworkLedger {
+ public:
+  explicit NetworkLedger(const Network& network);
+
+  /// Would adding `bw` on ports (i, e) over [t0, t1) keep both within
+  /// capacity everywhere? (Uses the approx_le tolerance.)
+  [[nodiscard]] bool fits(IngressId i, EgressId e, TimePoint t0, TimePoint t1,
+                          Bandwidth bw) const;
+
+  /// Commits `bw` on (i, e) over [t0, t1). Does not re-check `fits`.
+  void reserve(IngressId i, EgressId e, TimePoint t0, TimePoint t1, Bandwidth bw);
+
+  /// Reverses a previous `reserve` with identical arguments.
+  void release(IngressId i, EgressId e, TimePoint t0, TimePoint t1, Bandwidth bw);
+
+  /// Remaining headroom min over [t0, t1) across the two ports.
+  [[nodiscard]] Bandwidth headroom(IngressId i, EgressId e, TimePoint t0,
+                                   TimePoint t1) const;
+
+  [[nodiscard]] const StepFunction& ingress_profile(IngressId i) const {
+    return ingress_.at(i.value);
+  }
+  [[nodiscard]] const StepFunction& egress_profile(EgressId e) const {
+    return egress_.at(e.value);
+  }
+  [[nodiscard]] const Network& network() const { return *network_; }
+
+ private:
+  const Network* network_;
+  std::vector<StepFunction> ingress_;
+  std::vector<StepFunction> egress_;
+};
+
+/// The paper's online counters: ali(i), ale(e).
+class CounterLedger {
+ public:
+  explicit CounterLedger(const Network& network);
+
+  /// ali(i) + bw <= B_in(i) and ale(e) + bw <= B_out(e)?
+  [[nodiscard]] bool fits(IngressId i, EgressId e, Bandwidth bw) const;
+
+  /// ali(i) += bw; ale(e) += bw. Does not re-check `fits`.
+  void allocate(IngressId i, EgressId e, Bandwidth bw);
+
+  /// Reclaims a finished transfer's bandwidth.
+  void reclaim(IngressId i, EgressId e, Bandwidth bw);
+
+  [[nodiscard]] Bandwidth allocated_ingress(IngressId i) const {
+    return ingress_.at(i.value);
+  }
+  [[nodiscard]] Bandwidth allocated_egress(EgressId e) const { return egress_.at(e.value); }
+
+  /// Utilization ratios used by the WINDOW heuristic's cost function:
+  /// (ali(i) + bw) / B_in(i) and (ale(e) + bw) / B_out(e).
+  [[nodiscard]] double ingress_util_with(IngressId i, Bandwidth bw) const;
+  [[nodiscard]] double egress_util_with(EgressId e, Bandwidth bw) const;
+
+  [[nodiscard]] const Network& network() const { return *network_; }
+
+ private:
+  const Network* network_;
+  std::vector<Bandwidth> ingress_;
+  std::vector<Bandwidth> egress_;
+};
+
+}  // namespace gridbw

@@ -1,0 +1,36 @@
+#include "core/network.hpp"
+
+namespace gridbw {
+
+Network::Network(std::vector<Bandwidth> ingress_capacities,
+                 std::vector<Bandwidth> egress_capacities)
+    : ingress_{std::move(ingress_capacities)}, egress_{std::move(egress_capacities)} {
+  if (ingress_.empty() || egress_.empty()) {
+    throw std::invalid_argument{"Network: need at least one ingress and one egress"};
+  }
+  for (Bandwidth b : ingress_) {
+    if (!b.is_positive() || !b.is_finite()) {
+      throw std::invalid_argument{"Network: ingress capacities must be positive and finite"};
+    }
+  }
+  for (Bandwidth b : egress_) {
+    if (!b.is_positive() || !b.is_finite()) {
+      throw std::invalid_argument{"Network: egress capacities must be positive and finite"};
+    }
+  }
+}
+
+Network Network::uniform(std::size_t ingress_count, std::size_t egress_count,
+                         Bandwidth capacity) {
+  return Network{std::vector<Bandwidth>(ingress_count, capacity),
+                 std::vector<Bandwidth>(egress_count, capacity)};
+}
+
+Bandwidth Network::total_capacity() const {
+  Bandwidth total = Bandwidth::zero();
+  for (Bandwidth b : ingress_) total += b;
+  for (Bandwidth b : egress_) total += b;
+  return total;
+}
+
+}  // namespace gridbw

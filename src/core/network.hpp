@@ -1,0 +1,58 @@
+// gridbw/core/network.hpp
+//
+// The platform (I, E) of the paper's system model: M ingress points and N
+// egress points with per-port capacities B_in(i) / B_out(e). The network
+// core is assumed lossless and over-provisioned (paper §2), so only the
+// access ports constrain scheduling.
+
+#pragma once
+
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "core/ids.hpp"
+#include "util/quantity.hpp"
+
+namespace gridbw {
+
+class Network {
+ public:
+  /// Builds a network from explicit per-port capacities. All capacities must
+  /// be strictly positive.
+  Network(std::vector<Bandwidth> ingress_capacities,
+          std::vector<Bandwidth> egress_capacities);
+
+  /// Builds the paper's uniform platform: `ingress_count` x `egress_count`
+  /// ports, all with capacity `capacity` (§4.3 uses 10 x 10 at 1 GB/s).
+  [[nodiscard]] static Network uniform(std::size_t ingress_count, std::size_t egress_count,
+                                       Bandwidth capacity);
+
+  [[nodiscard]] std::size_t ingress_count() const { return ingress_.size(); }
+  [[nodiscard]] std::size_t egress_count() const { return egress_.size(); }
+
+  [[nodiscard]] Bandwidth ingress_capacity(IngressId i) const {
+    return ingress_.at(i.value);
+  }
+  [[nodiscard]] Bandwidth egress_capacity(EgressId e) const { return egress_.at(e.value); }
+
+  [[nodiscard]] std::span<const Bandwidth> ingress_capacities() const { return ingress_; }
+  [[nodiscard]] std::span<const Bandwidth> egress_capacities() const { return egress_; }
+
+  /// Sum of all ingress plus all egress capacities. The paper's load and
+  /// RESOURCE-UTIL denominators use half of this (each request is counted
+  /// at both its ingress and its egress).
+  [[nodiscard]] Bandwidth total_capacity() const;
+
+  /// min(B_in(ingress(r)), B_out(egress(r))) — the `b_min` of the
+  /// CUMULATED-SLOTS cost factor.
+  [[nodiscard]] Bandwidth bottleneck(IngressId i, EgressId e) const {
+    return min(ingress_capacity(i), egress_capacity(e));
+  }
+
+ private:
+  std::vector<Bandwidth> ingress_;
+  std::vector<Bandwidth> egress_;
+};
+
+}  // namespace gridbw

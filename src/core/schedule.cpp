@@ -1,0 +1,37 @@
+#include "core/schedule.hpp"
+
+#include <stdexcept>
+
+namespace gridbw {
+
+void Schedule::accept(RequestId request, TimePoint start, Bandwidth bw) {
+  if (index_.count(request) > 0) {
+    throw std::logic_error{"Schedule::accept: request already accepted"};
+  }
+  index_.emplace(request, assignments_.size());
+  assignments_.push_back(Assignment{request, start, bw});
+}
+
+bool Schedule::withdraw(RequestId request) {
+  const auto it = index_.find(request);
+  if (it == index_.end()) return false;
+  const std::size_t pos = it->second;
+  const std::size_t last = assignments_.size() - 1;
+  if (pos != last) {
+    assignments_[pos] = assignments_[last];
+    index_[assignments_[pos].request] = pos;
+  }
+  assignments_.pop_back();
+  index_.erase(it);
+  return true;
+}
+
+bool Schedule::is_accepted(RequestId request) const { return index_.count(request) > 0; }
+
+std::optional<Assignment> Schedule::assignment(RequestId request) const {
+  const auto it = index_.find(request);
+  if (it == index_.end()) return std::nullopt;
+  return assignments_[it->second];
+}
+
+}  // namespace gridbw

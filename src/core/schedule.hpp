@@ -1,0 +1,68 @@
+// gridbw/core/schedule.hpp
+//
+// The output of every admission algorithm: which requests were accepted,
+// and for each accepted request its assigned start time σ(r) and constant
+// bandwidth bw(r). τ(r) = σ(r) + vol(r)/bw(r) is derived.
+
+#pragma once
+
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "core/ids.hpp"
+#include "core/request.hpp"
+#include "util/quantity.hpp"
+
+namespace gridbw {
+
+/// One accepted request's allocation.
+struct Assignment {
+  RequestId request{0};
+  TimePoint start;  // σ(r)
+  Bandwidth bw;     // bw(r)
+
+  /// τ(r) given the request's volume.
+  [[nodiscard]] TimePoint end(const Request& r) const { return start + r.volume / bw; }
+};
+
+class Schedule {
+ public:
+  Schedule() = default;
+
+  /// Records an assignment. Throws if the request already has one.
+  void accept(RequestId request, TimePoint start, Bandwidth bw);
+
+  /// Withdraws an assignment (rigid *-SLOTS heuristics retro-remove
+  /// requests that fail in a later interval). Returns false if absent.
+  bool withdraw(RequestId request);
+
+  [[nodiscard]] bool is_accepted(RequestId request) const;
+  [[nodiscard]] std::optional<Assignment> assignment(RequestId request) const;
+
+  [[nodiscard]] std::size_t accepted_count() const { return assignments_.size(); }
+  [[nodiscard]] std::span<const Assignment> assignments() const { return assignments_; }
+
+ private:
+  std::vector<Assignment> assignments_;
+  std::unordered_map<RequestId, std::size_t> index_;  // request -> position
+};
+
+/// The full outcome of a scheduling run over a request set.
+struct ScheduleResult {
+  Schedule schedule;
+  std::vector<RequestId> rejected;
+
+  [[nodiscard]] std::size_t accepted_count() const { return schedule.accepted_count(); }
+  [[nodiscard]] std::size_t total_count() const {
+    return schedule.accepted_count() + rejected.size();
+  }
+  [[nodiscard]] double accept_rate() const {
+    const std::size_t total = total_count();
+    return total == 0 ? 0.0 : static_cast<double>(accepted_count()) /
+                                  static_cast<double>(total);
+  }
+};
+
+}  // namespace gridbw

@@ -1,0 +1,121 @@
+#include "core/schedule_io.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "core/step_function.hpp"
+
+namespace gridbw {
+namespace {
+
+constexpr const char* kHeader = "request,start_s,bw_bps";
+
+}  // namespace
+
+void write_schedule(std::ostream& os, const Schedule& schedule) {
+  std::vector<Assignment> rows{schedule.assignments().begin(),
+                               schedule.assignments().end()};
+  std::sort(rows.begin(), rows.end(), [](const Assignment& a, const Assignment& b) {
+    if (a.start != b.start) return a.start < b.start;
+    return a.request < b.request;
+  });
+  os << kHeader << '\n';
+  std::array<char, 128> buf{};
+  for (const Assignment& a : rows) {
+    std::snprintf(buf.data(), buf.size(), "%llu,%.9f,%.3f",
+                  static_cast<unsigned long long>(a.request), a.start.to_seconds(),
+                  a.bw.to_bytes_per_second());
+    os << buf.data() << '\n';
+  }
+}
+
+void write_schedule_file(const std::string& path, const Schedule& schedule) {
+  std::ofstream out{path};
+  if (!out) throw std::runtime_error{"write_schedule_file: cannot open " + path};
+  write_schedule(out, schedule);
+}
+
+Schedule read_schedule(std::istream& is) {
+  std::string line;
+  if (!std::getline(is, line) || line != kHeader) {
+    throw std::runtime_error{"read_schedule: missing or wrong header"};
+  }
+  Schedule schedule;
+  std::size_t line_no = 1;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::stringstream ss{line};
+    std::string id_cell, start_cell, bw_cell, extra;
+    if (!std::getline(ss, id_cell, ',') || !std::getline(ss, start_cell, ',') ||
+        !std::getline(ss, bw_cell, ',') || std::getline(ss, extra, ',')) {
+      throw std::runtime_error{"read_schedule: line " + std::to_string(line_no) +
+                               ": expected 3 fields"};
+    }
+    try {
+      const auto id = static_cast<RequestId>(std::stoull(id_cell));
+      if (schedule.is_accepted(id)) {
+        throw std::runtime_error{"duplicate assignment for request " + id_cell};
+      }
+      schedule.accept(id, TimePoint::at_seconds(std::stod(start_cell)),
+                      Bandwidth::bytes_per_second(std::stod(bw_cell)));
+    } catch (const std::exception& e) {
+      throw std::runtime_error{"read_schedule: line " + std::to_string(line_no) + ": " +
+                               e.what()};
+    }
+  }
+  return schedule;
+}
+
+Schedule read_schedule_file(const std::string& path) {
+  std::ifstream in{path};
+  if (!in) throw std::runtime_error{"read_schedule_file: cannot open " + path};
+  return read_schedule(in);
+}
+
+std::string render_ingress_gantt(const Network& network,
+                                 std::span<const Request> requests,
+                                 const Schedule& schedule, TimePoint t0, TimePoint t1,
+                                 std::size_t columns) {
+  if (!(t0 < t1)) throw std::invalid_argument{"render_ingress_gantt: empty window"};
+  if (columns == 0) throw std::invalid_argument{"render_ingress_gantt: zero columns"};
+
+  std::vector<StepFunction> load(network.ingress_count());
+  std::unordered_map<RequestId, const Request*> by_id;
+  for (const Request& r : requests) by_id.emplace(r.id, &r);
+  for (const Assignment& a : schedule.assignments()) {
+    const auto it = by_id.find(a.request);
+    if (it == by_id.end()) continue;
+    load.at(it->second->ingress.value)
+        .add(a.start, a.end(*it->second), a.bw.to_bytes_per_second());
+  }
+
+  const Duration bucket = (t1 - t0) / static_cast<double>(columns);
+  std::ostringstream oss;
+  std::array<char, 32> label{};
+  for (std::size_t i = 0; i < load.size(); ++i) {
+    std::snprintf(label.data(), label.size(), "in%-3zu |", i);
+    oss << label.data();
+    const double cap = network.ingress_capacity(IngressId{i}).to_bytes_per_second();
+    for (std::size_t c = 0; c < columns; ++c) {
+      const TimePoint lo = t0 + bucket * static_cast<double>(c);
+      const double peak = load[i].max_over(lo, lo + bucket);
+      const double util = peak / cap;
+      const char glyph = util <= 1e-9   ? ' '
+                         : util < 0.25  ? '.'
+                         : util < 0.5   ? ':'
+                         : util < 0.85  ? '+'
+                                        : '#';
+      oss << glyph;
+    }
+    oss << "|\n";
+  }
+  return oss.str();
+}
+
+}  // namespace gridbw

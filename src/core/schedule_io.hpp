@@ -1,0 +1,38 @@
+// gridbw/core/schedule_io.hpp
+//
+// Schedule persistence and inspection: CSV export/import of assignments
+// (so a schedule computed offline can be handed to the enforcement layer),
+// and a text Gantt rendering of per-port occupation for the examples.
+
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/network.hpp"
+#include "core/request.hpp"
+#include "core/schedule.hpp"
+
+namespace gridbw {
+
+/// Writes "request,start_s,bw_bps" rows for every assignment, in
+/// ascending start order (ties by request id).
+void write_schedule(std::ostream& os, const Schedule& schedule);
+void write_schedule_file(const std::string& path, const Schedule& schedule);
+
+/// Reads a schedule written by write_schedule. Throws std::runtime_error
+/// on malformed input or duplicate assignments.
+[[nodiscard]] Schedule read_schedule(std::istream& is);
+[[nodiscard]] Schedule read_schedule_file(const std::string& path);
+
+/// ASCII Gantt of ingress-port occupation over [t0, t1): one row per
+/// ingress port, `columns` time buckets, each cell showing the port's peak
+/// utilization in that bucket as ' ' (idle), '.', ':', '+', '#' (full).
+[[nodiscard]] std::string render_ingress_gantt(const Network& network,
+                                               std::span<const Request> requests,
+                                               const Schedule& schedule, TimePoint t0,
+                                               TimePoint t1, std::size_t columns = 72);
+
+}  // namespace gridbw

@@ -1,0 +1,119 @@
+#include "core/validate.hpp"
+
+#include <array>
+#include <cstdio>
+#include <sstream>
+#include <unordered_map>
+
+#include "core/step_function.hpp"
+
+namespace gridbw {
+
+std::string to_string(ViolationKind kind) {
+  switch (kind) {
+    case ViolationKind::kUnknownRequest: return "unknown-request";
+    case ViolationKind::kStartBeforeRelease: return "start-before-release";
+    case ViolationKind::kEndAfterDeadline: return "end-after-deadline";
+    case ViolationKind::kRateAboveMax: return "rate-above-max";
+    case ViolationKind::kRateNotPositive: return "rate-not-positive";
+    case ViolationKind::kIngressOverCapacity: return "ingress-over-capacity";
+    case ViolationKind::kEgressOverCapacity: return "egress-over-capacity";
+  }
+  return "unknown";
+}
+
+std::string ValidationReport::to_string() const {
+  if (ok()) return "valid";
+  std::ostringstream oss;
+  oss << violations.size() << " violation(s):\n";
+  for (const Violation& v : violations) {
+    oss << "  [" << gridbw::to_string(v.kind) << "] r" << v.request << " port "
+        << v.port << ": " << v.detail << '\n';
+  }
+  return oss.str();
+}
+
+ValidationReport validate_schedule(const Network& network,
+                                   std::span<const Request> requests,
+                                   const Schedule& schedule,
+                                   double min_rate_guarantee) {
+  ValidationReport report;
+  auto flag = [&](ViolationKind kind, RequestId id, std::size_t port,
+                  std::string detail) {
+    report.violations.push_back(Violation{kind, id, port, std::move(detail)});
+  };
+
+  std::unordered_map<RequestId, const Request*> by_id;
+  by_id.reserve(requests.size());
+  for (const Request& r : requests) by_id.emplace(r.id, &r);
+
+  std::vector<StepFunction> ingress_load(network.ingress_count());
+  std::vector<StepFunction> egress_load(network.egress_count());
+
+  for (const Assignment& a : schedule.assignments()) {
+    const auto it = by_id.find(a.request);
+    if (it == by_id.end()) {
+      flag(ViolationKind::kUnknownRequest, a.request, 0, "no such request in the set");
+      continue;
+    }
+    const Request& r = *it->second;
+
+    if (!a.bw.is_positive()) {
+      flag(ViolationKind::kRateNotPositive, r.id, 0,
+           "assigned rate " + gridbw::to_string(a.bw));
+      continue;  // end time undefined; skip further checks for this one
+    }
+    if (!approx_le(r.release, a.start)) {
+      std::array<char, 96> buf{};
+      std::snprintf(buf.data(), buf.size(), "sigma=%.6fs < ts=%.6fs",
+                    a.start.to_seconds(), r.release.to_seconds());
+      flag(ViolationKind::kStartBeforeRelease, r.id, 0, buf.data());
+    }
+    const TimePoint end = a.end(r);
+    if (!approx_le(end, r.deadline)) {
+      std::array<char, 96> buf{};
+      std::snprintf(buf.data(), buf.size(), "tau=%.6fs > tf=%.6fs", end.to_seconds(),
+                    r.deadline.to_seconds());
+      flag(ViolationKind::kEndAfterDeadline, r.id, 0, buf.data());
+    }
+    Bandwidth required_floor = Bandwidth::zero();
+    if (min_rate_guarantee > 0.0) {
+      required_floor = max(r.max_rate * min_rate_guarantee, r.min_rate_from(a.start));
+      if (!approx_le(required_floor, a.bw)) {
+        flag(ViolationKind::kRateNotPositive, r.id, 0,
+             "guaranteed floor " + gridbw::to_string(required_floor) + " not met by " +
+                 gridbw::to_string(a.bw));
+      }
+    }
+    if (!approx_le(a.bw, r.max_rate)) {
+      flag(ViolationKind::kRateAboveMax, r.id, 0,
+           gridbw::to_string(a.bw) + " > MaxRate " + gridbw::to_string(r.max_rate));
+    }
+
+    ingress_load.at(r.ingress.value).add(a.start, end, a.bw.to_bytes_per_second());
+    egress_load.at(r.egress.value).add(a.start, end, a.bw.to_bytes_per_second());
+  }
+
+  for (std::size_t i = 0; i < ingress_load.size(); ++i) {
+    const double peak = ingress_load[i].global_max();
+    const Bandwidth cap = network.ingress_capacity(IngressId{i});
+    if (!approx_le(Bandwidth::bytes_per_second(peak), cap)) {
+      flag(ViolationKind::kIngressOverCapacity, 0, i,
+           "peak " + gridbw::to_string(Bandwidth::bytes_per_second(peak)) +
+               " > capacity " + gridbw::to_string(cap));
+    }
+  }
+  for (std::size_t e = 0; e < egress_load.size(); ++e) {
+    const double peak = egress_load[e].global_max();
+    const Bandwidth cap = network.egress_capacity(EgressId{e});
+    if (!approx_le(Bandwidth::bytes_per_second(peak), cap)) {
+      flag(ViolationKind::kEgressOverCapacity, 0, e,
+           "peak " + gridbw::to_string(Bandwidth::bytes_per_second(peak)) +
+               " > capacity " + gridbw::to_string(cap));
+    }
+  }
+
+  return report;
+}
+
+}  // namespace gridbw

@@ -1,0 +1,58 @@
+// gridbw/core/validate.hpp
+//
+// Independent feasibility checking. Every heuristic maintains its own
+// running book while scheduling; the validator ignores those books and
+// replays the finished schedule against the constraint set (1) of the paper
+// using exact StepFunction port profiles. Tests validate every schedule any
+// algorithm produces, so allocation bugs cannot hide behind agreeing
+// bookkeeping.
+
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/ids.hpp"
+#include "core/network.hpp"
+#include "core/request.hpp"
+#include "core/schedule.hpp"
+
+namespace gridbw {
+
+enum class ViolationKind {
+  kUnknownRequest,       // assignment references an id not in the request set
+  kStartBeforeRelease,   // σ(r) < t_s(r)
+  kEndAfterDeadline,     // τ(r) > t_f(r)
+  kRateAboveMax,         // bw(r) > MaxRate(r)
+  kRateNotPositive,      // bw(r) <= 0
+  kIngressOverCapacity,  // sum of bw at an ingress exceeds B_in(i)
+  kEgressOverCapacity,   // sum of bw at an egress exceeds B_out(e)
+};
+
+[[nodiscard]] std::string to_string(ViolationKind kind);
+
+struct Violation {
+  ViolationKind kind;
+  /// Offending request (0 for port-level violations).
+  RequestId request{0};
+  /// Offending port index (request's port for per-request checks).
+  std::size_t port{0};
+  std::string detail;
+};
+
+struct ValidationReport {
+  std::vector<Violation> violations;
+  [[nodiscard]] bool ok() const { return violations.empty(); }
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Checks a schedule against the request set and network capacities.
+/// `min_rate_guarantee` (the tuning factor f of §2.3) optionally also checks
+/// bw(r) >= max(f * MaxRate(r), MinRate-from-start); pass 0 to disable.
+[[nodiscard]] ValidationReport validate_schedule(const Network& network,
+                                                 std::span<const Request> requests,
+                                                 const Schedule& schedule,
+                                                 double min_rate_guarantee = 0.0);
+
+}  // namespace gridbw

@@ -1,0 +1,197 @@
+#include "dataplane/replay.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "baseline/maxmin.hpp"
+#include "core/step_function.hpp"
+
+namespace gridbw::dataplane {
+namespace {
+
+struct Flow {
+  const Request* request;
+  Assignment assignment;
+  bool misbehaving;
+};
+
+std::vector<Flow> collect_flows(std::span<const Request> requests,
+                                const Schedule& schedule,
+                                const ReplayOptions& options) {
+  if (options.misbehave_factor <= 1.0 && !options.misbehaving.empty()) {
+    throw std::invalid_argument{"replay: misbehave_factor must be > 1"};
+  }
+  std::unordered_map<RequestId, const Request*> by_id;
+  for (const Request& r : requests) by_id.emplace(r.id, &r);
+  const std::unordered_set<RequestId> bad{options.misbehaving.begin(),
+                                          options.misbehaving.end()};
+  std::vector<Flow> flows;
+  flows.reserve(schedule.accepted_count());
+  for (const Assignment& a : schedule.assignments()) {
+    const auto it = by_id.find(a.request);
+    if (it == by_id.end()) {
+      throw std::invalid_argument{"replay: schedule references unknown request " +
+                                  std::to_string(a.request)};
+    }
+    flows.push_back(Flow{it->second, a, bad.count(a.request) > 0});
+  }
+  return flows;
+}
+
+}  // namespace
+
+std::size_t ReplayReport::late_count() const {
+  std::size_t count = 0;
+  for (const TransferRecord& t : transfers) count += t.late() ? 1 : 0;
+  return count;
+}
+
+Volume ReplayReport::total_dropped() const {
+  Volume total = Volume::zero();
+  for (const TransferRecord& t : transfers) total += t.dropped;
+  return total;
+}
+
+ReplayReport replay_policed(const Network& network, std::span<const Request> requests,
+                            const Schedule& schedule, const ReplayOptions& options) {
+  const auto flows = collect_flows(requests, schedule, options);
+
+  ReplayReport report;
+  std::vector<StepFunction> in_load(network.ingress_count());
+  std::vector<StepFunction> out_load(network.egress_count());
+
+  for (const Flow& flow : flows) {
+    const Request& r = *flow.request;
+    const Assignment& a = flow.assignment;
+    const TimePoint promised = a.end(r);
+    // The policer clips delivery to the reserved rate: the transfer holds
+    // its promised schedule regardless of the sender's offered rate, and
+    // everything offered beyond the reservation is dropped at the access
+    // point.
+    TransferRecord record;
+    record.id = r.id;
+    record.promised_finish = promised;
+    record.actual_finish = promised;
+    record.misbehaving = flow.misbehaving;
+    record.dropped = flow.misbehaving
+                         ? r.volume * (options.misbehave_factor - 1.0)
+                         : Volume::zero();
+    report.transfers.push_back(record);
+
+    in_load[r.ingress.value].add(a.start, promised, a.bw.to_bytes_per_second());
+    out_load[r.egress.value].add(a.start, promised, a.bw.to_bytes_per_second());
+  }
+
+  for (std::size_t i = 0; i < in_load.size(); ++i) {
+    report.peak_port_utilization =
+        std::max(report.peak_port_utilization,
+                 in_load[i].global_max() /
+                     network.ingress_capacity(IngressId{i}).to_bytes_per_second());
+  }
+  for (std::size_t e = 0; e < out_load.size(); ++e) {
+    report.peak_port_utilization =
+        std::max(report.peak_port_utilization,
+                 out_load[e].global_max() /
+                     network.egress_capacity(EgressId{e}).to_bytes_per_second());
+  }
+  return report;
+}
+
+ReplayReport replay_unpoliced(const Network& network, std::span<const Request> requests,
+                              const Schedule& schedule, const ReplayOptions& options) {
+  std::vector<Flow> flows = collect_flows(requests, schedule, options);
+  std::sort(flows.begin(), flows.end(), [](const Flow& a, const Flow& b) {
+    if (a.assignment.start != b.assignment.start) {
+      return a.assignment.start < b.assignment.start;
+    }
+    return a.assignment.request < b.assignment.request;
+  });
+
+  ReplayReport report;
+  report.transfers.resize(flows.size());
+  for (std::size_t k = 0; k < flows.size(); ++k) {
+    report.transfers[k].id = flows[k].request->id;
+    report.transfers[k].promised_finish = flows[k].assignment.end(*flows[k].request);
+    report.transfers[k].misbehaving = flows[k].misbehaving;
+    report.transfers[k].dropped = Volume::zero();  // nothing polices, nothing drops
+  }
+
+  struct Live {
+    std::size_t index;
+    baseline::ActiveFlow active;
+    double remaining_bytes;
+  };
+  std::vector<Live> live;
+  std::size_t next_start = 0;
+  TimePoint now =
+      flows.empty() ? TimePoint::origin() : flows.front().assignment.start;
+
+  while (next_start < flows.size() || !live.empty()) {
+    if (live.empty()) now = flows[next_start].assignment.start;
+    while (next_start < flows.size() && flows[next_start].assignment.start <= now) {
+      const Flow& f = flows[next_start];
+      const Bandwidth offered = f.misbehaving
+                                    ? f.assignment.bw * options.misbehave_factor
+                                    : f.assignment.bw;
+      live.push_back(Live{next_start,
+                          baseline::ActiveFlow{f.request->ingress, f.request->egress,
+                                               offered},
+                          f.request->volume.to_bytes()});
+      ++next_start;
+    }
+
+    std::vector<baseline::ActiveFlow> active;
+    active.reserve(live.size());
+    for (const Live& f : live) active.push_back(f.active);
+    const auto rates = baseline::maxmin_allocation(network, active);
+
+    // Track the worst instantaneous port load (physically <= 1; reported
+    // for symmetry with replay_policed).
+    std::vector<double> in_sum(network.ingress_count(), 0.0);
+    std::vector<double> out_sum(network.egress_count(), 0.0);
+    for (std::size_t f = 0; f < live.size(); ++f) {
+      in_sum[live[f].active.ingress.value] += rates[f].to_bytes_per_second();
+      out_sum[live[f].active.egress.value] += rates[f].to_bytes_per_second();
+    }
+    for (std::size_t i = 0; i < in_sum.size(); ++i) {
+      report.peak_port_utilization = std::max(
+          report.peak_port_utilization,
+          in_sum[i] / network.ingress_capacity(IngressId{i}).to_bytes_per_second());
+    }
+    for (std::size_t e = 0; e < out_sum.size(); ++e) {
+      report.peak_port_utilization = std::max(
+          report.peak_port_utilization,
+          out_sum[e] / network.egress_capacity(EgressId{e}).to_bytes_per_second());
+    }
+
+    double dt = std::numeric_limits<double>::infinity();
+    if (next_start < flows.size()) {
+      dt = flows[next_start].assignment.start.to_seconds() - now.to_seconds();
+    }
+    for (std::size_t f = 0; f < live.size(); ++f) {
+      const double rate = rates[f].to_bytes_per_second();
+      if (rate > 0.0) dt = std::min(dt, live[f].remaining_bytes / rate);
+    }
+    dt = std::max(dt, 0.0);
+
+    now += Duration::seconds(dt);
+    for (std::size_t f = 0; f < live.size(); ++f) {
+      live[f].remaining_bytes =
+          std::max(0.0, live[f].remaining_bytes - rates[f].to_bytes_per_second() * dt);
+    }
+    std::erase_if(live, [&](const Live& f) {
+      if (f.remaining_bytes <= 1e-3) {
+        report.transfers[f.index].actual_finish = now;
+        return true;
+      }
+      return false;
+    });
+  }
+  return report;
+}
+
+}  // namespace gridbw::dataplane

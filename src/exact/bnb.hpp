@@ -1,0 +1,49 @@
+// gridbw/exact/bnb.hpp
+//
+// Exact MAX-REQUESTS solvers by branch-and-bound. Exponential — intended
+// for the optimality-gap studies on small instances (tens of requests), as
+// anchors for the polynomial heuristics. Both solvers report whether the
+// search completed (proven optimal) or hit the node budget (best found so
+// far, a valid lower bound).
+
+#pragma once
+
+#include <span>
+
+#include "core/network.hpp"
+#include "core/request.hpp"
+#include "core/schedule.hpp"
+#include "util/quantity.hpp"
+
+namespace gridbw::exact {
+
+struct ExactOptions {
+  /// Search-node budget; the solver stops (without optimality proof) after
+  /// expanding this many nodes.
+  std::size_t max_nodes{5'000'000};
+};
+
+struct ExactResult {
+  ScheduleResult result;
+  bool proven_optimal{false};
+  std::size_t nodes_expanded{0};
+};
+
+/// Optimal accept count for RIGID requests: every request either occupies
+/// bw = MinRate over its full window [t_s, t_f], or is rejected.
+[[nodiscard]] ExactResult solve_rigid_optimal(const Network& network,
+                                              std::span<const Request> requests,
+                                              ExactOptions options = {});
+
+/// Optimal accept count for fixed-rate requests with FLEXIBLE start times:
+/// each request transmits at MaxRate (duration vol/MaxRate) and may start at
+/// t_s + k*step for any integer k >= 0 such that it still meets its
+/// deadline. This is the setting of the paper's NP-completeness theorem
+/// (uniform unit-rate requests, integer windows) generalized to arbitrary
+/// rates. Throws if `step` is not positive.
+[[nodiscard]] ExactResult solve_flexible_optimal(const Network& network,
+                                                 std::span<const Request> requests,
+                                                 Duration step,
+                                                 ExactOptions options = {});
+
+}  // namespace gridbw::exact

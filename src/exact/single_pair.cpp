@@ -1,0 +1,99 @@
+#include "exact/single_pair.hpp"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <queue>
+#include <stdexcept>
+#include <vector>
+
+namespace gridbw::exact {
+
+SinglePairResult schedule_single_pair_edf(std::span<const UnitJob> jobs,
+                                          std::size_t capacity) {
+  if (capacity == 0) {
+    throw std::invalid_argument{"schedule_single_pair_edf: capacity must be >= 1"};
+  }
+  for (const UnitJob& j : jobs) {
+    if (j.deadline <= j.release) {
+      throw std::invalid_argument{"schedule_single_pair_edf: empty window"};
+    }
+  }
+
+  std::vector<UnitJob> by_release{jobs.begin(), jobs.end()};
+  std::sort(by_release.begin(), by_release.end(), [](const UnitJob& a, const UnitJob& b) {
+    if (a.release != b.release) return a.release < b.release;
+    return a.id < b.id;
+  });
+
+  // Min-heap of available jobs keyed by (deadline, id).
+  using Entry = std::pair<std::pair<std::int64_t, RequestId>, std::size_t>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> available;
+
+  SinglePairResult result;
+  std::size_t next = 0;
+  std::optional<std::int64_t> slot;
+
+  while (next < by_release.size() || !available.empty()) {
+    // Pick the slot to fill: one past the previous slot, but never before
+    // the earliest pending work (skip idle gaps).
+    std::int64_t s = slot.has_value() ? *slot + 1
+                                      : by_release[next].release;
+    if (available.empty() && next < by_release.size()) {
+      s = std::max(s, by_release[next].release);
+    }
+    slot = s;
+
+    // Admit newly released jobs.
+    while (next < by_release.size() && by_release[next].release <= s) {
+      const std::size_t k = next++;
+      available.push(Entry{{by_release[k].deadline, by_release[k].id}, k});
+    }
+    // Expire jobs whose window closed before this slot.
+    while (!available.empty() && available.top().first.first <= s) {
+      result.rejected.push_back(by_release[available.top().second].id);
+      available.pop();
+    }
+    // Fill the slot with the earliest-deadline jobs.
+    for (std::size_t c = 0; c < capacity && !available.empty(); ++c) {
+      result.assigned.emplace_back(by_release[available.top().second].id, s);
+      available.pop();
+    }
+  }
+  return result;
+}
+
+std::size_t single_pair_optimal_bruteforce(std::span<const UnitJob> jobs,
+                                           std::size_t capacity) {
+  if (capacity == 0) {
+    throw std::invalid_argument{"single_pair_optimal_bruteforce: capacity must be >= 1"};
+  }
+  // DFS over jobs: reject, or place in any slot of the window with spare
+  // capacity. Slot usage lives in a node-stable map: recursive calls insert
+  // entries, so a vector's references would dangle on reallocation.
+  std::vector<UnitJob> all{jobs.begin(), jobs.end()};
+  std::map<std::int64_t, std::size_t> usage;
+
+  std::size_t best = 0;
+  auto dfs = [&](auto&& self, std::size_t k, std::size_t accepted) -> void {
+    if (accepted + (all.size() - k) <= best) return;  // bound
+    if (k == all.size()) {
+      best = std::max(best, accepted);
+      return;
+    }
+    const UnitJob& j = all[k];
+    for (std::int64_t s = j.release; s < j.deadline; ++s) {
+      std::size_t& used = usage[s];
+      if (used < capacity) {
+        ++used;
+        self(self, k + 1, accepted + 1);
+        --usage[s];
+      }
+    }
+    self(self, k + 1, accepted);
+  };
+  dfs(dfs, 0, 0);
+  return best;
+}
+
+}  // namespace gridbw::exact

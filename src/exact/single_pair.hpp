@@ -1,0 +1,50 @@
+// gridbw/exact/single_pair.hpp
+//
+// The polynomial special case noted under Theorem 1: "if the platform
+// reduces to a single ingress-egress pair, the problem is polynomial (a
+// greedy algorithm is optimal)."
+//
+// Setting: uniform unit requests (bw = MinRate = MaxRate = 1 unit) with
+// unit transfer time on a single ingress-egress pair whose bottleneck
+// admits `capacity` concurrent requests. Time is slotted; request r may run
+// in any slot within [t_s, t_f). The EDF greedy — scan slots in order, fill
+// each with the up-to-`capacity` available requests of earliest deadline —
+// maximizes the number of accepted requests (exchange argument; tests
+// verify against the exhaustive solver).
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/schedule.hpp"
+
+namespace gridbw::exact {
+
+/// A unit job: may be scheduled in exactly one integer slot s with
+/// release <= s < deadline.
+struct UnitJob {
+  RequestId id{0};
+  std::int64_t release{0};
+  std::int64_t deadline{0};  // exclusive
+};
+
+struct SinglePairResult {
+  /// job ids -> assigned slot, for accepted jobs.
+  std::vector<std::pair<RequestId, std::int64_t>> assigned;
+  std::vector<RequestId> rejected;
+
+  [[nodiscard]] std::size_t accepted_count() const { return assigned.size(); }
+};
+
+/// EDF greedy over slots; optimal for this special case. `capacity` is the
+/// number of unit requests the pair sustains concurrently (>= 1).
+[[nodiscard]] SinglePairResult schedule_single_pair_edf(std::span<const UnitJob> jobs,
+                                                        std::size_t capacity);
+
+/// Exhaustive optimum (exponential) for cross-checking EDF in tests.
+[[nodiscard]] std::size_t single_pair_optimal_bruteforce(std::span<const UnitJob> jobs,
+                                                         std::size_t capacity);
+
+}  // namespace gridbw::exact

@@ -1,0 +1,177 @@
+#include "exact/threedm.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace gridbw::exact {
+namespace {
+
+// One bandwidth unit and one time unit of the abstract construction.
+const Bandwidth kUnit = Bandwidth::megabytes_per_second(1);
+const Duration kStep = Duration::seconds(1);
+
+}  // namespace
+
+bool ThreeDMInstance::is_valid() const {
+  for (const Triple& t : triples) {
+    if (t.x >= n || t.y >= n || t.z >= n) return false;
+  }
+  return true;
+}
+
+std::optional<std::vector<std::size_t>> solve_3dm_bruteforce(
+    const ThreeDMInstance& instance) {
+  if (!instance.is_valid()) {
+    throw std::invalid_argument{"solve_3dm_bruteforce: invalid instance"};
+  }
+  const std::size_t n = instance.n;
+  std::vector<std::size_t> chosen;
+  std::vector<char> used_x(n, 0), used_y(n, 0), used_z(n, 0);
+
+  // DFS over triples in index order; prune when the remaining triples
+  // cannot complete the matching.
+  std::optional<std::vector<std::size_t>> found;
+  auto dfs = [&](auto&& self, std::size_t from) -> bool {
+    if (chosen.size() == n) {
+      found = chosen;
+      return true;
+    }
+    if (from >= instance.triples.size()) return false;
+    if (chosen.size() + (instance.triples.size() - from) < n) return false;
+    // Take triples[from] if disjoint from the current partial matching.
+    const Triple& t = instance.triples[from];
+    if (!used_x[t.x] && !used_y[t.y] && !used_z[t.z]) {
+      used_x[t.x] = used_y[t.y] = used_z[t.z] = 1;
+      chosen.push_back(from);
+      if (self(self, from + 1)) return true;
+      chosen.pop_back();
+      used_x[t.x] = used_y[t.y] = used_z[t.z] = 0;
+    }
+    return self(self, from + 1);
+  };
+  (void)dfs(dfs, 0);
+  return found;
+}
+
+ReducedInstance reduce_3dm(const ThreeDMInstance& instance) {
+  if (!instance.is_valid()) throw std::invalid_argument{"reduce_3dm: invalid instance"};
+  const std::size_t n = instance.n;
+  if (n < 2) throw std::invalid_argument{"reduce_3dm: need n >= 2"};
+
+  // Ports 0..n-1 are regular (capacity 1 unit); port n is special
+  // (capacity n-1 units) on both sides.
+  std::vector<Bandwidth> ingress(n + 1, kUnit);
+  std::vector<Bandwidth> egress(n + 1, kUnit);
+  ingress[n] = kUnit * static_cast<double>(n - 1);
+  egress[n] = kUnit * static_cast<double>(n - 1);
+
+  ReducedInstance out{Network{std::move(ingress), std::move(egress)}, {}, 0, 0, 0};
+
+  const Volume unit_volume = kUnit * kStep;  // transfers take one time unit
+  RequestId id = 1;
+
+  // Special requests first: n-1 from each regular ingress to the special
+  // egress, n-1 from the special ingress to each regular egress, all with
+  // flexible window [1, n+1] (start anywhere in {1, ..., n}).
+  const TimePoint window_lo = TimePoint::at_seconds(1);
+  const TimePoint window_hi = TimePoint::at_seconds(static_cast<double>(n + 1));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t c = 0; c + 1 < n; ++c) {
+      out.requests.push_back(Request{id++, IngressId{i}, EgressId{n}, window_lo,
+                                     window_hi, unit_volume, kUnit});
+    }
+  }
+  for (std::size_t e = 0; e < n; ++e) {
+    for (std::size_t c = 0; c + 1 < n; ++c) {
+      out.requests.push_back(Request{id++, IngressId{n}, EgressId{e}, window_lo,
+                                     window_hi, unit_volume, kUnit});
+    }
+  }
+
+  // Regular requests: one per triple (x_i, y_j, z_k), rigid window [k, k+1]
+  // (k is 1-based in the paper; our z is 0-based, hence z + 1).
+  out.regular_offset = out.requests.size();
+  out.regular_count = instance.triples.size();
+  for (const Triple& t : instance.triples) {
+    const auto start = TimePoint::at_seconds(static_cast<double>(t.z + 1));
+    out.requests.push_back(Request{id++, IngressId{t.x}, EgressId{t.y}, start,
+                                   start + kStep, unit_volume, kUnit});
+  }
+
+  out.k_bound = n + 2 * n * (n - 1);
+  return out;
+}
+
+Schedule schedule_from_matching(const ReducedInstance& reduced,
+                                const ThreeDMInstance& instance,
+                                std::span<const std::size_t> matching) {
+  const std::size_t n = instance.n;
+  if (matching.size() != n) {
+    throw std::invalid_argument{"schedule_from_matching: matching size != n"};
+  }
+  Schedule schedule;
+
+  // step_of_ingress[i] = the (1-based) step at which regular ingress i is
+  // used by the matching; likewise for egress. A perfect matching touches
+  // every coordinate exactly once.
+  std::vector<std::size_t> step_of_ingress(n, 0), step_of_egress(n, 0);
+  for (std::size_t idx : matching) {
+    const Triple& t = instance.triples.at(idx);
+    const Request& regular = reduced.requests.at(reduced.regular_offset + idx);
+    schedule.accept(regular.id, regular.release, regular.max_rate);
+    step_of_ingress.at(t.x) = t.z + 1;
+    step_of_egress.at(t.y) = t.z + 1;
+  }
+
+  // Special requests of regular ingress i run at every step except
+  // step_of_ingress[i]; mirrored on the egress side. Each port has exactly
+  // n-1 identical special requests and n-1 free steps.
+  std::size_t cursor = 0;  // index into reduced.requests (specials first)
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t step = 1;
+    for (std::size_t c = 0; c + 1 < n; ++c, ++cursor) {
+      while (step == step_of_ingress[i]) ++step;
+      const Request& r = reduced.requests.at(cursor);
+      schedule.accept(r.id, TimePoint::at_seconds(static_cast<double>(step)), r.max_rate);
+      ++step;
+    }
+  }
+  for (std::size_t e = 0; e < n; ++e) {
+    std::size_t step = 1;
+    for (std::size_t c = 0; c + 1 < n; ++c, ++cursor) {
+      while (step == step_of_egress[e]) ++step;
+      const Request& r = reduced.requests.at(cursor);
+      schedule.accept(r.id, TimePoint::at_seconds(static_cast<double>(step)), r.max_rate);
+      ++step;
+    }
+  }
+  return schedule;
+}
+
+std::optional<std::vector<std::size_t>> matching_from_schedule(
+    const ReducedInstance& reduced, const ThreeDMInstance& instance,
+    const Schedule& schedule) {
+  if (schedule.accepted_count() < reduced.k_bound) return std::nullopt;
+
+  // Theorem 1's counting argument: a schedule accepting K requests must
+  // accept exactly one regular request per step, and those form a matching.
+  std::vector<std::size_t> matching;
+  for (std::size_t t = 0; t < reduced.regular_count; ++t) {
+    const Request& regular = reduced.requests.at(reduced.regular_offset + t);
+    if (schedule.is_accepted(regular.id)) matching.push_back(t);
+  }
+  if (matching.size() != instance.n) return std::nullopt;
+
+  // Verify disjointness (the schedule's feasibility guarantees it; check
+  // anyway so a buggy schedule cannot forge a certificate).
+  std::vector<char> used_x(instance.n, 0), used_y(instance.n, 0), used_z(instance.n, 0);
+  for (std::size_t idx : matching) {
+    const Triple& tr = instance.triples.at(idx);
+    if (used_x[tr.x] || used_y[tr.y] || used_z[tr.z]) return std::nullopt;
+    used_x[tr.x] = used_y[tr.y] = used_z[tr.z] = 1;
+  }
+  return matching;
+}
+
+}  // namespace gridbw::exact

@@ -1,0 +1,79 @@
+// gridbw/exact/threedm.hpp
+//
+// Executable companion to Theorem 1 (MAX-REQUESTS-DEC is NP-complete by
+// reduction from 3-Dimensional Matching). This module:
+//
+//  * represents 3-DM instances and solves small ones by brute force;
+//  * builds the paper's reduction: a 3-DM instance over sets of size n with
+//    triple set T becomes a platform with n+1 ingress / n+1 egress points
+//    (regular ports of capacity 1 unit, special ports of capacity n-1) and
+//    |T| regular + 2n(n-1) special unit requests, with bound
+//    K = n + 2n(n-1);
+//  * maps certificates both ways: a 3-DM matching to a schedule accepting K
+//    requests, and any schedule accepting K requests back to a matching.
+//
+// Tests drive random instances through both directions and through the
+// exact flexible solver, validating the construction on real inputs.
+
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/network.hpp"
+#include "core/request.hpp"
+#include "core/schedule.hpp"
+
+namespace gridbw::exact {
+
+/// A triple (x_i, y_j, z_k), 0-based coordinates in [0, n).
+struct Triple {
+  std::size_t x{0};
+  std::size_t y{0};
+  std::size_t z{0};
+  friend constexpr auto operator<=>(const Triple&, const Triple&) = default;
+};
+
+struct ThreeDMInstance {
+  std::size_t n{0};
+  std::vector<Triple> triples;
+
+  [[nodiscard]] bool is_valid() const;
+};
+
+/// Exhaustive search for a perfect matching (n disjoint triples). Returns
+/// the triple indices, or nullopt when none exists. Exponential; n <= ~6.
+[[nodiscard]] std::optional<std::vector<std::size_t>> solve_3dm_bruteforce(
+    const ThreeDMInstance& instance);
+
+/// The MAX-REQUESTS-DEC instance produced by the reduction.
+struct ReducedInstance {
+  Network network;
+  std::vector<Request> requests;
+  /// Acceptance bound K = n + 2n(n-1): the 3-DM instance has a matching iff
+  /// some feasible schedule accepts at least K requests.
+  std::size_t k_bound{0};
+  /// requests[regular_offset + t] is the regular request of triple t.
+  std::size_t regular_offset{0};
+  std::size_t regular_count{0};
+};
+
+/// Builds the reduction. One bandwidth "unit" is mapped to 1 MB/s and one
+/// time unit to 1 s (the construction is scale-free). Requires n >= 2.
+[[nodiscard]] ReducedInstance reduce_3dm(const ThreeDMInstance& instance);
+
+/// Forward certificate: turns a perfect matching into a feasible schedule
+/// accepting exactly K requests (Theorem 1, "only if" direction).
+[[nodiscard]] Schedule schedule_from_matching(const ReducedInstance& reduced,
+                                              const ThreeDMInstance& instance,
+                                              std::span<const std::size_t> matching);
+
+/// Backward certificate: extracts a perfect matching from any schedule that
+/// accepts >= K requests (Theorem 1, "if" direction). Returns nullopt if
+/// the schedule accepts fewer than K requests.
+[[nodiscard]] std::optional<std::vector<std::size_t>> matching_from_schedule(
+    const ReducedInstance& reduced, const ThreeDMInstance& instance,
+    const Schedule& schedule);
+
+}  // namespace gridbw::exact

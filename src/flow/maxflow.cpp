@@ -1,0 +1,94 @@
+#include "flow/maxflow.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <stdexcept>
+
+namespace gridbw::flow {
+
+MaxFlowGraph::MaxFlowGraph(std::size_t nodes) : adjacency_(nodes) {
+  if (nodes < 2) throw std::invalid_argument{"MaxFlowGraph: need at least two nodes"};
+}
+
+std::size_t MaxFlowGraph::add_edge(NodeId from, NodeId to, std::int64_t capacity) {
+  if (from >= adjacency_.size() || to >= adjacency_.size()) {
+    throw std::out_of_range{"MaxFlowGraph::add_edge: node id out of range"};
+  }
+  if (capacity < 0) {
+    throw std::invalid_argument{"MaxFlowGraph::add_edge: negative capacity"};
+  }
+  const std::size_t forward = edges_.size();
+  edges_.push_back(Edge{to, capacity, forward + 1, capacity});
+  edges_.push_back(Edge{from, 0, forward, 0});
+  adjacency_[from].push_back(forward);
+  adjacency_[to].push_back(forward + 1);
+  return forward;
+}
+
+bool MaxFlowGraph::build_levels(NodeId source, NodeId sink) {
+  level_.assign(adjacency_.size(), -1);
+  std::queue<NodeId> frontier;
+  level_[source] = 0;
+  frontier.push(source);
+  while (!frontier.empty()) {
+    const NodeId node = frontier.front();
+    frontier.pop();
+    for (const std::size_t edge_id : adjacency_[node]) {
+      const Edge& edge = edges_[edge_id];
+      if (edge.capacity > 0 && level_[edge.to] < 0) {
+        level_[edge.to] = level_[node] + 1;
+        frontier.push(edge.to);
+      }
+    }
+  }
+  return level_[sink] >= 0;
+}
+
+std::int64_t MaxFlowGraph::push(NodeId node, NodeId sink, std::int64_t limit) {
+  if (node == sink) return limit;
+  for (std::size_t& cursor = next_edge_[node]; cursor < adjacency_[node].size();
+       ++cursor) {
+    const std::size_t edge_id = adjacency_[node][cursor];
+    Edge& edge = edges_[edge_id];
+    if (edge.capacity <= 0 || level_[edge.to] != level_[node] + 1) continue;
+    const std::int64_t pushed =
+        push(edge.to, sink, std::min(limit, edge.capacity));
+    if (pushed > 0) {
+      edge.capacity -= pushed;
+      edges_[edge.reverse].capacity += pushed;
+      return pushed;
+    }
+  }
+  return 0;
+}
+
+std::int64_t MaxFlowGraph::max_flow(NodeId source, NodeId sink) {
+  if (source >= adjacency_.size() || sink >= adjacency_.size()) {
+    throw std::out_of_range{"MaxFlowGraph::max_flow: node id out of range"};
+  }
+  if (source == sink) {
+    throw std::invalid_argument{"MaxFlowGraph::max_flow: source == sink"};
+  }
+  std::int64_t total = 0;
+  while (build_levels(source, sink)) {
+    next_edge_.assign(adjacency_.size(), 0);
+    for (;;) {
+      const std::int64_t pushed =
+          push(source, sink, std::numeric_limits<std::int64_t>::max());
+      if (pushed == 0) break;
+      total += pushed;
+    }
+  }
+  return total;
+}
+
+std::int64_t MaxFlowGraph::flow_on(std::size_t edge_id) const {
+  if (edge_id >= edges_.size()) {
+    throw std::out_of_range{"MaxFlowGraph::flow_on: edge id out of range"};
+  }
+  const Edge& edge = edges_[edge_id];
+  return edge.original - edge.capacity;
+}
+
+}  // namespace gridbw::flow

@@ -1,0 +1,58 @@
+// gridbw/flow/maxflow.hpp
+//
+// Dinic's maximum-flow algorithm on integer capacities. Substrate for the
+// long-lived request scheduler: the optimal uniform long-lived assignment
+// (paper §3, citing [14]) is a bipartite degree-constrained subgraph
+// problem, i.e. a max-flow instance.
+//
+// The implementation is self-contained and deliberately classic: level
+// graph BFS + blocking-flow DFS with iterator memoization, O(V^2 E), far
+// more than enough for port-count-sized graphs.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace gridbw::flow {
+
+using NodeId = std::size_t;
+
+class MaxFlowGraph {
+ public:
+  /// Creates a graph with `nodes` vertices (0-based ids) and no edges.
+  explicit MaxFlowGraph(std::size_t nodes);
+
+  /// Adds a directed edge with the given capacity (>= 0); returns an edge
+  /// id usable with `flow_on` after solving. A reverse edge of capacity 0
+  /// is created internally.
+  std::size_t add_edge(NodeId from, NodeId to, std::int64_t capacity);
+
+  /// Computes the maximum flow from `source` to `sink`. May be called once
+  /// per graph (capacities are consumed).
+  std::int64_t max_flow(NodeId source, NodeId sink);
+
+  /// Flow routed through edge `edge_id` by the last `max_flow` call.
+  [[nodiscard]] std::int64_t flow_on(std::size_t edge_id) const;
+
+  [[nodiscard]] std::size_t node_count() const { return adjacency_.size(); }
+  [[nodiscard]] std::size_t edge_count() const { return edges_.size() / 2; }
+
+ private:
+  struct Edge {
+    NodeId to;
+    std::int64_t capacity;  // residual capacity
+    std::size_t reverse;    // index of the reverse edge in edges_
+    std::int64_t original;  // initial capacity (for flow_on)
+  };
+
+  bool build_levels(NodeId source, NodeId sink);
+  std::int64_t push(NodeId node, NodeId sink, std::int64_t limit);
+
+  std::vector<Edge> edges_;
+  std::vector<std::vector<std::size_t>> adjacency_;
+  std::vector<int> level_;
+  std::vector<std::size_t> next_edge_;
+};
+
+}  // namespace gridbw::flow

@@ -1,0 +1,33 @@
+#include "heuristics/bandwidth_policy.hpp"
+
+#include <array>
+#include <cstdio>
+#include <stdexcept>
+
+namespace gridbw::heuristics {
+
+BandwidthPolicy BandwidthPolicy::min_rate() { return BandwidthPolicy{0.0}; }
+
+BandwidthPolicy BandwidthPolicy::fraction_of_max(double f) {
+  if (!(f > 0.0) || f > 1.0) {
+    throw std::invalid_argument{"BandwidthPolicy: f must be in (0, 1]"};
+  }
+  return BandwidthPolicy{f};
+}
+
+std::optional<Bandwidth> BandwidthPolicy::assign(const Request& r, TimePoint start) const {
+  const Bandwidth floor = r.min_rate_from(start);
+  if (!approx_le(floor, r.max_rate)) return std::nullopt;  // cannot finish in time
+  const Bandwidth wanted =
+      fraction_ == 0.0 ? floor : gridbw::max(r.max_rate * fraction_, floor);
+  return gridbw::min(wanted, r.max_rate);
+}
+
+std::string BandwidthPolicy::name() const {
+  if (fraction_ == 0.0) return "minrate";
+  std::array<char, 32> buf{};
+  std::snprintf(buf.data(), buf.size(), "f=%.2f", fraction_);
+  return std::string{buf.data()};
+}
+
+}  // namespace gridbw::heuristics

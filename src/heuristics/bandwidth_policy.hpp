@@ -1,0 +1,50 @@
+// gridbw/heuristics/bandwidth_policy.hpp
+//
+// BANDWIDTHASSIGNALG of the paper's Algorithms 2 and 3 as a value type.
+// Two built-in strategies:
+//
+//   * MinRate      — grant exactly the minimum rate the request needs from
+//                    its (remaining) window ("MIN BW" in Figs. 6-7);
+//   * FractionOfMax(f) — grant max(f * MaxRate(r), MinRate-from-start),
+//                    the tuning-factor policy of §2.3 (f = 1 grants the
+//                    full host rate).
+//
+// Both clamp to MaxRate and account for a delayed start: when the WINDOW
+// heuristic admits a request at decision time T > t_s(r), the minimum
+// feasible rate is vol / (t_f - T), not the original MinRate.
+
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "core/request.hpp"
+
+namespace gridbw::heuristics {
+
+class BandwidthPolicy {
+ public:
+  /// Grant the minimum feasible rate (finish exactly at the deadline).
+  [[nodiscard]] static BandwidthPolicy min_rate();
+
+  /// Grant f * MaxRate (raised to the minimum feasible rate if necessary).
+  /// Requires f in (0, 1].
+  [[nodiscard]] static BandwidthPolicy fraction_of_max(double f);
+
+  /// The rate to grant request `r` when its transfer would start at
+  /// `start`. Returns nullopt when no feasible rate exists (the remaining
+  /// window is too short even at MaxRate).
+  [[nodiscard]] std::optional<Bandwidth> assign(const Request& r, TimePoint start) const;
+
+  /// The f of §2.3 (0 for the MinRate policy) — used by the #guaranteed
+  /// metric and the validator's floor check.
+  [[nodiscard]] double guarantee_fraction() const { return fraction_; }
+
+  [[nodiscard]] std::string name() const;
+
+ private:
+  explicit BandwidthPolicy(double fraction) : fraction_{fraction} {}
+  double fraction_;  // 0 = MinRate policy, else f in (0, 1]
+};
+
+}  // namespace gridbw::heuristics

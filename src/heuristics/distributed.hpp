@@ -1,0 +1,44 @@
+// gridbw/heuristics/distributed.hpp
+//
+// Fully distributed admission (paper §7 future work: "fully distributed
+// allocation algorithms to study the scalability of the approach").
+//
+// Each ingress router admits its own arrivals immediately (no central
+// scheduler). It knows its *own* ingress counter exactly, but sees only a
+// periodically synchronized snapshot of the egress counters (staleness up
+// to `sync_period`). When an optimistic admission turns out to overflow the
+// true egress port, the egress NACKs and the request is rejected after the
+// fact — the measurable price of decentralization.
+//
+// With sync_period = 0 every decision sees fresh egress state and the
+// algorithm degenerates to the centralized GREEDY of Algorithm 2.
+
+#pragma once
+
+#include <span>
+
+#include "core/network.hpp"
+#include "core/request.hpp"
+#include "core/schedule.hpp"
+#include "heuristics/bandwidth_policy.hpp"
+
+namespace gridbw::heuristics {
+
+struct DistributedOptions {
+  BandwidthPolicy policy{BandwidthPolicy::min_rate()};
+  /// Egress-view refresh period. 0 = always fresh (centralized behaviour).
+  Duration sync_period{Duration::seconds(10)};
+};
+
+struct DistributedResult {
+  ScheduleResult result;
+  /// Requests optimistically admitted by their ingress but NACKed by the
+  /// true egress check (already counted in result.rejected).
+  std::size_t egress_conflicts{0};
+};
+
+[[nodiscard]] DistributedResult schedule_flexible_distributed(
+    const Network& network, std::span<const Request> requests,
+    const DistributedOptions& options);
+
+}  // namespace gridbw::heuristics

@@ -1,0 +1,39 @@
+// gridbw/heuristics/flexible_bookahead.hpp
+//
+// Book-ahead admission: the WINDOW heuristic extended with advance
+// reservations (the GARA-style mechanism of the paper's related work [6],
+// and the natural next step after §7's future work). Where Algorithm 3
+// either starts an accepted request at the decision instant or drops it,
+// the book-ahead scheduler may reserve port bandwidth for a *future*
+// interval boundary — a request that does not fit now is placed at the
+// earliest boundary where it fits, up to `max_book_ahead` intervals out,
+// as long as it still meets its deadline.
+//
+// This requires the exact time-aware ledger (StepFunction profiles) instead
+// of the paper's O(1) counters, since reservations now live in the future.
+
+#pragma once
+
+#include <span>
+
+#include "core/network.hpp"
+#include "core/request.hpp"
+#include "core/schedule.hpp"
+#include "heuristics/bandwidth_policy.hpp"
+
+namespace gridbw::heuristics {
+
+struct BookAheadOptions {
+  /// Decision interval, as in WindowOptions.
+  Duration step{Duration::seconds(400)};
+  BandwidthPolicy policy{BandwidthPolicy::min_rate()};
+  /// How many interval boundaries into the future a reservation may start
+  /// (0 = degenerate to "start now or reject", the Algorithm 3 behaviour).
+  std::size_t max_book_ahead{4};
+};
+
+[[nodiscard]] ScheduleResult schedule_flexible_bookahead(const Network& network,
+                                                         std::span<const Request> requests,
+                                                         const BookAheadOptions& options);
+
+}  // namespace gridbw::heuristics

@@ -1,0 +1,57 @@
+#include "heuristics/flexible_greedy.hpp"
+
+#include <queue>
+#include <vector>
+
+#include "core/ledger.hpp"
+
+namespace gridbw::heuristics {
+namespace {
+
+/// A committed transfer awaiting completion (for bandwidth reclaim).
+struct Completion {
+  TimePoint finish;
+  IngressId ingress;
+  EgressId egress;
+  Bandwidth bw;
+};
+
+struct LaterFinish {
+  bool operator()(const Completion& a, const Completion& b) const {
+    return a.finish > b.finish;
+  }
+};
+
+}  // namespace
+
+ScheduleResult schedule_flexible_greedy(const Network& network,
+                                        std::span<const Request> requests,
+                                        BandwidthPolicy policy) {
+  std::vector<Request> order{requests.begin(), requests.end()};
+  sort_fcfs(order);
+
+  ScheduleResult result;
+  CounterLedger counters{network};
+  std::priority_queue<Completion, std::vector<Completion>, LaterFinish> completions;
+
+  for (const Request& r : order) {
+    // Reclaim every transfer finished by this arrival instant.
+    while (!completions.empty() && completions.top().finish <= r.release) {
+      const Completion done = completions.top();
+      completions.pop();
+      counters.reclaim(done.ingress, done.egress, done.bw);
+    }
+
+    const auto bw = policy.assign(r, r.release);
+    if (bw.has_value() && counters.fits(r.ingress, r.egress, *bw)) {
+      counters.allocate(r.ingress, r.egress, *bw);
+      result.schedule.accept(r.id, r.release, *bw);
+      completions.push(Completion{r.release + r.volume / *bw, r.ingress, r.egress, *bw});
+    } else {
+      result.rejected.push_back(r.id);
+    }
+  }
+  return result;
+}
+
+}  // namespace gridbw::heuristics

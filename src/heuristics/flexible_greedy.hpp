@@ -1,0 +1,25 @@
+// gridbw/heuristics/flexible_greedy.hpp
+//
+// GREEDY / FCFS heuristic for short-lived *flexible* requests (§5.1,
+// Algorithm 2). Requests are examined online, at their arrival time
+// t_s(r), in arrival order (ties: smallest MinRate first). The bandwidth
+// granted to an accepted request comes from a BandwidthPolicy (MinRate, or
+// f x MaxRate). Port bookkeeping is the paper's counter ledger: bandwidth
+// is allocated at acceptance and reclaimed when the transfer finishes.
+
+#pragma once
+
+#include <span>
+
+#include "core/network.hpp"
+#include "core/request.hpp"
+#include "core/schedule.hpp"
+#include "heuristics/bandwidth_policy.hpp"
+
+namespace gridbw::heuristics {
+
+[[nodiscard]] ScheduleResult schedule_flexible_greedy(const Network& network,
+                                                      std::span<const Request> requests,
+                                                      BandwidthPolicy policy);
+
+}  // namespace gridbw::heuristics

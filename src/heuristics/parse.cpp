@@ -1,0 +1,143 @@
+#include "heuristics/parse.hpp"
+
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+#include "heuristics/flexible_bookahead.hpp"
+#include "heuristics/flexible_greedy.hpp"
+#include "heuristics/rigid_fcfs.hpp"
+
+namespace gridbw::heuristics {
+namespace {
+
+[[noreturn]] void fail(const std::string& spec, const std::string& why) {
+  throw std::invalid_argument{"parse_scheduler: '" + spec + "': " + why};
+}
+
+struct Options {
+  std::map<std::string, std::string> values;  // key -> value ("" for bare flags)
+
+  static Options parse(const std::string& spec, const std::string& text) {
+    Options out;
+    std::stringstream ss{text};
+    std::string token;
+    while (std::getline(ss, token, ',')) {
+      if (token.empty()) fail(spec, "empty option");
+      const auto eq = token.find('=');
+      const std::string key = eq == std::string::npos ? token : token.substr(0, eq);
+      const std::string value = eq == std::string::npos ? "" : token.substr(eq + 1);
+      if (!out.values.emplace(key, value).second) {
+        fail(spec, "duplicate option '" + key + "'");
+      }
+    }
+    return out;
+  }
+
+  double number(const std::string& spec, const std::string& key, double fallback) {
+    const auto it = values.find(key);
+    if (it == values.end()) return fallback;
+    try {
+      std::size_t used = 0;
+      const double v = std::stod(it->second, &used);
+      if (used != it->second.size()) throw std::invalid_argument{"trailing junk"};
+      values.erase(it);
+      return v;
+    } catch (const std::exception&) {
+      fail(spec, "bad numeric value for '" + key + "'");
+    }
+  }
+
+  bool flag(const std::string& key) {
+    const auto it = values.find(key);
+    if (it == values.end() || !it->second.empty()) return false;
+    values.erase(it);
+    return true;
+  }
+
+  void expect_empty(const std::string& spec) {
+    if (!values.empty()) fail(spec, "unknown option '" + values.begin()->first + "'");
+  }
+};
+
+/// Extracts the policy from `opts`: `minrate` or `f=<x>` (default MinRate).
+BandwidthPolicy take_policy(const std::string& spec, Options& opts) {
+  const bool minrate = opts.flag("minrate");
+  const double f = opts.number(spec, "f", 0.0);
+  if (minrate && f != 0.0) fail(spec, "give either 'minrate' or 'f=', not both");
+  if (f == 0.0) return BandwidthPolicy::min_rate();
+  if (f < 0.0 || f > 1.0) fail(spec, "f must be in (0, 1]");
+  return BandwidthPolicy::fraction_of_max(f);
+}
+
+}  // namespace
+
+NamedScheduler parse_scheduler(const std::string& spec) {
+  const auto colon = spec.find(':');
+  const std::string kind = spec.substr(0, colon);
+  const std::string rest = colon == std::string::npos ? "" : spec.substr(colon + 1);
+
+  if (kind == "fcfs") {
+    if (!rest.empty()) fail(spec, "fcfs takes no options");
+    return NamedScheduler{"FCFS", [](const Network& n, std::span<const Request> r) {
+                            return schedule_rigid_fcfs(n, r);
+                          }};
+  }
+  if (kind == "cumulated" || kind == "minbw" || kind == "minvol") {
+    if (!rest.empty()) fail(spec, kind + " takes no options");
+    const SlotCost cost = kind == "cumulated" ? SlotCost::kCumulated
+                          : kind == "minbw"   ? SlotCost::kMinBandwidth
+                                              : SlotCost::kMinVolume;
+    return NamedScheduler{to_string(cost),
+                          [cost](const Network& n, std::span<const Request> r) {
+                            return schedule_rigid_slots(n, r, cost);
+                          }};
+  }
+  if (kind == "greedy") {
+    Options opts = Options::parse(spec, rest);
+    const BandwidthPolicy policy = take_policy(spec, opts);
+    opts.expect_empty(spec);
+    return make_greedy(policy);
+  }
+  if (kind == "window") {
+    Options opts = Options::parse(spec, rest);
+    WindowOptions w;
+    w.policy = take_policy(spec, opts);
+    const double step = opts.number(spec, "step", 400.0);
+    if (step <= 0.0) fail(spec, "step must be positive");
+    w.step = Duration::seconds(step);
+    w.hotspot_weight = opts.number(spec, "hotspot", 0.0);
+    if (w.hotspot_weight < 0.0) fail(spec, "hotspot weight must be >= 0");
+    opts.expect_empty(spec);
+    return make_window(w);
+  }
+  if (kind == "bookahead") {
+    Options opts = Options::parse(spec, rest);
+    BookAheadOptions b;
+    b.policy = take_policy(spec, opts);
+    const double step = opts.number(spec, "step", 400.0);
+    if (step <= 0.0) fail(spec, "step must be positive");
+    b.step = Duration::seconds(step);
+    const double ahead = opts.number(spec, "ahead", 4.0);
+    if (ahead < 0.0) fail(spec, "ahead must be >= 0");
+    b.max_book_ahead = static_cast<std::size_t>(ahead);
+    opts.expect_empty(spec);
+    std::string name = "bookahead" + std::to_string(static_cast<int>(step)) + "x" +
+                       std::to_string(b.max_book_ahead) + "/" + b.policy.name();
+    return NamedScheduler{std::move(name),
+                          [b](const Network& n, std::span<const Request> r) {
+                            return schedule_flexible_bookahead(n, r, b);
+                          }};
+  }
+  fail(spec, "unknown scheduler kind '" + kind + "'");
+}
+
+std::string scheduler_grammar() {
+  return "scheduler spec:\n"
+         "  fcfs | cumulated | minbw | minvol          (rigid, §4)\n"
+         "  greedy:[minrate|f=<0..1>]                  (Algorithm 2)\n"
+         "  window:step=<s>[,minrate|f=<x>][,hotspot=<w>]   (Algorithm 3)\n"
+         "  bookahead:step=<s>,ahead=<k>[,minrate|f=<x>]    (advance reservations)\n";
+}
+
+}  // namespace gridbw::heuristics

@@ -1,0 +1,32 @@
+// gridbw/heuristics/parse.hpp
+//
+// Textual scheduler specs, so CLI tools and config files can select any
+// admission algorithm in the library:
+//
+//   "fcfs"                       rigid FCFS/FIFO (§4.1)
+//   "cumulated" | "minbw" | "minvol"
+//                                the *-SLOTS family (§4.2)
+//   "greedy:minrate"             Algorithm 2, MinRate policy
+//   "greedy:f=0.8"               Algorithm 2, f x MaxRate policy
+//   "window:step=400,f=1"        Algorithm 3 (step in seconds)
+//   "window:step=400,minrate,hotspot=0.5"
+//                                hot-spot-aware cost (§7 extension)
+//   "bookahead:step=400,f=0.8,ahead=4"
+//                                advance reservations up to 4 intervals out
+//
+// parse_scheduler throws std::invalid_argument with a message naming the
+// offending token; scheduler_grammar() returns a usage string for --help.
+
+#pragma once
+
+#include <string>
+
+#include "heuristics/registry.hpp"
+
+namespace gridbw::heuristics {
+
+[[nodiscard]] NamedScheduler parse_scheduler(const std::string& spec);
+
+[[nodiscard]] std::string scheduler_grammar();
+
+}  // namespace gridbw::heuristics

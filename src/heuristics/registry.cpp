@@ -1,0 +1,43 @@
+#include "heuristics/registry.hpp"
+
+#include <array>
+#include <cstdio>
+
+#include "heuristics/flexible_greedy.hpp"
+#include "heuristics/rigid_fcfs.hpp"
+
+namespace gridbw::heuristics {
+
+std::vector<NamedScheduler> rigid_schedulers() {
+  std::vector<NamedScheduler> all;
+  all.push_back(NamedScheduler{
+      "FCFS", [](const Network& n, std::span<const Request> r) {
+        return schedule_rigid_fcfs(n, r);
+      }});
+  for (SlotCost cost :
+       {SlotCost::kCumulated, SlotCost::kMinBandwidth, SlotCost::kMinVolume}) {
+    all.push_back(NamedScheduler{
+        to_string(cost), [cost](const Network& n, std::span<const Request> r) {
+          return schedule_rigid_slots(n, r, cost);
+        }});
+  }
+  return all;
+}
+
+NamedScheduler make_greedy(BandwidthPolicy policy) {
+  return NamedScheduler{"greedy/" + policy.name(),
+                        [policy](const Network& n, std::span<const Request> r) {
+                          return schedule_flexible_greedy(n, r, policy);
+                        }};
+}
+
+NamedScheduler make_window(WindowOptions options) {
+  std::array<char, 64> buf{};
+  std::snprintf(buf.data(), buf.size(), "window%.0f/", options.step.to_seconds());
+  return NamedScheduler{std::string{buf.data()} + options.policy.name(),
+                        [options](const Network& n, std::span<const Request> r) {
+                          return schedule_flexible_window(n, r, options);
+                        }};
+}
+
+}  // namespace gridbw::heuristics

@@ -1,0 +1,37 @@
+// gridbw/heuristics/registry.hpp
+//
+// Uniform, named handles on every admission algorithm in the library, so
+// benches, examples, and comparison tests can iterate "all heuristics"
+// without knowing each one's options struct.
+
+#pragma once
+
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/network.hpp"
+#include "core/request.hpp"
+#include "core/schedule.hpp"
+#include "heuristics/bandwidth_policy.hpp"
+#include "heuristics/flexible_window.hpp"
+#include "heuristics/rigid_slots.hpp"
+
+namespace gridbw::heuristics {
+
+struct NamedScheduler {
+  std::string name;
+  std::function<ScheduleResult(const Network&, std::span<const Request>)> run;
+};
+
+/// FCFS + the three *-SLOTS variants (the Fig. 4 line-up).
+[[nodiscard]] std::vector<NamedScheduler> rigid_schedulers();
+
+/// GREEDY with the given bandwidth policy ("greedy/minrate", "greedy/f=0.80").
+[[nodiscard]] NamedScheduler make_greedy(BandwidthPolicy policy);
+
+/// WINDOW with the given options ("window400/f=1.00", ...).
+[[nodiscard]] NamedScheduler make_window(WindowOptions options);
+
+}  // namespace gridbw::heuristics

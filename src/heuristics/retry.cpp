@@ -1,0 +1,103 @@
+#include "heuristics/retry.hpp"
+
+#include <cmath>
+#include <queue>
+#include <stdexcept>
+#include <vector>
+
+#include "core/ledger.hpp"
+
+namespace gridbw::heuristics {
+namespace {
+
+struct Submission {
+  TimePoint when;
+  Request request;     // window shifted to the submission time
+  std::size_t attempt;  // 1-based
+};
+
+struct LaterSubmission {
+  bool operator()(const Submission& a, const Submission& b) const {
+    if (a.when != b.when) return a.when > b.when;
+    if (a.request.id != b.request.id) return a.request.id > b.request.id;
+    return a.attempt > b.attempt;
+  }
+};
+
+struct Completion {
+  TimePoint finish;
+  IngressId ingress;
+  EgressId egress;
+  Bandwidth bw;
+};
+
+struct LaterFinish {
+  bool operator()(const Completion& a, const Completion& b) const {
+    return a.finish > b.finish;
+  }
+};
+
+}  // namespace
+
+RetryResult schedule_greedy_with_retries(const Network& network,
+                                         std::span<const Request> requests,
+                                         BandwidthPolicy policy,
+                                         const RetryPolicy& retry) {
+  if (retry.max_attempts == 0) {
+    throw std::invalid_argument{"schedule_greedy_with_retries: need >= 1 attempt"};
+  }
+  if (retry.backoff_factor < 1.0) {
+    throw std::invalid_argument{"schedule_greedy_with_retries: backoff factor < 1"};
+  }
+  if (retry.initial_backoff.is_negative()) {
+    throw std::invalid_argument{"schedule_greedy_with_retries: negative backoff"};
+  }
+
+  std::priority_queue<Submission, std::vector<Submission>, LaterSubmission> queue;
+  for (const Request& r : requests) queue.push(Submission{r.release, r, 1});
+
+  RetryResult out;
+  CounterLedger counters{network};
+  std::priority_queue<Completion, std::vector<Completion>, LaterFinish> completions;
+
+  while (!queue.empty()) {
+    const Submission sub = queue.top();
+    queue.pop();
+    while (!completions.empty() && completions.top().finish <= sub.when) {
+      const Completion done = completions.top();
+      completions.pop();
+      counters.reclaim(done.ingress, done.egress, done.bw);
+    }
+
+    const Request& r = sub.request;
+    const auto bw = policy.assign(r, sub.when);
+    if (bw.has_value() && counters.fits(r.ingress, r.egress, *bw)) {
+      counters.allocate(r.ingress, r.egress, *bw);
+      out.result.schedule.accept(r.id, sub.when, *bw);
+      completions.push(Completion{sub.when + r.volume / *bw, r.ingress, r.egress, *bw});
+      if (sub.attempt > 1) ++out.accepted_on_retry;
+      out.effective_requests.push_back(r);
+      continue;
+    }
+
+    if (sub.attempt < retry.max_attempts) {
+      // Resubmit later with the window shifted whole: same length, same
+      // volume, so MinRate and MaxRate are unchanged.
+      const double scale =
+          std::pow(retry.backoff_factor, static_cast<double>(sub.attempt - 1));
+      const Duration backoff = retry.initial_backoff * scale;
+      Request shifted = r;
+      const Duration window = r.deadline - r.release;
+      shifted.release = sub.when + backoff;
+      shifted.deadline = shifted.release + window;
+      queue.push(Submission{shifted.release, shifted, sub.attempt + 1});
+      ++out.retries_issued;
+    } else {
+      out.result.rejected.push_back(r.id);
+      out.effective_requests.push_back(r);
+    }
+  }
+  return out;
+}
+
+}  // namespace gridbw::heuristics

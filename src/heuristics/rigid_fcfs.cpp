@@ -1,0 +1,29 @@
+#include "heuristics/rigid_fcfs.hpp"
+
+#include <vector>
+
+#include "core/ledger.hpp"
+
+namespace gridbw::heuristics {
+
+ScheduleResult schedule_rigid_fcfs(const Network& network,
+                                   std::span<const Request> requests) {
+  std::vector<Request> order{requests.begin(), requests.end()};
+  sort_fcfs(order);
+
+  ScheduleResult result;
+  NetworkLedger ledger{network};
+  for (const Request& r : order) {
+    const Bandwidth bw = r.min_rate();  // rigid: the one admissible rate
+    if (approx_le(bw, r.max_rate) &&
+        ledger.fits(r.ingress, r.egress, r.release, r.deadline, bw)) {
+      ledger.reserve(r.ingress, r.egress, r.release, r.deadline, bw);
+      result.schedule.accept(r.id, r.release, bw);
+    } else {
+      result.rejected.push_back(r.id);
+    }
+  }
+  return result;
+}
+
+}  // namespace gridbw::heuristics

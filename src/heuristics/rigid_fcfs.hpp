@@ -1,0 +1,23 @@
+// gridbw/heuristics/rigid_fcfs.hpp
+//
+// The FCFS/FIFO heuristic for short-lived *rigid* requests (§4.1): requests
+// are served in order of their starting times (ties: smallest bandwidth
+// first). A rigid request occupies bw(r) = MinRate(r) = MaxRate(r) over its
+// entire window [t_s, t_f]; it is accepted iff that reservation fits at both
+// its ingress and egress port for the whole window, otherwise rejected
+// outright.
+
+#pragma once
+
+#include <span>
+
+#include "core/network.hpp"
+#include "core/request.hpp"
+#include "core/schedule.hpp"
+
+namespace gridbw::heuristics {
+
+[[nodiscard]] ScheduleResult schedule_rigid_fcfs(const Network& network,
+                                                 std::span<const Request> requests);
+
+}  // namespace gridbw::heuristics

@@ -1,0 +1,121 @@
+#include "heuristics/rigid_slots.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+#include <vector>
+
+#include "core/ledger.hpp"
+
+namespace gridbw::heuristics {
+
+std::string to_string(SlotCost cost) {
+  switch (cost) {
+    case SlotCost::kCumulated: return "CUMULATED-SLOTS";
+    case SlotCost::kMinBandwidth: return "MINBW-SLOTS";
+    case SlotCost::kMinVolume: return "MINVOL-SLOTS";
+  }
+  return "unknown";
+}
+
+double slot_cost(const Network& network, const Request& r, SlotCost cost, TimePoint t1,
+                 TimePoint t2) {
+  (void)t1;  // the priority factor only involves the slice's upper bound
+  switch (cost) {
+    case SlotCost::kCumulated: {
+      // priority in (0, 1]: the fraction of the request's window that will
+      // have been covered once this slice completes. Longer-served (and
+      // shorter) requests get smaller cost, hence higher priority.
+      const double priority = (t2 - r.release) / (r.deadline - r.release);
+      const Bandwidth b_min = network.bottleneck(r.ingress, r.egress);
+      return (r.min_rate() / b_min) / priority;
+    }
+    case SlotCost::kMinBandwidth:
+      return r.min_rate().to_bytes_per_second();
+    case SlotCost::kMinVolume:
+      return r.volume.to_bytes();
+  }
+  throw std::logic_error{"slot_cost: bad cost kind"};
+}
+
+ScheduleResult schedule_rigid_slots(const Network& network,
+                                    std::span<const Request> requests, SlotCost cost) {
+  // Slice boundaries: every distinct start or finish time.
+  std::vector<TimePoint> boundaries;
+  boundaries.reserve(requests.size() * 2);
+  for (const Request& r : requests) {
+    boundaries.push_back(r.release);
+    boundaries.push_back(r.deadline);
+  }
+  std::sort(boundaries.begin(), boundaries.end());
+  boundaries.erase(std::unique(boundaries.begin(), boundaries.end()), boundaries.end());
+
+  // alive[k]: request k not yet rejected; admitted[k]: allocated in every
+  // slice of its window processed so far.
+  std::vector<char> alive(requests.size(), 1);
+
+  // Requests sorted by release to sweep the active set cheaply.
+  std::vector<std::size_t> by_release(requests.size());
+  for (std::size_t k = 0; k < requests.size(); ++k) by_release[k] = k;
+  std::sort(by_release.begin(), by_release.end(), [&](std::size_t a, std::size_t b) {
+    return requests[a].release < requests[b].release;
+  });
+
+  std::size_t next_release = 0;                 // cursor into by_release
+  std::vector<std::size_t> running;             // indices active in the current slice
+
+  CounterLedger counters{network};
+  for (std::size_t b = 0; b + 1 < boundaries.size(); ++b) {
+    const TimePoint t1 = boundaries[b];
+    const TimePoint t2 = boundaries[b + 1];
+
+    // Update the running set: drop finished/rejected, add newly released.
+    std::erase_if(running, [&](std::size_t k) {
+      return !alive[k] || !(requests[k].deadline >= t2);
+    });
+    while (next_release < by_release.size() &&
+           requests[by_release[next_release]].release <= t1) {
+      const std::size_t k = by_release[next_release++];
+      if (alive[k] && requests[k].deadline >= t2) running.push_back(k);
+    }
+    if (running.empty()) continue;
+
+    // Sort the slice's active requests by non-decreasing cost.
+    std::vector<std::size_t> order = running;
+    std::vector<double> costs(requests.size());
+    for (std::size_t k : order) costs[k] = slot_cost(network, requests[k], cost, t1, t2);
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b2) {
+      if (costs[a] != costs[b2]) return costs[a] < costs[b2];
+      return requests[a].id < requests[b2].id;
+    });
+
+    // Fresh per-slice counters (no request starts or stops inside a slice,
+    // so per-slice admission is exact).
+    counters = CounterLedger{network};
+    for (std::size_t k : order) {
+      const Request& r = requests[k];
+      const Bandwidth bw = r.min_rate();
+      if (approx_le(bw, r.max_rate) && counters.fits(r.ingress, r.egress, bw)) {
+        counters.allocate(r.ingress, r.egress, bw);
+      } else {
+        // Retro-removal: the request is discarded permanently. Earlier
+        // slices already processed keep their decisions (the paper frees
+        // the bookkeeping but does not revisit them).
+        alive[k] = 0;
+      }
+    }
+  }
+
+  ScheduleResult result;
+  for (std::size_t k = 0; k < requests.size(); ++k) {
+    const Request& r = requests[k];
+    if (alive[k] && approx_le(r.min_rate(), r.max_rate)) {
+      result.schedule.accept(r.id, r.release, r.min_rate());
+    } else {
+      result.rejected.push_back(r.id);
+    }
+  }
+  return result;
+}
+
+}  // namespace gridbw::heuristics

@@ -1,0 +1,47 @@
+// gridbw/heuristics/rigid_slots.hpp
+//
+// Time-window decomposition heuristics for rigid requests (§4.2,
+// Algorithm 1). The timeline is sliced at every request start/finish time so
+// that no request starts or stops inside a slice. Slices are processed in
+// order; within each slice the active requests are sorted by a *cost*
+// factor and admitted greedily against per-slice port counters. A request
+// that fails in any slice of its window is retro-removed from all earlier
+// slices and permanently discarded.
+//
+// Three cost factors from the paper:
+//
+//   CUMULATED-SLOTS:  cost = bw(r) / (b_min * priority(r, slice))
+//                     priority(r, [t_i, t_{i+1}]) = (t_{i+1} - t_s) / (t_f - t_s)
+//                     b_min = min(B_in(ingress(r)), B_out(egress(r)))
+//   MINBW-SLOTS:      cost = bw(r)
+//   MINVOL-SLOTS:     cost = vol(r)
+
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "core/network.hpp"
+#include "core/request.hpp"
+#include "core/schedule.hpp"
+
+namespace gridbw::heuristics {
+
+enum class SlotCost {
+  kCumulated,     // CUMULATED-SLOTS
+  kMinBandwidth,  // MINBW-SLOTS
+  kMinVolume,     // MINVOL-SLOTS
+};
+
+[[nodiscard]] std::string to_string(SlotCost cost);
+
+/// The cost factor of request `r` on slice [t1, t2] under `cost`.
+/// Exposed for tests and the microbenchmarks.
+[[nodiscard]] double slot_cost(const Network& network, const Request& r, SlotCost cost,
+                               TimePoint t1, TimePoint t2);
+
+[[nodiscard]] ScheduleResult schedule_rigid_slots(const Network& network,
+                                                  std::span<const Request> requests,
+                                                  SlotCost cost);
+
+}  // namespace gridbw::heuristics

@@ -1,0 +1,145 @@
+#include "longlived/longlived.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "flow/maxflow.hpp"
+
+namespace gridbw::longlived {
+
+LongLivedResult schedule_uniform_optimal(const Network& network,
+                                         std::span<const LongLivedRequest> requests,
+                                         Bandwidth b) {
+  if (!b.is_positive() || !b.is_finite()) {
+    throw std::invalid_argument{"schedule_uniform_optimal: rate must be positive"};
+  }
+  for (const LongLivedRequest& r : requests) {
+    if (!approx_eq(r.rate.to_bytes_per_second(), b.to_bytes_per_second())) {
+      throw std::invalid_argument{
+          "schedule_uniform_optimal: non-uniform request rate for " +
+          std::to_string(r.id)};
+    }
+  }
+
+  // Node layout: 0 = source, 1..M = ingress, M+1..M+N = egress, last = sink.
+  const std::size_t m = network.ingress_count();
+  const std::size_t n = network.egress_count();
+  flow::MaxFlowGraph graph{m + n + 2};
+  const flow::NodeId source = 0;
+  const flow::NodeId sink = m + n + 1;
+  auto ingress_node = [&](IngressId i) { return 1 + i.value; };
+  auto egress_node = [&](EgressId e) { return 1 + m + e.value; };
+
+  for (std::size_t i = 0; i < m; ++i) {
+    const auto slots = static_cast<std::int64_t>(
+        std::floor(network.ingress_capacity(IngressId{i}) / b + 1e-9));
+    (void)graph.add_edge(source, ingress_node(IngressId{i}), slots);
+  }
+  for (std::size_t e = 0; e < n; ++e) {
+    const auto slots = static_cast<std::int64_t>(
+        std::floor(network.egress_capacity(EgressId{e}) / b + 1e-9));
+    (void)graph.add_edge(egress_node(EgressId{e}), sink, slots);
+  }
+  std::vector<std::size_t> request_edges;
+  request_edges.reserve(requests.size());
+  for (const LongLivedRequest& r : requests) {
+    request_edges.push_back(
+        graph.add_edge(ingress_node(r.ingress), egress_node(r.egress), 1));
+  }
+
+  (void)graph.max_flow(source, sink);
+
+  LongLivedResult result;
+  for (std::size_t k = 0; k < requests.size(); ++k) {
+    if (graph.flow_on(request_edges[k]) > 0) {
+      result.accepted.push_back(requests[k].id);
+    } else {
+      result.rejected.push_back(requests[k].id);
+    }
+  }
+  return result;
+}
+
+LongLivedResult schedule_greedy(const Network& network,
+                                std::span<const LongLivedRequest> requests) {
+  std::vector<Bandwidth> in_used(network.ingress_count(), Bandwidth::zero());
+  std::vector<Bandwidth> out_used(network.egress_count(), Bandwidth::zero());
+  LongLivedResult result;
+  for (const LongLivedRequest& r : requests) {
+    if (!r.rate.is_positive()) {
+      throw std::invalid_argument{"schedule_greedy: non-positive rate"};
+    }
+    const bool fits =
+        approx_le(in_used.at(r.ingress.value) + r.rate,
+                  network.ingress_capacity(r.ingress)) &&
+        approx_le(out_used.at(r.egress.value) + r.rate,
+                  network.egress_capacity(r.egress));
+    if (fits) {
+      in_used[r.ingress.value] += r.rate;
+      out_used[r.egress.value] += r.rate;
+      result.accepted.push_back(r.id);
+    } else {
+      result.rejected.push_back(r.id);
+    }
+  }
+  return result;
+}
+
+std::size_t optimal_bruteforce(const Network& network,
+                               std::span<const LongLivedRequest> requests) {
+  std::vector<double> in_used(network.ingress_count(), 0.0);
+  std::vector<double> out_used(network.egress_count(), 0.0);
+  std::size_t best = 0;
+
+  auto dfs = [&](auto&& self, std::size_t k, std::size_t accepted) -> void {
+    if (accepted + (requests.size() - k) <= best) return;
+    if (k == requests.size()) {
+      best = std::max(best, accepted);
+      return;
+    }
+    const LongLivedRequest& r = requests[k];
+    const double rate = r.rate.to_bytes_per_second();
+    const double cap_in = network.ingress_capacity(r.ingress).to_bytes_per_second();
+    const double cap_out = network.egress_capacity(r.egress).to_bytes_per_second();
+    if (in_used[r.ingress.value] + rate <= cap_in + 1.0 &&
+        out_used[r.egress.value] + rate <= cap_out + 1.0) {
+      in_used[r.ingress.value] += rate;
+      out_used[r.egress.value] += rate;
+      self(self, k + 1, accepted + 1);
+      in_used[r.ingress.value] -= rate;
+      out_used[r.egress.value] -= rate;
+    }
+    self(self, k + 1, accepted);
+  };
+  dfs(dfs, 0, 0);
+  return best;
+}
+
+bool is_feasible(const Network& network, std::span<const LongLivedRequest> requests,
+                 std::span<const RequestId> accepted) {
+  std::unordered_map<RequestId, const LongLivedRequest*> by_id;
+  for (const LongLivedRequest& r : requests) by_id.emplace(r.id, &r);
+  std::unordered_set<RequestId> seen;
+
+  std::vector<Bandwidth> in_used(network.ingress_count(), Bandwidth::zero());
+  std::vector<Bandwidth> out_used(network.egress_count(), Bandwidth::zero());
+  for (const RequestId id : accepted) {
+    const auto it = by_id.find(id);
+    if (it == by_id.end()) return false;        // unknown request
+    if (!seen.insert(id).second) return false;  // duplicate
+    in_used.at(it->second->ingress.value) += it->second->rate;
+    out_used.at(it->second->egress.value) += it->second->rate;
+  }
+  for (std::size_t i = 0; i < in_used.size(); ++i) {
+    if (!approx_le(in_used[i], network.ingress_capacity(IngressId{i}))) return false;
+  }
+  for (std::size_t e = 0; e < out_used.size(); ++e) {
+    if (!approx_le(out_used[e], network.egress_capacity(EgressId{e}))) return false;
+  }
+  return true;
+}
+
+}  // namespace gridbw::longlived

@@ -1,0 +1,70 @@
+// gridbw/longlived/longlived.hpp
+//
+// The companion problem of §2.1 and §3: *long-lived* requests — indefinite
+// flows between grid users, each demanding a constant rate forever. The
+// paper (citing its refs [13, 14]) notes that scheduling long-lived
+// requests is NP-hard in general, but the *uniform* case (bw(r) = b for all
+// r) is polynomial. This module implements:
+//
+//  * the uniform optimal scheduler — the problem reduces to a maximum
+//    degree-constrained bipartite subgraph: ingress i can carry
+//    floor(B_in(i)/b) uniform flows, egress e floor(B_out(e)/b); requests
+//    are edges; maximize the number selected. Solved exactly by max-flow
+//    (Dinic, src/flow);
+//  * a FCFS greedy baseline for uniform and non-uniform rates (the online
+//    strategy a deployment would run);
+//  * an exhaustive optimum for tiny non-uniform instances (test anchor).
+
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/ids.hpp"
+#include "core/network.hpp"
+#include "util/quantity.hpp"
+
+namespace gridbw::longlived {
+
+/// An indefinite flow demand.
+struct LongLivedRequest {
+  RequestId id{0};
+  IngressId ingress{};
+  EgressId egress{};
+  Bandwidth rate;
+};
+
+struct LongLivedResult {
+  std::vector<RequestId> accepted;
+  std::vector<RequestId> rejected;
+
+  [[nodiscard]] std::size_t accepted_count() const { return accepted.size(); }
+  [[nodiscard]] double accept_rate() const {
+    const std::size_t total = accepted.size() + rejected.size();
+    return total == 0 ? 0.0
+                      : static_cast<double>(accepted.size()) /
+                            static_cast<double>(total);
+  }
+};
+
+/// Optimal MAX-REQUESTS for uniform long-lived requests: all requests must
+/// share one common rate `b` (throws otherwise). Polynomial (max-flow).
+[[nodiscard]] LongLivedResult schedule_uniform_optimal(
+    const Network& network, std::span<const LongLivedRequest> requests, Bandwidth b);
+
+/// FCFS greedy: accept each request (in the given order) iff both its ports
+/// still have headroom. Works for arbitrary rates.
+[[nodiscard]] LongLivedResult schedule_greedy(const Network& network,
+                                              std::span<const LongLivedRequest> requests);
+
+/// Exhaustive optimum for arbitrary rates (exponential; tests only).
+[[nodiscard]] std::size_t optimal_bruteforce(const Network& network,
+                                             std::span<const LongLivedRequest> requests);
+
+/// Checks that `accepted` (ids into `requests`) respects both port
+/// capacities. Used by tests as the independent validator.
+[[nodiscard]] bool is_feasible(const Network& network,
+                               std::span<const LongLivedRequest> requests,
+                               std::span<const RequestId> accepted);
+
+}  // namespace gridbw::longlived

@@ -1,0 +1,43 @@
+#include "metrics/experiment.hpp"
+
+#include <mutex>
+#include <stdexcept>
+#include <vector>
+
+namespace gridbw::metrics {
+
+MetricStats run_replicated(const ExperimentConfig& config, const ReplicationFn& body) {
+  if (config.replications == 0) {
+    throw std::invalid_argument{"run_replicated: need at least one replication"};
+  }
+
+  std::vector<MetricBag> bags(config.replications);
+  auto one = [&](std::size_t rep) {
+    Rng rng{derive_stream(config.base_seed, rep)};
+    bags[rep] = body(rng, rep);
+  };
+
+  if (config.threads == 1 || config.replications == 1) {
+    serial_for_index(config.replications, one);
+  } else {
+    ThreadPool pool{config.threads};
+    parallel_for_index(pool, config.replications, one);
+  }
+
+  // Merge in replication order so the aggregation is deterministic.
+  MetricStats stats;
+  for (const MetricBag& bag : bags) {
+    for (const auto& [name, value] : bag) stats[name].add(value);
+  }
+  return stats;
+}
+
+const RunningStats& metric(const MetricStats& stats, const std::string& name) {
+  const auto it = stats.find(name);
+  if (it == stats.end()) {
+    throw std::out_of_range{"metric: no metric named '" + name + "'"};
+  }
+  return it->second;
+}
+
+}  // namespace gridbw::metrics

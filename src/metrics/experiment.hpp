@@ -1,0 +1,51 @@
+// gridbw/metrics/experiment.hpp
+//
+// Replicated Monte-Carlo experiment harness. A run maps a replication index
+// to a bag of named metric values; the harness derives an independent RNG
+// stream per replication (bit-identical whether executed serially or on the
+// thread pool) and aggregates each metric into RunningStats with confidence
+// intervals. Every figure bench is a thin loop over sweep points calling
+// `run_replicated`.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "util/random.hpp"
+#include "util/stats.hpp"
+#include "util/thread_pool.hpp"
+
+namespace gridbw::metrics {
+
+/// One replication's output: metric name -> value.
+using MetricBag = std::map<std::string, double>;
+
+/// Body of one replication. The Rng is already seeded for this replication.
+using ReplicationFn = std::function<MetricBag(Rng& rng, std::size_t replication)>;
+
+struct ExperimentConfig {
+  std::size_t replications{8};
+  std::uint64_t base_seed{0x9E3779B97F4A7C15ULL};
+  /// Worker threads: 0 = hardware concurrency; 1 = run serially in-place.
+  std::size_t threads{0};
+};
+
+/// Aggregated per-metric statistics across replications.
+using MetricStats = std::map<std::string, RunningStats>;
+
+/// Runs `body` for each replication and merges the metric bags. Metric
+/// names may differ between replications (missing values simply contribute
+/// nothing to that metric's stats). Exceptions from any replication
+/// propagate after all workers finish.
+[[nodiscard]] MetricStats run_replicated(const ExperimentConfig& config,
+                                         const ReplicationFn& body);
+
+/// Convenience accessor that throws if `name` is absent (typo guard in
+/// benches).
+[[nodiscard]] const RunningStats& metric(const MetricStats& stats,
+                                         const std::string& name);
+
+}  // namespace gridbw::metrics

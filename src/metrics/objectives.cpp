@@ -1,0 +1,147 @@
+#include "metrics/objectives.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace gridbw::metrics {
+
+double accept_rate(std::span<const Request> requests, const Schedule& schedule) {
+  if (requests.empty()) return 0.0;
+  std::size_t accepted = 0;
+  for (const Request& r : requests) accepted += schedule.is_accepted(r.id) ? 1 : 0;
+  return static_cast<double>(accepted) / static_cast<double>(requests.size());
+}
+
+double resource_util_paper(const Network& network, std::span<const Request> requests,
+                           const Schedule& schedule) {
+  // Demand per port, at the requested minimum rate.
+  std::vector<Bandwidth> in_demand(network.ingress_count(), Bandwidth::zero());
+  std::vector<Bandwidth> out_demand(network.egress_count(), Bandwidth::zero());
+  Bandwidth granted = Bandwidth::zero();
+  for (const Request& r : requests) {
+    in_demand[r.ingress.value] += r.min_rate();
+    out_demand[r.egress.value] += r.min_rate();
+    const auto a = schedule.assignment(r.id);
+    if (a.has_value()) granted += a->bw;
+  }
+
+  Bandwidth scaled = Bandwidth::zero();
+  for (std::size_t i = 0; i < in_demand.size(); ++i) {
+    scaled += min(network.ingress_capacity(IngressId{i}), in_demand[i]);
+  }
+  for (std::size_t e = 0; e < out_demand.size(); ++e) {
+    scaled += min(network.egress_capacity(EgressId{e}), out_demand[e]);
+  }
+  if (!scaled.is_positive()) return 0.0;
+  return granted / (scaled / 2.0);
+}
+
+double utilization_time_averaged(const Network& network,
+                                 std::span<const Request> requests,
+                                 const Schedule& schedule) {
+  if (requests.empty()) return 0.0;
+  TimePoint first = TimePoint::infinity();
+  TimePoint last = TimePoint::origin();
+  Volume granted = Volume::zero();
+  for (const Request& r : requests) {
+    first = min(first, r.release);
+    last = max(last, r.deadline);
+    if (schedule.is_accepted(r.id)) granted += r.volume;
+  }
+  const Duration horizon = last - first;
+  if (!horizon.is_positive()) return 0.0;
+  const Bandwidth capacity = network.total_capacity() / 2.0;
+  return (granted / horizon) / capacity;
+}
+
+double utilization_over(const Network& network, std::span<const Request> requests,
+                        const Schedule& schedule, TimePoint t0, TimePoint t1) {
+  const Duration window = t1 - t0;
+  if (!window.is_positive()) return 0.0;
+  Volume carried = Volume::zero();
+  for (const Request& r : requests) {
+    const auto a = schedule.assignment(r.id);
+    if (!a.has_value()) continue;
+    const TimePoint start = max(a->start, t0);
+    const TimePoint end = min(a->end(r), t1);
+    if (start < end) carried += a->bw * (end - start);
+  }
+  const Bandwidth capacity = network.total_capacity() / 2.0;
+  return (carried / window) / capacity;
+}
+
+std::size_t guaranteed_count(std::span<const Request> requests, const Schedule& schedule,
+                             double f) {
+  std::size_t count = 0;
+  for (const Request& r : requests) {
+    const auto a = schedule.assignment(r.id);
+    if (!a.has_value()) continue;
+    const Bandwidth floor = max(r.max_rate * f, r.min_rate());
+    if (approx_le(floor, a->bw)) ++count;
+  }
+  return count;
+}
+
+RunningStats stretch_stats(std::span<const Request> requests, const Schedule& schedule) {
+  RunningStats stats;
+  for (const Request& r : requests) {
+    const auto a = schedule.assignment(r.id);
+    if (!a.has_value()) continue;
+    const Duration achieved = r.volume / a->bw;
+    const Duration ideal = r.volume / r.max_rate;
+    stats.add(achieved / ideal);
+  }
+  return stats;
+}
+
+RunningStats start_delay_stats(std::span<const Request> requests,
+                               const Schedule& schedule) {
+  RunningStats stats;
+  for (const Request& r : requests) {
+    const auto a = schedule.assignment(r.id);
+    if (!a.has_value()) continue;
+    stats.add((a->start - r.release).to_seconds());
+  }
+  return stats;
+}
+
+double jain_fairness(std::span<const double> values) {
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (double x : values) {
+    sum += x;
+    sum_sq += x * x;
+  }
+  if (values.empty() || sum_sq == 0.0) return 1.0;
+  return sum * sum / (static_cast<double>(values.size()) * sum_sq);
+}
+
+namespace {
+
+std::vector<Volume> granted_per_port(std::size_t ports,
+                                     std::span<const Request> requests,
+                                     const Schedule& schedule, bool ingress_side) {
+  std::vector<Volume> granted(ports, Volume::zero());
+  for (const Request& r : requests) {
+    if (!schedule.is_accepted(r.id)) continue;
+    const std::size_t port = ingress_side ? r.ingress.value : r.egress.value;
+    granted.at(port) += r.volume;
+  }
+  return granted;
+}
+
+}  // namespace
+
+std::vector<Volume> granted_per_ingress(const Network& network,
+                                        std::span<const Request> requests,
+                                        const Schedule& schedule) {
+  return granted_per_port(network.ingress_count(), requests, schedule, true);
+}
+
+std::vector<Volume> granted_per_egress(const Network& network,
+                                       std::span<const Request> requests,
+                                       const Schedule& schedule) {
+  return granted_per_port(network.egress_count(), requests, schedule, false);
+}
+
+}  // namespace gridbw::metrics

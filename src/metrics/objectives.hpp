@@ -1,0 +1,88 @@
+// gridbw/metrics/objectives.hpp
+//
+// The paper's optimization objectives as measurement functions over a
+// finished schedule:
+//
+//   * accept rate           — MAX-REQUESTS, §2.2;
+//   * resource utilization  — RESOURCE-UTIL with the B_scaled denominator
+//                             that excludes ports nobody asked for, §2.2;
+//   * time-averaged utilization — granted bytes over capacity x horizon
+//                             (the physical ratio in [0, 1] plotted by our
+//                             Fig. 4 bench alongside the paper's variant);
+//   * #guaranteed           — accepted requests whose granted rate meets
+//                             max(f * MaxRate, MinRate), §2.3;
+//   * stretch               — achieved transfer time over the fastest
+//                             possible (vol / MaxRate), a grid-application
+//                             view of how much the tuning factor buys.
+
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/network.hpp"
+#include "core/request.hpp"
+#include "core/schedule.hpp"
+#include "util/stats.hpp"
+
+namespace gridbw::metrics {
+
+/// accepted / total over the request set (0 when empty).
+[[nodiscard]] double accept_rate(std::span<const Request> requests,
+                                 const Schedule& schedule);
+
+/// The paper's RESOURCE-UTIL: sum of granted bandwidth over half the
+/// scaled capacities, where a port's scaled capacity is
+/// min(capacity, total bandwidth requested at that port) — ports with no
+/// demand contribute nothing.
+[[nodiscard]] double resource_util_paper(const Network& network,
+                                         std::span<const Request> requests,
+                                         const Schedule& schedule);
+
+/// Granted volume over (horizon x total capacity / 2), the physical
+/// network-occupancy ratio in [0, 1]. The horizon is [first release,
+/// last deadline] of the request set.
+[[nodiscard]] double utilization_time_averaged(const Network& network,
+                                               std::span<const Request> requests,
+                                               const Schedule& schedule);
+
+/// Same ratio restricted to the observation window [t0, t1): the bandwidth
+/// each accepted transfer holds inside the window, over capacity. This is
+/// the utilization the Fig. 4 bench plots — a handful of day-long transfer
+/// tails would otherwise stretch the averaging span far beyond the arrival
+/// horizon and dilute the ratio.
+[[nodiscard]] double utilization_over(const Network& network,
+                                      std::span<const Request> requests,
+                                      const Schedule& schedule, TimePoint t0,
+                                      TimePoint t1);
+
+/// #guaranteed of §2.3: accepted requests with
+/// bw(r) >= max(f * MaxRate(r), MinRate(r)) (within tolerance).
+[[nodiscard]] std::size_t guaranteed_count(std::span<const Request> requests,
+                                           const Schedule& schedule, double f);
+
+/// Distribution of stretch = (tau - sigma) / (vol / MaxRate) over accepted
+/// requests. 1 = served at full host rate.
+[[nodiscard]] RunningStats stretch_stats(std::span<const Request> requests,
+                                         const Schedule& schedule);
+
+/// Distribution of (sigma - t_s): how long accepted requests waited beyond
+/// their arrival (interval-based heuristics trade this for accept rate).
+[[nodiscard]] RunningStats start_delay_stats(std::span<const Request> requests,
+                                             const Schedule& schedule);
+
+/// Jain's fairness index (sum x)^2 / (n * sum x^2) over non-negative
+/// values: 1 = perfectly even, 1/n = one value holds everything. Returns 1
+/// for empty or all-zero input.
+[[nodiscard]] double jain_fairness(std::span<const double> values);
+
+/// Granted bytes carried by each ingress / egress port under the schedule
+/// (the hot-spot studies measure fairness over these).
+[[nodiscard]] std::vector<Volume> granted_per_ingress(const Network& network,
+                                                      std::span<const Request> requests,
+                                                      const Schedule& schedule);
+[[nodiscard]] std::vector<Volume> granted_per_egress(const Network& network,
+                                                     std::span<const Request> requests,
+                                                     const Schedule& schedule);
+
+}  // namespace gridbw::metrics

@@ -1,0 +1,46 @@
+#include "sim/event_queue.hpp"
+
+#include <stdexcept>
+
+namespace gridbw::sim {
+
+EventId EventQueue::push(TimePoint time, std::function<void()> action) {
+  const EventId id = next_id_++;
+  heap_.push(Entry{time, id});
+  actions_.emplace(id, std::move(action));
+  return id;
+}
+
+bool EventQueue::cancel(EventId id) { return actions_.erase(id) > 0; }
+
+void EventQueue::drop_cancelled() const {
+  while (!heap_.empty() && actions_.find(heap_.top().id) == actions_.end()) {
+    heap_.pop();
+  }
+}
+
+bool EventQueue::empty() const {
+  drop_cancelled();
+  return heap_.empty();
+}
+
+std::size_t EventQueue::pending_count() const { return actions_.size(); }
+
+TimePoint EventQueue::next_time() const {
+  drop_cancelled();
+  if (heap_.empty()) throw std::logic_error{"EventQueue::next_time: empty queue"};
+  return heap_.top().time;
+}
+
+Event EventQueue::pop() {
+  drop_cancelled();
+  if (heap_.empty()) throw std::logic_error{"EventQueue::pop: empty queue"};
+  const Entry entry = heap_.top();
+  heap_.pop();
+  auto it = actions_.find(entry.id);
+  Event event{entry.time, entry.id, std::move(it->second)};
+  actions_.erase(it);
+  return event;
+}
+
+}  // namespace gridbw::sim

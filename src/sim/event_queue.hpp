@@ -1,0 +1,67 @@
+// gridbw/sim/event_queue.hpp
+//
+// The time-ordered event queue at the heart of the discrete-event kernel.
+// Events firing at equal times are delivered in insertion (FIFO) order so
+// that simulations are fully deterministic. Cancellation is supported by
+// lazy deletion: a cancelled entry stays in the heap and is skipped on pop.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "util/quantity.hpp"
+
+namespace gridbw::sim {
+
+/// Identifies a scheduled event; used to cancel it before it fires.
+using EventId = std::uint64_t;
+
+/// A scheduled callback.
+struct Event {
+  TimePoint time;
+  EventId id{0};
+  std::function<void()> action;
+};
+
+class EventQueue {
+ public:
+  /// Schedules `action` at `time`; returns an id usable with `cancel`.
+  EventId push(TimePoint time, std::function<void()> action);
+
+  /// Cancels a pending event. Returns false if it already fired, was
+  /// already cancelled, or never existed.
+  bool cancel(EventId id);
+
+  [[nodiscard]] bool empty() const;
+  [[nodiscard]] std::size_t pending_count() const;
+
+  /// Earliest pending event time; queue must not be empty.
+  [[nodiscard]] TimePoint next_time() const;
+
+  /// Removes and returns the earliest pending event; queue must not be empty.
+  [[nodiscard]] Event pop();
+
+ private:
+  struct Entry {
+    TimePoint time;
+    EventId id;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.id > b.id;  // FIFO among equal times (ids are monotonic)
+    }
+  };
+
+  void drop_cancelled() const;
+
+  mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::unordered_map<EventId, std::function<void()>> actions_;
+  EventId next_id_{1};
+};
+
+}  // namespace gridbw::sim

@@ -1,0 +1,44 @@
+#include "sim/simulator.hpp"
+
+#include <stdexcept>
+
+namespace gridbw::sim {
+
+EventId Simulator::at(TimePoint t, std::function<void()> action) {
+  if (t < now_) throw std::invalid_argument{"Simulator::at: scheduling in the past"};
+  return queue_.push(t, std::move(action));
+}
+
+EventId Simulator::after(Duration delay, std::function<void()> action) {
+  if (delay.is_negative()) {
+    throw std::invalid_argument{"Simulator::after: negative delay"};
+  }
+  return queue_.push(now_ + delay, std::move(action));
+}
+
+std::size_t Simulator::run() {
+  std::size_t ran = 0;
+  while (step()) ++ran;
+  return ran;
+}
+
+std::size_t Simulator::run_until(TimePoint horizon) {
+  std::size_t ran = 0;
+  while (!queue_.empty() && queue_.next_time() <= horizon) {
+    (void)step();
+    ++ran;
+  }
+  if (now_ < horizon) now_ = horizon;
+  return ran;
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  Event event = queue_.pop();
+  now_ = event.time;
+  ++executed_;
+  event.action();
+  return true;
+}
+
+}  // namespace gridbw::sim

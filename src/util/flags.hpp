@@ -1,0 +1,42 @@
+// gridbw/util/flags.hpp
+//
+// Minimal --key=value command-line parsing for the bench and example
+// binaries (kept dependency-free; google-benchmark binaries use its own
+// parser and only consult this for the flags it ignores).
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace gridbw {
+
+/// Parses `--key=value` and bare `--key` (value "true") arguments. Unknown
+/// positional arguments are collected separately.
+class Flags {
+ public:
+  Flags(int argc, const char* const* argv);
+
+  [[nodiscard]] bool has(const std::string& key) const;
+
+  [[nodiscard]] std::string get_string(const std::string& key,
+                                       const std::string& fallback) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& key, std::int64_t fallback) const;
+  [[nodiscard]] double get_double(const std::string& key, double fallback) const;
+  [[nodiscard]] bool get_bool(const std::string& key, bool fallback) const;
+
+  /// Comma-separated list of doubles, e.g. --f=0.2,0.5,0.8.
+  [[nodiscard]] std::vector<double> get_double_list(const std::string& key,
+                                                    std::vector<double> fallback) const;
+
+  [[nodiscard]] const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace gridbw

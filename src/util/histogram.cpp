@@ -1,0 +1,66 @@
+#include "util/histogram.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace gridbw {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_{lo}, hi_{hi}, counts_(bins, 0) {
+  if (!(lo < hi)) throw std::invalid_argument{"Histogram: lo must be < hi"};
+  if (bins == 0) throw std::invalid_argument{"Histogram: need at least one bin"};
+}
+
+void Histogram::add(double value) {
+  ++total_;
+  if (value < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (value >= hi_) {
+    ++overflow_;
+    return;
+  }
+  const double position = (value - lo_) / (hi_ - lo_) * static_cast<double>(counts_.size());
+  const auto bin = std::min(static_cast<std::size_t>(position), counts_.size() - 1);
+  ++counts_[bin];
+}
+
+std::size_t Histogram::count_in_bin(std::size_t bin) const { return counts_.at(bin); }
+
+std::pair<double, double> Histogram::bin_range(std::size_t bin) const {
+  if (bin >= counts_.size()) throw std::out_of_range{"Histogram::bin_range"};
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return {lo_ + width * static_cast<double>(bin),
+          lo_ + width * static_cast<double>(bin + 1)};
+}
+
+double Histogram::cumulative_fraction(std::size_t bin) const {
+  if (bin >= counts_.size()) throw std::out_of_range{"Histogram::cumulative_fraction"};
+  if (total_ == 0) return 0.0;
+  std::size_t below = underflow_;
+  for (std::size_t b = 0; b <= bin; ++b) below += counts_[b];
+  return static_cast<double>(below) / static_cast<double>(total_);
+}
+
+std::string Histogram::render(std::size_t width) const {
+  const std::size_t peak = std::max<std::size_t>(
+      1, *std::max_element(counts_.begin(), counts_.end()));
+  std::ostringstream oss;
+  std::array<char, 64> label{};
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    const auto [bin_lo, bin_hi] = bin_range(b);
+    std::snprintf(label.data(), label.size(), "[%8.2f, %8.2f) %6zu ", bin_lo, bin_hi,
+                  counts_[b]);
+    oss << label.data()
+        << std::string(counts_[b] * width / peak, '#') << '\n';
+  }
+  if (underflow_ > 0) oss << "underflow: " << underflow_ << '\n';
+  if (overflow_ > 0) oss << "overflow: " << overflow_ << '\n';
+  return oss.str();
+}
+
+}  // namespace gridbw

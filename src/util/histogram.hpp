@@ -1,0 +1,48 @@
+// gridbw/util/histogram.hpp
+//
+// Fixed-bin histogram for experiment reports (stretch, waiting-time, and
+// rate distributions in the examples and benches). Values outside the
+// configured range land in underflow/overflow counters so nothing is
+// silently dropped.
+
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace gridbw {
+
+class Histogram {
+ public:
+  /// `bins` uniform bins over [lo, hi). Requires lo < hi and bins >= 1.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double value);
+
+  [[nodiscard]] std::size_t total_count() const { return total_; }
+  [[nodiscard]] std::size_t bin_count() const { return counts_.size(); }
+  [[nodiscard]] std::size_t count_in_bin(std::size_t bin) const;
+  [[nodiscard]] std::size_t underflow() const { return underflow_; }
+  [[nodiscard]] std::size_t overflow() const { return overflow_; }
+
+  /// [lo, hi) of a bin.
+  [[nodiscard]] std::pair<double, double> bin_range(std::size_t bin) const;
+
+  /// Fraction of all values (including under/overflow) at or below the
+  /// upper edge of `bin`.
+  [[nodiscard]] double cumulative_fraction(std::size_t bin) const;
+
+  /// ASCII rendering: one line per bin, bar scaled to `width` characters.
+  [[nodiscard]] std::string render(std::size_t width = 40) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t underflow_{0};
+  std::size_t overflow_{0};
+  std::size_t total_{0};
+};
+
+}  // namespace gridbw

@@ -1,0 +1,58 @@
+#include "util/quantity.hpp"
+
+#include <array>
+#include <cstdio>
+
+namespace gridbw {
+namespace {
+
+std::string format(double value, const char* unit) {
+  std::array<char, 64> buf{};
+  if (value == 0.0) {
+    std::snprintf(buf.data(), buf.size(), "0 %s", unit);
+  } else if (value >= 100.0) {
+    std::snprintf(buf.data(), buf.size(), "%.0f %s", value, unit);
+  } else if (value >= 10.0) {
+    std::snprintf(buf.data(), buf.size(), "%.1f %s", value, unit);
+  } else {
+    std::snprintf(buf.data(), buf.size(), "%.2f %s", value, unit);
+  }
+  return std::string{buf.data()};
+}
+
+}  // namespace
+
+std::string to_string(Bandwidth b) {
+  const double bps = b.to_bytes_per_second();
+  if (!std::isfinite(bps)) return "inf B/s";
+  if (bps >= 1e9) return format(bps / 1e9, "GB/s");
+  if (bps >= 1e6) return format(bps / 1e6, "MB/s");
+  if (bps >= 1e3) return format(bps / 1e3, "kB/s");
+  return format(bps, "B/s");
+}
+
+std::string to_string(Volume v) {
+  const double bytes = v.to_bytes();
+  if (bytes >= 1e12) return format(bytes / 1e12, "TB");
+  if (bytes >= 1e9) return format(bytes / 1e9, "GB");
+  if (bytes >= 1e6) return format(bytes / 1e6, "MB");
+  if (bytes >= 1e3) return format(bytes / 1e3, "kB");
+  return format(bytes, "B");
+}
+
+std::string to_string(Duration d) {
+  const double s = d.to_seconds();
+  if (!std::isfinite(s)) return "inf";
+  if (s >= 86400.0) return format(s / 86400.0, "d");
+  if (s >= 3600.0) return format(s / 3600.0, "h");
+  if (s >= 60.0) return format(s / 60.0, "min");
+  return format(s, "s");
+}
+
+std::string to_string(TimePoint t) {
+  std::array<char, 64> buf{};
+  std::snprintf(buf.data(), buf.size(), "t=%.3fs", t.to_seconds());
+  return std::string{buf.data()};
+}
+
+}  // namespace gridbw

@@ -1,0 +1,104 @@
+#include "util/random.hpp"
+
+#include <cmath>
+
+namespace gridbw {
+namespace {
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Xoshiro256::Xoshiro256(std::uint64_t seed) {
+  SplitMix64 mix{seed};
+  for (auto& word : s_) word = mix.next();
+}
+
+Xoshiro256::result_type Xoshiro256::operator()() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+void Xoshiro256::jump() {
+  static constexpr std::array<std::uint64_t, 4> kJump{
+      0x180ec6d33cfd0abaULL, 0xd5a61266f0c9392cULL,
+      0xa9582618e03fc9aaULL, 0x39abdc4529b1661cULL};
+  std::array<std::uint64_t, 4> acc{};
+  for (std::uint64_t word : kJump) {
+    for (int bit = 0; bit < 64; ++bit) {
+      if (word & (1ULL << bit)) {
+        for (std::size_t i = 0; i < 4; ++i) acc[i] ^= s_[i];
+      }
+      (void)(*this)();
+    }
+  }
+  s_ = acc;
+}
+
+std::uint64_t derive_stream(std::uint64_t seed, std::uint64_t index) {
+  // Mix the index through SplitMix64 twice, offset by the parent seed, so
+  // that nearby (seed, index) pairs land far apart.
+  SplitMix64 mix{seed ^ (0x632be59bd9b4e019ULL + index * 0x9e3779b97f4a7c15ULL)};
+  (void)mix.next();
+  return mix.next();
+}
+
+double Rng::uniform01() {
+  // 53 random mantissa bits -> uniform in [0, 1).
+  return static_cast<double>(gen_() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  if (lo > hi) throw std::invalid_argument{"Rng::uniform: lo > hi"};
+  return lo + (hi - lo) * uniform01();
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  if (lo > hi) throw std::invalid_argument{"Rng::uniform_int: lo > hi"};
+  const auto range = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (range == 0) {  // full 64-bit range
+    return static_cast<std::int64_t>(gen_());
+  }
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = (~0ULL) - (~0ULL) % range;
+  std::uint64_t draw = gen_();
+  while (draw >= limit) draw = gen_();
+  return lo + static_cast<std::int64_t>(draw % range);
+}
+
+double Rng::exponential(double mean) {
+  if (!(mean > 0.0)) throw std::invalid_argument{"Rng::exponential: mean must be > 0"};
+  // Inverse CDF; 1 - uniform01() is in (0, 1], so the log is finite.
+  return -mean * std::log(1.0 - uniform01());
+}
+
+bool Rng::bernoulli(double p) {
+  if (p < 0.0 || p > 1.0) throw std::invalid_argument{"Rng::bernoulli: p outside [0,1]"};
+  return uniform01() < p;
+}
+
+std::size_t Rng::pick_weighted(std::span<const double> weights) {
+  double total = 0.0;
+  for (double w : weights) {
+    if (w < 0.0) throw std::invalid_argument{"Rng::pick_weighted: negative weight"};
+    total += w;
+  }
+  if (!(total > 0.0)) throw std::invalid_argument{"Rng::pick_weighted: all weights zero"};
+  double target = uniform01() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    target -= weights[i];
+    if (target < 0.0) return i;
+  }
+  return weights.size() - 1;  // numerical edge: fell off the end
+}
+
+}  // namespace gridbw

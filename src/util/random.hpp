@@ -1,0 +1,133 @@
+// gridbw/util/random.hpp
+//
+// Deterministic pseudo-random generation for the simulation stack.
+//
+// All experiment randomness flows from a single 64-bit seed through
+// SplitMix64 (for seeding / stream derivation) and xoshiro256** (the bulk
+// generator). Replication k of an experiment derives its own independent
+// stream as `derive_stream(seed, k)`, so parallel and serial execution of a
+// Monte-Carlo sweep produce bit-identical results.
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "util/quantity.hpp"
+
+namespace gridbw {
+
+/// SplitMix64: a tiny, high-quality 64-bit mixer. Used to expand one seed
+/// into generator state and to derive per-replication streams.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) : state_{seed} {}
+
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256**: fast, well-tested 64-bit PRNG (Blackman & Vigna).
+/// Satisfies std::uniform_random_bit_generator.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(std::uint64_t seed);
+
+  [[nodiscard]] static constexpr result_type min() { return 0; }
+  [[nodiscard]] static constexpr result_type max() { return ~0ULL; }
+
+  result_type operator()();
+
+  /// Advance the generator 2^128 steps; yields a disjoint sub-sequence.
+  void jump();
+
+ private:
+  std::array<std::uint64_t, 4> s_{};
+};
+
+/// Derives an independent seed for replication / stream `index` of a parent
+/// seed. Distinct indexes give statistically independent generators.
+[[nodiscard]] std::uint64_t derive_stream(std::uint64_t seed, std::uint64_t index);
+
+/// Convenience sampling facade over Xoshiro256. Each Rng owns its generator;
+/// copying is forbidden (accidental stream duplication), moving is fine.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : gen_{seed} {}
+
+  Rng(const Rng&) = delete;
+  Rng& operator=(const Rng&) = delete;
+  Rng(Rng&&) = default;
+  Rng& operator=(Rng&&) = default;
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double uniform01();
+
+  /// Uniform double in [lo, hi). Requires lo <= hi.
+  [[nodiscard]] double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  [[nodiscard]] std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Exponential with the given mean (> 0); inter-arrival times of a
+  /// Poisson process of rate 1/mean.
+  [[nodiscard]] double exponential(double mean);
+
+  /// Bernoulli trial with success probability p in [0, 1].
+  [[nodiscard]] bool bernoulli(double p);
+
+  /// Picks one element of a non-empty span, uniformly.
+  template <typename T>
+  [[nodiscard]] const T& pick(std::span<const T> items) {
+    if (items.empty()) throw std::invalid_argument{"Rng::pick: empty span"};
+    return items[static_cast<std::size_t>(
+        uniform_int(0, static_cast<std::int64_t>(items.size()) - 1))];
+  }
+
+  /// Picks an index in [0, weights.size()) with probability proportional to
+  /// weights[i]. Requires at least one strictly positive weight.
+  [[nodiscard]] std::size_t pick_weighted(std::span<const double> weights);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      const auto j = static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(i) - 1));
+      using std::swap;
+      swap(items[i - 1], items[j]);
+    }
+  }
+
+  /// Raw access for std distributions if ever needed.
+  [[nodiscard]] Xoshiro256& generator() { return gen_; }
+
+  // -- Quantity-typed helpers -------------------------------------------
+
+  [[nodiscard]] Duration exponential_duration(Duration mean) {
+    return Duration::seconds(exponential(mean.to_seconds()));
+  }
+  [[nodiscard]] Bandwidth uniform_bandwidth(Bandwidth lo, Bandwidth hi) {
+    return Bandwidth::bytes_per_second(
+        uniform(lo.to_bytes_per_second(), hi.to_bytes_per_second()));
+  }
+  [[nodiscard]] Duration uniform_duration(Duration lo, Duration hi) {
+    return Duration::seconds(uniform(lo.to_seconds(), hi.to_seconds()));
+  }
+
+ private:
+  Xoshiro256 gen_;
+};
+
+}  // namespace gridbw

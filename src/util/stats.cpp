@@ -1,0 +1,137 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace gridbw {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  n_ += other.n_;
+}
+
+double RunningStats::mean() const { return mean_; }
+
+double RunningStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+double RunningStats::min() const { return min_; }
+double RunningStats::max() const { return max_; }
+
+double RunningStats::stderr_mean() const {
+  if (n_ < 2) return 0.0;
+  return stddev() / std::sqrt(static_cast<double>(n_));
+}
+
+namespace {
+
+/// Two-sided standard-normal quantile for common confidence levels; falls
+/// back to a rational approximation (Acklam) for other levels.
+double z_for_level(double level) {
+  if (level <= 0.0 || level >= 1.0) {
+    throw std::invalid_argument{"confidence level must be in (0,1)"};
+  }
+  const double p = 0.5 + level / 2.0;  // upper-tail point
+  // Acklam's inverse-normal approximation (max rel. error ~1.15e-9).
+  static constexpr std::array<double, 6> a{-3.969683028665376e+01, 2.209460984245205e+02,
+                                           -2.759285104469687e+02, 1.383577518672690e+02,
+                                           -3.066479806614716e+01, 2.506628277459239e+00};
+  static constexpr std::array<double, 5> b{-5.447609879822406e+01, 1.615858368580409e+02,
+                                           -1.556989798598866e+02, 6.680131188771972e+01,
+                                           -1.328068155288572e+01};
+  static constexpr std::array<double, 6> c{-7.784894002430293e-03, -3.223964580411365e-01,
+                                           -2.400758277161838e+00, -2.549732539343734e+00,
+                                           4.374664141464968e+00,  2.938163982698783e+00};
+  static constexpr std::array<double, 4> d{7.784695709041462e-03, 3.224671290700398e-01,
+                                           2.445134137142996e+00, 3.754408661907416e+00};
+  constexpr double plow = 0.02425;
+  if (p < plow) {
+    const double q = std::sqrt(-2.0 * std::log(p));
+    return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  if (p <= 1.0 - plow) {
+    const double q = p - 0.5;
+    const double r = q * q;
+    return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q /
+           (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+  }
+  const double q = std::sqrt(-2.0 * std::log(1.0 - p));
+  return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+         ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+}
+
+}  // namespace
+
+ConfidenceInterval confidence_interval(const RunningStats& stats, double level) {
+  const double z = z_for_level(level);
+  const double half = z * stats.stderr_mean();
+  return ConfidenceInterval{stats.mean() - half, stats.mean() + half};
+}
+
+double percentile(std::span<const double> samples, double q) {
+  if (samples.empty()) throw std::invalid_argument{"percentile: empty samples"};
+  if (q < 0.0 || q > 1.0) throw std::invalid_argument{"percentile: q outside [0,1]"};
+  std::vector<double> sorted{samples.begin(), samples.end()};
+  std::sort(sorted.begin(), sorted.end());
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const auto hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+Summary summarize(std::span<const double> samples) {
+  Summary s;
+  if (samples.empty()) return s;
+  RunningStats rs;
+  for (double x : samples) rs.add(x);
+  s.count = rs.count();
+  s.mean = rs.mean();
+  s.stddev = rs.stddev();
+  s.min = rs.min();
+  s.max = rs.max();
+  s.p50 = percentile(samples, 0.50);
+  s.p95 = percentile(samples, 0.95);
+  return s;
+}
+
+std::string format_mean_ci(const RunningStats& stats, double level) {
+  const auto ci = confidence_interval(stats, level);
+  std::array<char, 64> buf{};
+  std::snprintf(buf.data(), buf.size(), "%.4f ± %.4f", stats.mean(), ci.half_width());
+  return std::string{buf.data()};
+}
+
+}  // namespace gridbw

@@ -1,0 +1,75 @@
+// gridbw/util/stats.hpp
+//
+// Streaming and batch statistics used by the experiment harness to aggregate
+// Monte-Carlo replications: Welford running moments, normal-approximation
+// confidence intervals, and percentile extraction.
+
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace gridbw {
+
+/// Numerically stable running mean / variance (Welford's algorithm).
+class RunningStats {
+ public:
+  void add(double x);
+
+  /// Merges another accumulator (parallel reduction), Chan et al. update.
+  void merge(const RunningStats& other);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const;
+  /// Unbiased sample variance; 0 for fewer than two samples.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  /// Standard error of the mean; 0 for fewer than two samples.
+  [[nodiscard]] double stderr_mean() const;
+
+ private:
+  std::size_t n_{0};
+  double mean_{0.0};
+  double m2_{0.0};
+  double min_{0.0};
+  double max_{0.0};
+};
+
+/// Symmetric confidence interval around a mean.
+struct ConfidenceInterval {
+  double lo{0.0};
+  double hi{0.0};
+  [[nodiscard]] double half_width() const { return (hi - lo) / 2.0; }
+  [[nodiscard]] bool contains(double x) const { return lo <= x && x <= hi; }
+};
+
+/// Normal-approximation CI at the given confidence level (default 95%).
+/// For fewer than two samples, returns a degenerate interval at the mean.
+[[nodiscard]] ConfidenceInterval confidence_interval(const RunningStats& stats,
+                                                     double level = 0.95);
+
+/// Quantile of a sample set by linear interpolation (q in [0, 1]).
+/// The input span is copied; throws on empty input.
+[[nodiscard]] double percentile(std::span<const double> samples, double q);
+
+/// Batch summary of a sample vector.
+struct Summary {
+  std::size_t count{0};
+  double mean{0.0};
+  double stddev{0.0};
+  double min{0.0};
+  double p50{0.0};
+  double p95{0.0};
+  double max{0.0};
+};
+
+[[nodiscard]] Summary summarize(std::span<const double> samples);
+
+/// "0.532 ± 0.011" rendering for tables.
+[[nodiscard]] std::string format_mean_ci(const RunningStats& stats, double level = 0.95);
+
+}  // namespace gridbw

@@ -1,0 +1,132 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstdio>
+#include <ostream>
+#include <span>
+#include <sstream>
+#include <stdexcept>
+
+namespace gridbw {
+
+std::string format_double(double value, int precision) {
+  std::array<char, 64> buf{};
+  std::snprintf(buf.data(), buf.size(), "%.*f", precision, value);
+  return std::string{buf.data()};
+}
+
+std::string csv_escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+Table::Table(std::vector<std::string> header) : header_{std::move(header)} {
+  if (header_.empty()) throw std::invalid_argument{"Table: empty header"};
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  if (cells.size() != header_.size()) {
+    throw std::invalid_argument{"Table::add_row: cell count mismatch"};
+  }
+  rows_.push_back(std::move(cells));
+}
+
+void Table::add_row_numeric(std::span<const double> values, int precision) {
+  std::vector<std::string> cells;
+  cells.reserve(values.size());
+  for (double v : values) cells.push_back(format_double(v, precision));
+  add_row(std::move(cells));
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c == 0 ? "| " : " | ");
+      os << row[c] << std::string(widths[c] - row[c].size(), ' ');
+    }
+    os << " |\n";
+  };
+  auto emit_rule = [&] {
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      os << (c == 0 ? "+-" : "-+-") << std::string(widths[c], '-');
+    }
+    os << "-+\n";
+  };
+  emit_rule();
+  emit_row(header_);
+  emit_rule();
+  for (const auto& row : rows_) emit_row(row);
+  emit_rule();
+}
+
+std::string Table::to_string() const {
+  std::ostringstream oss;
+  print(oss);
+  return oss.str();
+}
+
+std::string Table::to_csv() const {
+  std::ostringstream oss;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) oss << ',';
+      oss << csv_escape(row[c]);
+    }
+    oss << '\n';
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+  return oss.str();
+}
+
+CsvWriter::CsvWriter(const std::string& path, std::vector<std::string> header)
+    : out_{path}, columns_{header.size()} {
+  if (!out_) throw std::runtime_error{"CsvWriter: cannot open " + path};
+  if (header.empty()) throw std::invalid_argument{"CsvWriter: empty header"};
+  for (std::size_t c = 0; c < header.size(); ++c) {
+    if (c) out_ << ',';
+    out_ << csv_escape(header[c]);
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::add_row(std::span<const std::string> cells) {
+  if (cells.size() != columns_) {
+    throw std::invalid_argument{"CsvWriter::add_row: cell count mismatch"};
+  }
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    if (c) out_ << ',';
+    out_ << csv_escape(cells[c]);
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::add_row_numeric(std::span<const double> values, int precision) {
+  std::vector<std::string> cells;
+  cells.reserve(values.size());
+  for (double v : values) cells.push_back(format_double(v, precision));
+  add_row(cells);
+}
+
+void CsvWriter::close() {
+  if (out_.is_open()) {
+    out_.flush();
+    out_.close();
+  }
+}
+
+}  // namespace gridbw

@@ -1,0 +1,68 @@
+// gridbw/util/table.hpp
+//
+// Console table and CSV emission for benchmark / experiment output. The
+// bench binaries print the same rows the paper's figures plot; Table renders
+// them aligned for the terminal and CsvWriter persists them for plotting.
+
+#pragma once
+
+#include <cstddef>
+#include <fstream>
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace gridbw {
+
+/// A simple fixed-column text table. Add a header then rows; `print`
+/// computes column widths and writes an aligned ASCII table.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends one row; must have exactly as many cells as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  void add_row_numeric(std::span<const double> values, int precision = 4);
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+  [[nodiscard]] std::size_t column_count() const { return header_.size(); }
+
+  void print(std::ostream& os) const;
+  [[nodiscard]] std::string to_string() const;
+
+  /// Renders the table as CSV (header + rows, RFC-4180 quoting).
+  [[nodiscard]] std::string to_csv() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Streams rows to a CSV file as they are produced (benches tee results to
+/// disk so figures can be replotted without re-running).
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header. Throws on I/O failure.
+  CsvWriter(const std::string& path, std::vector<std::string> header);
+
+  void add_row(std::span<const std::string> cells);
+  void add_row_numeric(std::span<const double> values, int precision = 6);
+
+  /// Flushes and closes; called by the destructor as well.
+  void close();
+
+ private:
+  std::ofstream out_;
+  std::size_t columns_;
+};
+
+/// Quotes a cell per RFC 4180 when needed.
+[[nodiscard]] std::string csv_escape(const std::string& cell);
+
+/// Fixed-precision double formatting ("0.5321").
+[[nodiscard]] std::string format_double(double value, int precision = 4);
+
+}  // namespace gridbw

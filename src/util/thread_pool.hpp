@@ -1,0 +1,73 @@
+// gridbw/util/thread_pool.hpp
+//
+// A fixed-size worker pool with a blocking task queue, plus a deterministic
+// parallel_for_index used by the experiment harness to fan Monte-Carlo
+// replications out across cores. The algorithms themselves stay sequential
+// (they are online schedulers); parallelism lives at the replication level,
+// where streams are pre-derived per index so that parallel and serial
+// execution give identical results.
+
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace gridbw {
+
+/// Fixed pool of worker threads consuming a FIFO task queue.
+class ThreadPool {
+ public:
+  /// Creates `threads` workers; 0 means std::thread::hardware_concurrency()
+  /// (at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+
+  /// Drains outstanding tasks, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t thread_count() const { return workers_.size(); }
+
+  /// Enqueues a task; the returned future rethrows any task exception.
+  template <typename F>
+  [[nodiscard]] std::future<std::invoke_result_t<F>> submit(F&& fn) {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    auto future = task->get_future();
+    {
+      std::lock_guard lock{mutex_};
+      if (stopping_) throw std::runtime_error{"ThreadPool: submit after shutdown"};
+      queue_.emplace([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return future;
+  }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_{false};
+};
+
+/// Runs body(i) for i in [0, count) on `pool`, blocking until all complete.
+/// Exceptions from any iteration are rethrown (the first one encountered in
+/// index order). Iterations must not depend on execution order.
+void parallel_for_index(ThreadPool& pool, std::size_t count,
+                        const std::function<void(std::size_t)>& body);
+
+/// Serial fallback with the same signature, for --threads=1 paths and tests.
+void serial_for_index(std::size_t count, const std::function<void(std::size_t)>& body);
+
+}  // namespace gridbw

@@ -1,0 +1,25 @@
+// gridbw/workload/generator.hpp
+//
+// Samples a concrete request set from a WorkloadSpec. Generation is a pure
+// function of (spec, rng): the same seed always produces the same workload.
+
+#pragma once
+
+#include <vector>
+
+#include "core/request.hpp"
+#include "workload/spec.hpp"
+
+namespace gridbw::workload {
+
+/// Draws all requests of one simulation run. Arrival times are a Poisson
+/// process truncated at the horizon; requests are returned in arrival order
+/// with consecutive ids starting at spec.first_id.
+[[nodiscard]] std::vector<Request> generate(const WorkloadSpec& spec, Rng& rng);
+
+/// Single-request draw at a given arrival time (used by the online control
+/// plane substrate, which generates arrivals on the simulator clock).
+[[nodiscard]] Request sample_request(const WorkloadSpec& spec, Rng& rng, RequestId id,
+                                     TimePoint arrival);
+
+}  // namespace gridbw::workload

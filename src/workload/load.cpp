@@ -1,0 +1,48 @@
+#include "workload/load.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace gridbw::workload {
+
+double demand_ratio(std::span<const Request> requests, const Network& network) {
+  const Bandwidth demand = total_demand(requests);
+  const Bandwidth capacity = network.total_capacity() / 2.0;
+  return demand / capacity;
+}
+
+double offered_load(std::span<const Request> requests, const Network& network) {
+  if (requests.empty()) return 0.0;
+  Volume total = Volume::zero();
+  TimePoint first = TimePoint::infinity();
+  TimePoint last = TimePoint::origin();
+  for (const Request& r : requests) {
+    total += r.volume;
+    first = min(first, r.release);
+    last = max(last, r.deadline);
+  }
+  const Duration span = last - first;
+  if (!span.is_positive()) return 0.0;
+  const Bandwidth capacity = network.total_capacity() / 2.0;
+  return (total / span) / capacity;
+}
+
+double expected_offered_load(const WorkloadSpec& spec, const Network& network) {
+  const double lambda = 1.0 / spec.mean_interarrival.to_seconds();
+  const Bandwidth capacity = network.total_capacity() / 2.0;
+  return lambda * spec.volumes.mean().to_bytes() /
+         capacity.to_bytes_per_second();
+}
+
+Duration interarrival_for_load(const WorkloadSpec& spec, const Network& network,
+                               double target_load) {
+  if (!(target_load > 0.0)) {
+    throw std::invalid_argument{"interarrival_for_load: target must be positive"};
+  }
+  const Bandwidth capacity = network.total_capacity() / 2.0;
+  const double lambda =
+      target_load * capacity.to_bytes_per_second() / spec.volumes.mean().to_bytes();
+  return Duration::seconds(1.0 / lambda);
+}
+
+}  // namespace gridbw::workload

@@ -1,0 +1,49 @@
+// gridbw/workload/load.hpp
+//
+// Load accounting. The paper (§4.3) defines system load as
+//
+//     load = sum_r bw(r)  /  (1/2) (sum_i B_in(i) + sum_e B_out(e))
+//
+// i.e. total demanded bandwidth over scaled capacity. For a workload spread
+// over a time horizon the steady-state analogue is the *offered load*: the
+// expected aggregate bandwidth demanded at one instant,
+//
+//     offered = lambda * E[vol] / ((1/2) total capacity)
+//
+// because each arrival holds MinRate(r) for vol(r)/MinRate(r) seconds, so
+// by Little's law the expected demand in flight is lambda * E[vol].
+// Both quantities are provided, plus the inverse mapping used by the
+// benches to hit a target load by choosing the arrival rate.
+
+#pragma once
+
+#include <span>
+
+#include "core/network.hpp"
+#include "core/request.hpp"
+#include "workload/spec.hpp"
+
+namespace gridbw::workload {
+
+/// The paper's §4.3 ratio over a concrete request set (demand counted at
+/// MinRate, the rate a rigid request actually asks for).
+[[nodiscard]] double demand_ratio(std::span<const Request> requests,
+                                  const Network& network);
+
+/// Time-normalized offered load of a request set over the window that spans
+/// all requests: sum_r vol(r) / (makespan * total_capacity / 2).
+[[nodiscard]] double offered_load(std::span<const Request> requests,
+                                  const Network& network);
+
+/// Expected instantaneous offered load of a spec on a network
+/// (lambda * E[vol] / (C/2)).
+[[nodiscard]] double expected_offered_load(const WorkloadSpec& spec,
+                                           const Network& network);
+
+/// Mean inter-arrival time that makes `spec` offer `target_load` on
+/// `network`. Throws if target_load <= 0.
+[[nodiscard]] Duration interarrival_for_load(const WorkloadSpec& spec,
+                                             const Network& network,
+                                             double target_load);
+
+}  // namespace gridbw::workload

@@ -1,0 +1,83 @@
+#include "workload/mixture.hpp"
+
+#include <stdexcept>
+
+#include "workload/generator.hpp"
+
+namespace gridbw::workload {
+
+std::vector<Request> MixtureTrace::of_class(std::size_t k) const {
+  std::vector<Request> out;
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    if (class_of[i] == k) out.push_back(requests[i]);
+  }
+  return out;
+}
+
+MixtureTrace generate_mixture(const MixtureSpec& spec, Rng& rng) {
+  if (spec.classes.empty()) {
+    throw std::invalid_argument{"generate_mixture: no traffic classes"};
+  }
+  if (!spec.mean_interarrival.is_positive()) {
+    throw std::invalid_argument{"generate_mixture: mean inter-arrival must be positive"};
+  }
+  std::vector<double> weights;
+  weights.reserve(spec.classes.size());
+  for (const TrafficClass& c : spec.classes) {
+    if (c.weight < 0.0) throw std::invalid_argument{"generate_mixture: negative weight"};
+    weights.push_back(c.weight);
+  }
+
+  MixtureTrace trace;
+  RequestId id = spec.first_id;
+  TimePoint t = TimePoint::origin() + rng.exponential_duration(spec.mean_interarrival);
+  const TimePoint end = TimePoint::origin() + spec.horizon;
+  while (t < end) {
+    const std::size_t k = rng.pick_weighted(weights);
+    const TrafficClass& cls = spec.classes[k];
+    // Reuse the single-class sampler through a per-class WorkloadSpec view.
+    WorkloadSpec view;
+    view.ingress_count = spec.ingress_count;
+    view.egress_count = spec.egress_count;
+    view.volumes = cls.volumes;
+    view.min_host_rate = cls.min_host_rate;
+    view.max_host_rate = cls.max_host_rate;
+    view.slack = cls.slack;
+    trace.requests.push_back(sample_request(view, rng, id++, t));
+    trace.class_of.push_back(k);
+    t += rng.exponential_duration(spec.mean_interarrival);
+  }
+  return trace;
+}
+
+MixtureSpec mice_and_elephants(Duration mean_interarrival, Duration horizon,
+                               double mice_fraction) {
+  if (mice_fraction < 0.0 || mice_fraction > 1.0) {
+    throw std::invalid_argument{"mice_and_elephants: fraction outside [0,1]"};
+  }
+  TrafficClass mice;
+  mice.name = "mice";
+  mice.weight = mice_fraction;
+  std::vector<Volume> small;
+  for (int mb : {10, 20, 50, 100, 200, 500}) small.push_back(Volume::megabytes(mb));
+  mice.volumes = VolumeLaw{std::move(small)};
+  mice.min_host_rate = Bandwidth::megabytes_per_second(10);
+  mice.max_host_rate = Bandwidth::megabytes_per_second(100);
+  mice.slack = SlackLaw::flexible(1.0, 8.0);
+
+  TrafficClass elephants;
+  elephants.name = "elephants";
+  elephants.weight = 1.0 - mice_fraction;
+  elephants.volumes = VolumeLaw::paper();
+  elephants.min_host_rate = Bandwidth::megabytes_per_second(10);
+  elephants.max_host_rate = Bandwidth::gigabytes_per_second(1);
+  elephants.slack = SlackLaw::flexible(1.0, 4.0);
+
+  MixtureSpec spec;
+  spec.mean_interarrival = mean_interarrival;
+  spec.horizon = horizon;
+  spec.classes = {std::move(mice), std::move(elephants)};
+  return spec;
+}
+
+}  // namespace gridbw::workload

@@ -1,0 +1,59 @@
+// gridbw/workload/mixture.hpp
+//
+// Heterogeneous traffic mixtures. The paper's related-work section (§6)
+// assumes "grid bulk data are separated from the rest of the traffic
+// (mice)"; this module generates the mixed population — interactive mice
+// (megabytes, tight windows) interleaved with bulk elephants (the paper's
+// GB/TB law) — so that the separation assumption itself can be measured
+// (bench/mice_elephants).
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/request.hpp"
+#include "workload/spec.hpp"
+
+namespace gridbw::workload {
+
+/// One traffic class of a mixture.
+struct TrafficClass {
+  std::string name;
+  /// Relative share of arrivals (normalized over the mixture).
+  double weight{1.0};
+  VolumeLaw volumes{VolumeLaw::paper()};
+  Bandwidth min_host_rate{Bandwidth::megabytes_per_second(10)};
+  Bandwidth max_host_rate{Bandwidth::gigabytes_per_second(1)};
+  SlackLaw slack{SlackLaw::flexible(1.0, 4.0)};
+};
+
+struct MixtureSpec {
+  std::size_t ingress_count{10};
+  std::size_t egress_count{10};
+  /// Poisson arrivals of the *combined* stream.
+  Duration mean_interarrival{Duration::seconds(1)};
+  Duration horizon{Duration::seconds(1000)};
+  std::vector<TrafficClass> classes;
+  RequestId first_id{1};
+};
+
+/// A generated mixture: the requests plus each request's class index.
+struct MixtureTrace {
+  std::vector<Request> requests;
+  std::vector<std::size_t> class_of;  // parallel to requests
+
+  /// Requests belonging to class `k` (copy).
+  [[nodiscard]] std::vector<Request> of_class(std::size_t k) const;
+};
+
+[[nodiscard]] MixtureTrace generate_mixture(const MixtureSpec& spec, Rng& rng);
+
+/// The §6 scenario: `mice_fraction` of arrivals are mice (10..500 MB,
+/// host rates 10..100 MB/s, slack up to 8), the rest are the paper's bulk
+/// elephants (slack up to 4). Class 0 = mice, class 1 = elephants.
+[[nodiscard]] MixtureSpec mice_and_elephants(Duration mean_interarrival,
+                                             Duration horizon,
+                                             double mice_fraction = 0.8);
+
+}  // namespace gridbw::workload

@@ -1,0 +1,54 @@
+#include "workload/scenario.hpp"
+
+namespace gridbw::workload {
+namespace {
+
+constexpr std::size_t kPaperPorts = 10;
+const Bandwidth kPaperPortCapacity = Bandwidth::gigabytes_per_second(1);
+
+WorkloadSpec paper_spec(Duration mean_interarrival, Duration horizon, SlackLaw slack) {
+  WorkloadSpec spec;
+  spec.ingress_count = kPaperPorts;
+  spec.egress_count = kPaperPorts;
+  spec.mean_interarrival = mean_interarrival;
+  spec.horizon = horizon;
+  spec.volumes = VolumeLaw::paper();
+  spec.min_host_rate = Bandwidth::megabytes_per_second(10);
+  spec.max_host_rate = Bandwidth::gigabytes_per_second(1);
+  spec.slack = slack;
+  return spec;
+}
+
+}  // namespace
+
+Scenario paper_rigid(Duration mean_interarrival, Duration horizon) {
+  Scenario s{"paper-rigid",
+             Network::uniform(kPaperPorts, kPaperPorts, kPaperPortCapacity),
+             paper_spec(mean_interarrival, horizon, SlackLaw::rigid())};
+  // §4.3 windows: drawn independently of the volume (5 min .. 2 h), so the
+  // demanded rate vol/window spans tiny trickles to port-saturating hogs —
+  // the regime where the *-SLOTS cost factors separate (Fig. 4).
+  s.spec.independent_rigid_window =
+      std::make_pair(Duration::minutes(5), Duration::hours(2));
+  return s;
+}
+
+Scenario paper_flexible(Duration mean_interarrival, Duration horizon, double max_slack) {
+  return Scenario{"paper-flexible",
+                  Network::uniform(kPaperPorts, kPaperPorts, kPaperPortCapacity),
+                  paper_spec(mean_interarrival, horizon,
+                             SlackLaw::flexible(1.0, max_slack))};
+}
+
+Scenario paper_flexible_heavy(Duration mean_interarrival) {
+  // Fig. 5: mean inter-arrival 0.1 .. 5 s, a massively overloaded network.
+  // A 1000 s horizon keeps runs tractable while reaching steady overload.
+  return paper_flexible(mean_interarrival, Duration::seconds(1000), 4.0);
+}
+
+Scenario paper_flexible_light(Duration mean_interarrival) {
+  // Fig. 6 right: mean inter-arrival 3 .. 20 s.
+  return paper_flexible(mean_interarrival, Duration::seconds(4000), 4.0);
+}
+
+}  // namespace gridbw::workload

@@ -1,0 +1,37 @@
+// gridbw/workload/scenario.hpp
+//
+// Named (network, workload) presets matching the paper's simulation
+// settings. Every bench builds on one of these so that "the paper's
+// platform" is defined in exactly one place.
+
+#pragma once
+
+#include "core/network.hpp"
+#include "workload/spec.hpp"
+
+namespace gridbw::workload {
+
+struct Scenario {
+  std::string name;
+  Network network;
+  WorkloadSpec spec;
+};
+
+/// §4.3 platform: 10 ingress + 10 egress points at 1 GB/s each, paper
+/// volume law, rigid windows (slack = 1), host rates 10 MB/s .. 1 GB/s.
+/// `mean_interarrival` controls load; `horizon` bounds the run.
+[[nodiscard]] Scenario paper_rigid(Duration mean_interarrival, Duration horizon);
+
+/// §5.3 platform: same ports, flexible windows. Transmission times range
+/// from minutes to ~a day via the volume/rate laws; slack in [1, max_slack]
+/// (default 4: deadlines up to 4x the fastest transfer).
+[[nodiscard]] Scenario paper_flexible(Duration mean_interarrival, Duration horizon,
+                                      double max_slack = 4.0);
+
+/// Heavy-load preset of Fig. 5 (mean inter-arrival 0.1..5 s).
+[[nodiscard]] Scenario paper_flexible_heavy(Duration mean_interarrival);
+
+/// Under-loaded preset of Fig. 6 (mean inter-arrival 3..20 s).
+[[nodiscard]] Scenario paper_flexible_light(Duration mean_interarrival);
+
+}  // namespace gridbw::workload

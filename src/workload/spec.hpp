@@ -1,0 +1,77 @@
+// gridbw/workload/spec.hpp
+//
+// Declarative description of a synthetic workload, mirroring the paper's
+// simulation settings (§4.3, §5.3):
+//
+//  * Poisson arrivals (exponential inter-arrival with a given mean) over a
+//    finite horizon;
+//  * volumes from a discrete law (default: the paper's GB/TB set);
+//  * per-request host limit MaxRate uniform in [10 MB/s, 1 GB/s];
+//  * a window-slack law turning (volume, MaxRate) into the requested
+//    window: window = slack * vol / MaxRate. slack == 1 gives rigid
+//    requests (MinRate == MaxRate); slack > 1 gives flexible ones.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "core/ids.hpp"
+#include "workload/volume_law.hpp"
+
+namespace gridbw::workload {
+
+/// How much longer the requested window is than the fastest possible
+/// transfer. Sampled uniformly in [min_slack, max_slack].
+struct SlackLaw {
+  double min_slack{1.0};
+  double max_slack{1.0};
+
+  [[nodiscard]] static SlackLaw rigid() { return SlackLaw{1.0, 1.0}; }
+  [[nodiscard]] static SlackLaw flexible(double min_s, double max_s) {
+    return SlackLaw{min_s, max_s};
+  }
+  [[nodiscard]] double sample(Rng& rng) const {
+    return min_slack == max_slack ? min_slack : rng.uniform(min_slack, max_slack);
+  }
+  [[nodiscard]] double mean() const { return (min_slack + max_slack) / 2.0; }
+};
+
+struct WorkloadSpec {
+  /// Endpoint universe (requests pick ingress/egress uniformly).
+  std::size_t ingress_count{10};
+  std::size_t egress_count{10};
+
+  /// Poisson arrival process: mean inter-arrival time, arrivals in
+  /// [0, horizon).
+  Duration mean_interarrival{Duration::seconds(1.0)};
+  Duration horizon{Duration::seconds(1000.0)};
+
+  VolumeLaw volumes{VolumeLaw::paper()};
+
+  /// MaxRate(r) ~ Uniform[min_host_rate, max_host_rate] (paper §5.3:
+  /// 10 MB/s .. 1 GB/s).
+  Bandwidth min_host_rate{Bandwidth::megabytes_per_second(10)};
+  Bandwidth max_host_rate{Bandwidth::gigabytes_per_second(1)};
+
+  SlackLaw slack{SlackLaw::rigid()};
+
+  /// Alternative window model for rigid studies (§4.3): when set, the
+  /// window length is drawn uniformly in [first, second] *independently* of
+  /// the volume, and the request is rigid with
+  /// MaxRate = MinRate = vol / window. A draw whose implied rate exceeds
+  /// max_host_rate is stretched to the host limit. Overrides `slack`.
+  std::optional<std::pair<Duration, Duration>> independent_rigid_window;
+
+  /// First request id to assign (requests are numbered consecutively).
+  RequestId first_id{1};
+
+  /// Expected number of arrivals.
+  [[nodiscard]] double expected_count() const {
+    return horizon / mean_interarrival;
+  }
+};
+
+}  // namespace gridbw::workload

@@ -1,0 +1,28 @@
+// gridbw/workload/trace.hpp
+//
+// CSV persistence for request sets, so generated workloads can be archived,
+// diffed, and replayed across heuristics (every algorithm sees the exact
+// same trace).
+
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/request.hpp"
+
+namespace gridbw::workload {
+
+/// Writes requests as CSV with a fixed header:
+/// id,ingress,egress,release_s,deadline_s,volume_bytes,max_rate_bps
+void write_trace(std::ostream& os, std::span<const Request> requests);
+void write_trace_file(const std::string& path, std::span<const Request> requests);
+
+/// Reads a trace written by write_trace. Throws std::runtime_error on
+/// malformed input (wrong header, bad field counts, non-numeric cells,
+/// ill-formed requests).
+[[nodiscard]] std::vector<Request> read_trace(std::istream& is);
+[[nodiscard]] std::vector<Request> read_trace_file(const std::string& path);
+
+}  // namespace gridbw::workload

@@ -1,0 +1,35 @@
+#include "workload/volume_law.hpp"
+
+#include <stdexcept>
+
+namespace gridbw::workload {
+
+VolumeLaw::VolumeLaw(std::vector<Volume> support) : support_{std::move(support)} {
+  if (support_.empty()) throw std::invalid_argument{"VolumeLaw: empty support"};
+  for (Volume v : support_) {
+    if (!v.is_positive()) throw std::invalid_argument{"VolumeLaw: non-positive volume"};
+  }
+}
+
+VolumeLaw VolumeLaw::paper() {
+  std::vector<Volume> support;
+  support.reserve(19);
+  for (int gb = 10; gb <= 90; gb += 10) support.push_back(Volume::gigabytes(gb));
+  for (int gb = 100; gb <= 900; gb += 100) support.push_back(Volume::gigabytes(gb));
+  support.push_back(Volume::terabytes(1));
+  return VolumeLaw{std::move(support)};
+}
+
+VolumeLaw VolumeLaw::constant(Volume v) { return VolumeLaw{{v}}; }
+
+Volume VolumeLaw::sample(Rng& rng) const {
+  return rng.pick(std::span<const Volume>{support_});
+}
+
+Volume VolumeLaw::mean() const {
+  Volume total = Volume::zero();
+  for (Volume v : support_) total += v;
+  return total / static_cast<double>(support_.size());
+}
+
+}  // namespace gridbw::workload

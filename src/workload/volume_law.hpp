@@ -1,0 +1,37 @@
+// gridbw/workload/volume_law.hpp
+//
+// The paper's request-volume distribution (§4.3): volumes drawn uniformly
+// from the discrete set {10, 20, ..., 90 GB, 100, 200, ..., 900 GB, 1 TB}.
+
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "util/quantity.hpp"
+#include "util/random.hpp"
+
+namespace gridbw::workload {
+
+/// A discrete volume distribution: uniform over an explicit support.
+class VolumeLaw {
+ public:
+  /// Uniform over the given support (must be non-empty, all positive).
+  explicit VolumeLaw(std::vector<Volume> support);
+
+  /// The paper's set: {10..90 GB step 10, 100..900 GB step 100, 1 TB}.
+  [[nodiscard]] static VolumeLaw paper();
+
+  /// Degenerate law: always `v` (unit-request studies, tests).
+  [[nodiscard]] static VolumeLaw constant(Volume v);
+
+  [[nodiscard]] Volume sample(Rng& rng) const;
+
+  [[nodiscard]] Volume mean() const;
+  [[nodiscard]] std::span<const Volume> support() const { return support_; }
+
+ private:
+  std::vector<Volume> support_;
+};
+
+}  // namespace gridbw::workload

@@ -1,0 +1,181 @@
+// Tests for the exact branch-and-bound solvers, plus heuristic-vs-optimal
+// dominance properties on random small instances.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/validate.hpp"
+#include "exact/bnb.hpp"
+#include "heuristics/registry.hpp"
+#include "workload/generator.hpp"
+
+namespace gridbw::exact {
+namespace {
+
+TimePoint at(double s) { return TimePoint::at_seconds(s); }
+Bandwidth mbps(double m) { return Bandwidth::megabytes_per_second(m); }
+
+Request rigid(RequestId id, double ts, double len, double rate_mbps, std::size_t in = 0,
+              std::size_t out = 0) {
+  return RequestBuilder{id}
+      .from(IngressId{in})
+      .to(EgressId{out})
+      .rigid(at(ts), Duration::seconds(len), mbps(rate_mbps))
+      .build();
+}
+
+TEST(RigidOptimal, EmptyInstance) {
+  const Network net = Network::uniform(1, 1, mbps(100));
+  const auto out = solve_rigid_optimal(net, std::vector<Request>{});
+  EXPECT_TRUE(out.proven_optimal);
+  EXPECT_EQ(out.result.accepted_count(), 0u);
+}
+
+TEST(RigidOptimal, AcceptsAllWhenFeasible) {
+  const Network net = Network::uniform(1, 1, mbps(100));
+  const std::vector<Request> rs{rigid(1, 0, 10, 50), rigid(2, 0, 10, 50),
+                                rigid(3, 10, 10, 100)};
+  const auto out = solve_rigid_optimal(net, rs);
+  EXPECT_TRUE(out.proven_optimal);
+  EXPECT_EQ(out.result.accepted_count(), 3u);
+}
+
+TEST(RigidOptimal, PicksTheBetterSubset) {
+  const Network net = Network::uniform(1, 1, mbps(100));
+  // One 100 MB/s hog vs two 50 MB/s requests over the same window: the
+  // optimum takes the pair.
+  const std::vector<Request> rs{rigid(1, 0, 10, 100), rigid(2, 0, 10, 50),
+                                rigid(3, 0, 10, 50)};
+  const auto out = solve_rigid_optimal(net, rs);
+  EXPECT_TRUE(out.proven_optimal);
+  EXPECT_EQ(out.result.accepted_count(), 2u);
+  EXPECT_FALSE(out.result.schedule.is_accepted(1));
+}
+
+TEST(RigidOptimal, ProducesValidSchedules) {
+  const Network net = Network::uniform(2, 2, mbps(100));
+  std::vector<Request> rs;
+  Rng rng{41};
+  for (RequestId id = 1; id <= 12; ++id) {
+    rs.push_back(rigid(id, rng.uniform(0, 50), rng.uniform(5, 30),
+                       rng.uniform(20, 90),
+                       static_cast<std::size_t>(rng.uniform_int(0, 1)),
+                       static_cast<std::size_t>(rng.uniform_int(0, 1))));
+  }
+  const auto out = solve_rigid_optimal(net, rs);
+  EXPECT_TRUE(out.proven_optimal);
+  const auto report = validate_schedule(net, rs, out.result.schedule);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+TEST(RigidOptimal, NodeBudgetTerminatesSearch) {
+  const Network net = Network::uniform(2, 2, mbps(100));
+  std::vector<Request> rs;
+  Rng rng{42};
+  for (RequestId id = 1; id <= 18; ++id) {
+    rs.push_back(rigid(id, rng.uniform(0, 20), rng.uniform(5, 30), rng.uniform(20, 60),
+                       static_cast<std::size_t>(rng.uniform_int(0, 1)),
+                       static_cast<std::size_t>(rng.uniform_int(0, 1))));
+  }
+  ExactOptions opt;
+  opt.max_nodes = 50;
+  const auto out = solve_rigid_optimal(net, rs, opt);
+  EXPECT_FALSE(out.proven_optimal);
+  EXPECT_LE(out.nodes_expanded, 51u);
+  // Even truncated, the incumbent must be a valid schedule.
+  EXPECT_TRUE(validate_schedule(net, rs, out.result.schedule).ok());
+}
+
+TEST(FlexibleOptimal, UsesLaterStartWhenItHelps) {
+  const Network net = Network::uniform(1, 1, mbps(100));
+  // r1 is rigid on [0, 10]. r2 (duration 10 at MaxRate) has window [0, 20]:
+  // only a delayed start at t=10 fits both.
+  std::vector<Request> rs{rigid(1, 0, 10, 100)};
+  rs.push_back(RequestBuilder{2}
+                   .from(IngressId{0})
+                   .to(EgressId{0})
+                   .window(at(0), at(20))
+                   .volume(mbps(100) * Duration::seconds(10))
+                   .max_rate(mbps(100))
+                   .build());
+  const auto out = solve_flexible_optimal(net, rs, Duration::seconds(5));
+  EXPECT_TRUE(out.proven_optimal);
+  EXPECT_EQ(out.result.accepted_count(), 2u);
+  const auto a2 = out.result.schedule.assignment(2);
+  ASSERT_TRUE(a2.has_value());
+  EXPECT_EQ(a2->start, at(10));
+}
+
+TEST(FlexibleOptimal, DominatesRigidOptimal) {
+  // The flexible relaxation (start times may shift) can only accept more.
+  const Network net = Network::uniform(2, 2, mbps(100));
+  Rng rng{43};
+  std::vector<Request> rs;
+  for (RequestId id = 1; id <= 10; ++id) {
+    const double fastest = rng.uniform(5, 20);
+    const Bandwidth rate = mbps(rng.uniform(30, 100));
+    const double ts = rng.uniform(0, 30);
+    rs.push_back(RequestBuilder{id}
+                     .from(IngressId{static_cast<std::size_t>(rng.uniform_int(0, 1))})
+                     .to(EgressId{static_cast<std::size_t>(rng.uniform_int(0, 1))})
+                     .window(at(ts), at(ts + 2.0 * fastest))
+                     .volume(rate * Duration::seconds(fastest))
+                     .max_rate(rate)
+                     .build());
+  }
+  const auto flexible = solve_flexible_optimal(net, rs, Duration::seconds(5));
+  ASSERT_TRUE(flexible.proven_optimal);
+  EXPECT_TRUE(validate_schedule(net, rs, flexible.result.schedule).ok());
+
+  // Rigid variant of the same set: force MinRate == MaxRate over the window.
+  std::vector<Request> rigid_rs;
+  for (const Request& r : rs) {
+    Request c = r;
+    c.max_rate = c.min_rate();
+    rigid_rs.push_back(c);
+  }
+  const auto rigid_opt = solve_rigid_optimal(net, rigid_rs);
+  ASSERT_TRUE(rigid_opt.proven_optimal);
+  EXPECT_GE(flexible.result.accepted_count(), rigid_opt.result.accepted_count());
+}
+
+TEST(FlexibleOptimal, RejectsNonPositiveStep) {
+  const Network net = Network::uniform(1, 1, mbps(100));
+  EXPECT_THROW(
+      (void)solve_flexible_optimal(net, std::vector<Request>{}, Duration::zero()),
+      std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Dominance property: no heuristic beats the proven optimum, on random
+// small rigid instances.
+// ---------------------------------------------------------------------------
+
+class HeuristicsNeverBeatOptimal : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(HeuristicsNeverBeatOptimal, OnRandomSmallInstances) {
+  Rng rng{GetParam()};
+  const Network net = Network::uniform(3, 3, mbps(100));
+  std::vector<Request> rs;
+  const auto count = static_cast<RequestId>(rng.uniform_int(6, 14));
+  for (RequestId id = 1; id <= count; ++id) {
+    rs.push_back(rigid(id, rng.uniform(0, 40), rng.uniform(5, 25), rng.uniform(20, 100),
+                       static_cast<std::size_t>(rng.uniform_int(0, 2)),
+                       static_cast<std::size_t>(rng.uniform_int(0, 2))));
+  }
+  const auto optimal = solve_rigid_optimal(net, rs);
+  ASSERT_TRUE(optimal.proven_optimal);
+  for (const auto& h : heuristics::rigid_schedulers()) {
+    const auto result = h.run(net, rs);
+    EXPECT_LE(result.accepted_count(), optimal.result.accepted_count())
+        << h.name << " 'beat' the optimum: its schedule must be infeasible";
+    EXPECT_TRUE(validate_schedule(net, rs, result.schedule).ok()) << h.name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, HeuristicsNeverBeatOptimal,
+                         ::testing::Values(101, 102, 103, 104, 105, 106));
+
+}  // namespace
+}  // namespace gridbw::exact

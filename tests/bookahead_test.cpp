@@ -1,0 +1,131 @@
+// Tests for the book-ahead (advance reservation) scheduler.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/validate.hpp"
+#include "heuristics/flexible_bookahead.hpp"
+#include "heuristics/flexible_window.hpp"
+#include "workload/generator.hpp"
+#include "workload/scenario.hpp"
+
+namespace gridbw::heuristics {
+namespace {
+
+TimePoint at(double s) { return TimePoint::at_seconds(s); }
+Bandwidth mbps(double m) { return Bandwidth::megabytes_per_second(m); }
+
+Request flexible(RequestId id, double ts, double fastest, double max_mbps, double slack,
+                 std::size_t in = 0, std::size_t out = 0) {
+  const Volume vol = mbps(max_mbps) * Duration::seconds(fastest);
+  return RequestBuilder{id}
+      .from(IngressId{in})
+      .to(EgressId{out})
+      .window(at(ts), at(ts + fastest * slack))
+      .volume(vol)
+      .max_rate(mbps(max_mbps))
+      .build();
+}
+
+TEST(BookAhead, PlacesConflictingRequestInAFutureInterval) {
+  const Network net = Network::uniform(1, 1, mbps(100));
+  // Two full-port transfers arriving together, each 10 s long at MaxRate,
+  // with deadlines far out. Plain WINDOW rejects the second; book-ahead
+  // schedules it one interval later.
+  const std::vector<Request> rs{flexible(1, 0, 10, 100, 20.0),
+                                flexible(2, 1, 10, 100, 20.0)};
+  BookAheadOptions opt;
+  opt.step = Duration::seconds(10);
+  opt.policy = BandwidthPolicy::fraction_of_max(1.0);
+  opt.max_book_ahead = 3;
+  const auto result = schedule_flexible_bookahead(net, rs, opt);
+  EXPECT_EQ(result.accepted_count(), 2u);
+  const auto a1 = result.schedule.assignment(1);
+  const auto a2 = result.schedule.assignment(2);
+  ASSERT_TRUE(a1.has_value() && a2.has_value());
+  EXPECT_NE(a1->start, a2->start);
+
+  WindowOptions plain;
+  plain.step = opt.step;
+  plain.policy = opt.policy;
+  const auto window = schedule_flexible_window(net, rs, plain);
+  EXPECT_EQ(window.accepted_count(), 1u);
+}
+
+TEST(BookAhead, ZeroAheadBehavesLikeStartNowOrReject) {
+  const Network net = Network::uniform(1, 1, mbps(100));
+  const std::vector<Request> rs{flexible(1, 0, 10, 100, 20.0),
+                                flexible(2, 1, 10, 100, 20.0)};
+  BookAheadOptions opt;
+  opt.step = Duration::seconds(10);
+  opt.policy = BandwidthPolicy::fraction_of_max(1.0);
+  opt.max_book_ahead = 0;
+  const auto result = schedule_flexible_bookahead(net, rs, opt);
+  EXPECT_EQ(result.accepted_count(), 1u);
+}
+
+TEST(BookAhead, RespectsDeadlinesWhenDeferring) {
+  const Network net = Network::uniform(1, 1, mbps(100));
+  // The second request's deadline cannot survive a one-interval deferral.
+  const std::vector<Request> rs{flexible(1, 0, 10, 100, 20.0),
+                                flexible(2, 1, 10, 100, 1.5)};
+  BookAheadOptions opt;
+  opt.step = Duration::seconds(10);
+  opt.policy = BandwidthPolicy::fraction_of_max(1.0);
+  opt.max_book_ahead = 5;
+  const auto result = schedule_flexible_bookahead(net, rs, opt);
+  const auto report = validate_schedule(net, rs, result.schedule);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+  EXPECT_TRUE(result.schedule.is_accepted(1));
+  EXPECT_FALSE(result.schedule.is_accepted(2));
+}
+
+TEST(BookAhead, MoreAheadNeverHurtsOnSaturatedPort) {
+  const Network net = Network::uniform(1, 1, mbps(100));
+  std::vector<Request> rs;
+  for (RequestId id = 1; id <= 6; ++id) {
+    rs.push_back(flexible(id, static_cast<double>(id) * 0.5, 10, 100, 40.0));
+  }
+  std::size_t previous = 0;
+  for (const std::size_t ahead : {0u, 2u, 5u}) {
+    BookAheadOptions opt;
+    opt.step = Duration::seconds(10);
+    opt.policy = BandwidthPolicy::fraction_of_max(1.0);
+    opt.max_book_ahead = ahead;
+    const auto result = schedule_flexible_bookahead(net, rs, opt);
+    EXPECT_GE(result.accepted_count(), previous) << "ahead=" << ahead;
+    previous = result.accepted_count();
+    EXPECT_TRUE(validate_schedule(net, rs, result.schedule).ok());
+  }
+  EXPECT_EQ(previous, 6u);  // with ahead=5 everything fits back-to-back
+}
+
+TEST(BookAhead, SchedulesAreAlwaysFeasible) {
+  const workload::Scenario scenario =
+      workload::paper_flexible(Duration::seconds(1), Duration::seconds(400), 4.0);
+  for (const std::uint64_t seed : {401u, 402u, 403u}) {
+    Rng rng{seed};
+    const auto requests = workload::generate(scenario.spec, rng);
+    BookAheadOptions opt;
+    opt.step = Duration::seconds(100);
+    opt.policy = BandwidthPolicy::fraction_of_max(0.8);
+    opt.max_book_ahead = 6;
+    const auto result =
+        schedule_flexible_bookahead(scenario.network, requests, opt);
+    EXPECT_EQ(result.accepted_count() + result.rejected.size(), requests.size());
+    const auto report = validate_schedule(scenario.network, requests, result.schedule);
+    EXPECT_TRUE(report.ok()) << report.to_string();
+  }
+}
+
+TEST(BookAhead, RejectsNonPositiveStep) {
+  const Network net = Network::uniform(1, 1, mbps(100));
+  BookAheadOptions opt;
+  opt.step = Duration::zero();
+  EXPECT_THROW((void)schedule_flexible_bookahead(net, std::vector<Request>{}, opt),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gridbw::heuristics

@@ -1,0 +1,126 @@
+// Tests for the distributed-admission extension (paper §7 future work).
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/validate.hpp"
+#include "heuristics/distributed.hpp"
+#include "heuristics/flexible_greedy.hpp"
+#include "workload/generator.hpp"
+#include "workload/scenario.hpp"
+
+namespace gridbw::heuristics {
+namespace {
+
+TimePoint at(double s) { return TimePoint::at_seconds(s); }
+Bandwidth mbps(double m) { return Bandwidth::megabytes_per_second(m); }
+
+Request flexible(RequestId id, double ts, double fastest, double max_mbps, double slack,
+                 std::size_t in, std::size_t out) {
+  const Volume vol = mbps(max_mbps) * Duration::seconds(fastest);
+  return RequestBuilder{id}
+      .from(IngressId{in})
+      .to(EgressId{out})
+      .window(at(ts), at(ts + fastest * slack))
+      .volume(vol)
+      .max_rate(mbps(max_mbps))
+      .build();
+}
+
+TEST(Distributed, FreshViewsMatchCentralizedGreedy) {
+  workload::Scenario scenario =
+      workload::paper_flexible(Duration::seconds(1), Duration::seconds(300), 4.0);
+  Rng rng{77};
+  const auto requests = workload::generate(scenario.spec, rng);
+
+  DistributedOptions opt;
+  opt.policy = BandwidthPolicy::fraction_of_max(1.0);
+  opt.sync_period = Duration::zero();
+  const auto distributed = schedule_flexible_distributed(scenario.network, requests, opt);
+  const auto centralized = schedule_flexible_greedy(scenario.network, requests,
+                                                    opt.policy);
+
+  EXPECT_EQ(distributed.egress_conflicts, 0u);
+  EXPECT_EQ(distributed.result.accepted_count(), centralized.accepted_count());
+  for (const Request& r : requests) {
+    EXPECT_EQ(distributed.result.schedule.is_accepted(r.id),
+              centralized.schedule.is_accepted(r.id));
+  }
+}
+
+TEST(Distributed, StaleViewCausesEgressConflict) {
+  const Network net = Network::uniform(2, 1, mbps(100));
+  // Two requests from different ingress routers racing for the same egress
+  // within one sync period: the second is optimistically admitted on the
+  // stale view and NACKed by enforcement.
+  const std::vector<Request> rs{flexible(1, 0.0, 10, 80, 4.0, 0, 0),
+                                flexible(2, 0.5, 10, 80, 4.0, 1, 0)};
+  DistributedOptions opt;
+  opt.policy = BandwidthPolicy::fraction_of_max(1.0);
+  opt.sync_period = Duration::seconds(100);
+  const auto out = schedule_flexible_distributed(net, rs, opt);
+  EXPECT_TRUE(out.result.schedule.is_accepted(1));
+  EXPECT_FALSE(out.result.schedule.is_accepted(2));
+  EXPECT_EQ(out.egress_conflicts, 1u);
+}
+
+TEST(Distributed, OwnIngressAlwaysExact) {
+  const Network net = Network::uniform(1, 2, mbps(100));
+  // Same ingress router for both: no staleness on the ingress side, so the
+  // second is rejected cleanly (no conflict) even with an infinite sync.
+  const std::vector<Request> rs{flexible(1, 0.0, 10, 80, 4.0, 0, 0),
+                                flexible(2, 0.5, 10, 80, 4.0, 0, 1)};
+  DistributedOptions opt;
+  opt.policy = BandwidthPolicy::fraction_of_max(1.0);
+  opt.sync_period = Duration::seconds(1e9);
+  const auto out = schedule_flexible_distributed(net, rs, opt);
+  EXPECT_TRUE(out.result.schedule.is_accepted(1));
+  EXPECT_FALSE(out.result.schedule.is_accepted(2));
+  EXPECT_EQ(out.egress_conflicts, 0u);
+}
+
+TEST(Distributed, SchedulesRemainFeasibleDespiteStaleness) {
+  workload::Scenario scenario =
+      workload::paper_flexible(Duration::seconds(0.5), Duration::seconds(300), 4.0);
+  Rng rng{78};
+  const auto requests = workload::generate(scenario.spec, rng);
+  DistributedOptions opt;
+  opt.policy = BandwidthPolicy::fraction_of_max(0.8);
+  opt.sync_period = Duration::seconds(30);
+  const auto out = schedule_flexible_distributed(scenario.network, requests, opt);
+  const auto report =
+      validate_schedule(scenario.network, requests, out.result.schedule);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+  EXPECT_EQ(out.result.accepted_count() + out.result.rejected.size(), requests.size());
+}
+
+TEST(Distributed, StalenessNeverImprovesOnCentralized) {
+  workload::Scenario scenario =
+      workload::paper_flexible(Duration::seconds(0.5), Duration::seconds(300), 4.0);
+  Rng rng{79};
+  const auto requests = workload::generate(scenario.spec, rng);
+  DistributedOptions stale;
+  stale.policy = BandwidthPolicy::fraction_of_max(1.0);
+  stale.sync_period = Duration::seconds(60);
+  const auto with_staleness =
+      schedule_flexible_distributed(scenario.network, requests, stale);
+  const auto fresh = schedule_flexible_greedy(scenario.network, requests, stale.policy);
+  // A stale view can only produce spurious NACKs/over-optimism, not find
+  // capacity the centralized greedy missed... it can, however, reject a
+  // request the centralized version accepted and thereby free room for a
+  // later one. Allow a small slack rather than strict dominance.
+  EXPECT_LE(with_staleness.result.accepted_count(),
+            fresh.accepted_count() + requests.size() / 10);
+}
+
+TEST(Distributed, RejectsNegativeSyncPeriod) {
+  const Network net = Network::uniform(1, 1, mbps(100));
+  DistributedOptions opt;
+  opt.sync_period = Duration::seconds(-1);
+  EXPECT_THROW((void)schedule_flexible_distributed(net, std::vector<Request>{}, opt),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gridbw::heuristics

@@ -1,0 +1,98 @@
+// Unit tests for the discrete-event queue.
+
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace gridbw::sim {
+namespace {
+
+TimePoint at(double s) { return TimePoint::at_seconds(s); }
+
+TEST(EventQueue, StartsEmpty) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.pending_count(), 0u);
+  EXPECT_THROW((void)q.pop(), std::logic_error);
+  EXPECT_THROW((void)q.next_time(), std::logic_error);
+}
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> fired;
+  (void)q.push(at(3), [&] { fired.push_back(3); });
+  (void)q.push(at(1), [&] { fired.push_back(1); });
+  (void)q.push(at(2), [&] { fired.push_back(2); });
+  while (!q.empty()) q.pop().action();
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, FifoAmongEqualTimes) {
+  EventQueue q;
+  std::vector<int> fired;
+  for (int i = 0; i < 5; ++i) {
+    (void)q.push(at(7), [&fired, i] { fired.push_back(i); });
+  }
+  while (!q.empty()) q.pop().action();
+  EXPECT_EQ(fired, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, NextTimeSeesEarliest) {
+  EventQueue q;
+  (void)q.push(at(5), [] {});
+  (void)q.push(at(2), [] {});
+  EXPECT_EQ(q.next_time(), at(2));
+}
+
+TEST(EventQueue, CancelPreventsDelivery) {
+  EventQueue q;
+  bool fired = false;
+  const EventId id = q.push(at(1), [&] { fired = true; });
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, CancelTwiceFails) {
+  EventQueue q;
+  const EventId id = q.push(at(1), [] {});
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_FALSE(q.cancel(id));
+  EXPECT_FALSE(q.cancel(999999));
+}
+
+TEST(EventQueue, CancelledEntrySkippedOnPop) {
+  EventQueue q;
+  std::vector<int> fired;
+  const EventId a = q.push(at(1), [&] { fired.push_back(1); });
+  (void)q.push(at(2), [&] { fired.push_back(2); });
+  EXPECT_TRUE(q.cancel(a));
+  EXPECT_EQ(q.next_time(), at(2));
+  q.pop().action();
+  EXPECT_EQ(fired, (std::vector<int>{2}));
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, PendingCountTracksLiveEvents) {
+  EventQueue q;
+  const EventId a = q.push(at(1), [] {});
+  (void)q.push(at(2), [] {});
+  EXPECT_EQ(q.pending_count(), 2u);
+  (void)q.cancel(a);
+  EXPECT_EQ(q.pending_count(), 1u);
+  (void)q.pop();
+  EXPECT_EQ(q.pending_count(), 0u);
+}
+
+TEST(EventQueue, PopReturnsTimeAndId) {
+  EventQueue q;
+  const EventId id = q.push(at(4.5), [] {});
+  const Event e = q.pop();
+  EXPECT_EQ(e.time, at(4.5));
+  EXPECT_EQ(e.id, id);
+}
+
+}  // namespace
+}  // namespace gridbw::sim

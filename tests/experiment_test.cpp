@@ -1,0 +1,104 @@
+// Tests for the replicated experiment harness: determinism across thread
+// counts, metric aggregation, error propagation.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "metrics/experiment.hpp"
+
+namespace gridbw::metrics {
+namespace {
+
+TEST(RunReplicated, AggregatesAcrossReplications) {
+  ExperimentConfig cfg;
+  cfg.replications = 10;
+  cfg.threads = 1;
+  const auto stats = run_replicated(cfg, [](Rng&, std::size_t rep) {
+    return MetricBag{{"value", static_cast<double>(rep)}};
+  });
+  const auto& value = metric(stats, "value");
+  EXPECT_EQ(value.count(), 10u);
+  EXPECT_DOUBLE_EQ(value.mean(), 4.5);
+  EXPECT_DOUBLE_EQ(value.min(), 0.0);
+  EXPECT_DOUBLE_EQ(value.max(), 9.0);
+}
+
+TEST(RunReplicated, ParallelEqualsSerialBitForBit) {
+  auto body = [](Rng& rng, std::size_t) {
+    double acc = 0.0;
+    for (int i = 0; i < 100; ++i) acc += rng.uniform01();
+    return MetricBag{{"acc", acc}};
+  };
+  ExperimentConfig serial;
+  serial.replications = 16;
+  serial.threads = 1;
+  ExperimentConfig parallel = serial;
+  parallel.threads = 4;
+  const auto a = run_replicated(serial, body);
+  const auto b = run_replicated(parallel, body);
+  EXPECT_DOUBLE_EQ(metric(a, "acc").mean(), metric(b, "acc").mean());
+  EXPECT_DOUBLE_EQ(metric(a, "acc").variance(), metric(b, "acc").variance());
+}
+
+TEST(RunReplicated, DistinctReplicationsGetDistinctStreams) {
+  ExperimentConfig cfg;
+  cfg.replications = 8;
+  cfg.threads = 1;
+  const auto stats = run_replicated(cfg, [](Rng& rng, std::size_t) {
+    return MetricBag{{"first", rng.uniform01()}};
+  });
+  // Eight independent draws cannot all coincide.
+  EXPECT_GT(metric(stats, "first").stddev(), 0.0);
+}
+
+TEST(RunReplicated, SeedChangesResults) {
+  auto body = [](Rng& rng, std::size_t) { return MetricBag{{"x", rng.uniform01()}}; };
+  ExperimentConfig a;
+  a.replications = 4;
+  a.threads = 1;
+  ExperimentConfig b = a;
+  b.base_seed = a.base_seed + 1;
+  EXPECT_NE(metric(run_replicated(a, body), "x").mean(),
+            metric(run_replicated(b, body), "x").mean());
+}
+
+TEST(RunReplicated, MultipleMetricsPerBag) {
+  ExperimentConfig cfg;
+  cfg.replications = 3;
+  cfg.threads = 1;
+  const auto stats = run_replicated(cfg, [](Rng&, std::size_t rep) {
+    return MetricBag{{"a", 1.0}, {"b", static_cast<double>(rep * 2)}};
+  });
+  EXPECT_DOUBLE_EQ(metric(stats, "a").mean(), 1.0);
+  EXPECT_DOUBLE_EQ(metric(stats, "b").mean(), 2.0);
+}
+
+TEST(RunReplicated, PropagatesBodyExceptions) {
+  ExperimentConfig cfg;
+  cfg.replications = 4;
+  cfg.threads = 2;
+  EXPECT_THROW((void)run_replicated(cfg,
+                                    [](Rng&, std::size_t rep) -> MetricBag {
+                                      if (rep == 2) throw std::runtime_error{"boom"};
+                                      return {};
+                                    }),
+               std::runtime_error);
+}
+
+TEST(RunReplicated, RejectsZeroReplications) {
+  ExperimentConfig cfg;
+  cfg.replications = 0;
+  EXPECT_THROW((void)run_replicated(cfg, [](Rng&, std::size_t) { return MetricBag{}; }),
+               std::invalid_argument);
+}
+
+TEST(Metric, ThrowsOnUnknownName) {
+  MetricStats stats;
+  stats["known"].add(1.0);
+  EXPECT_NO_THROW((void)metric(stats, "known"));
+  EXPECT_THROW((void)metric(stats, "typo"), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace gridbw::metrics

@@ -1,0 +1,73 @@
+// Unit tests for the --key=value flag parser.
+
+#include "util/flags.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gridbw {
+namespace {
+
+Flags parse(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return Flags{static_cast<int>(argv.size()), argv.data()};
+}
+
+TEST(Flags, ParsesKeyValue) {
+  const Flags f = parse({"--load=2.5", "--name=fig4"});
+  EXPECT_TRUE(f.has("load"));
+  EXPECT_DOUBLE_EQ(f.get_double("load", 0.0), 2.5);
+  EXPECT_EQ(f.get_string("name", ""), "fig4");
+}
+
+TEST(Flags, BareFlagIsTrue) {
+  const Flags f = parse({"--verbose"});
+  EXPECT_TRUE(f.get_bool("verbose", false));
+}
+
+TEST(Flags, FallbacksWhenAbsent) {
+  const Flags f = parse({});
+  EXPECT_FALSE(f.has("missing"));
+  EXPECT_EQ(f.get_int("missing", 42), 42);
+  EXPECT_DOUBLE_EQ(f.get_double("missing", 1.5), 1.5);
+  EXPECT_EQ(f.get_string("missing", "dflt"), "dflt");
+  EXPECT_TRUE(f.get_bool("missing", true));
+}
+
+TEST(Flags, IntParsing) {
+  const Flags f = parse({"--reps=32", "--neg=-7"});
+  EXPECT_EQ(f.get_int("reps", 0), 32);
+  EXPECT_EQ(f.get_int("neg", 0), -7);
+}
+
+TEST(Flags, BoolVariants) {
+  const Flags f = parse({"--a=true", "--b=1", "--c=yes", "--d=false", "--e=0"});
+  EXPECT_TRUE(f.get_bool("a", false));
+  EXPECT_TRUE(f.get_bool("b", false));
+  EXPECT_TRUE(f.get_bool("c", false));
+  EXPECT_FALSE(f.get_bool("d", true));
+  EXPECT_FALSE(f.get_bool("e", true));
+}
+
+TEST(Flags, DoubleList) {
+  const Flags f = parse({"--f=0.2,0.5,0.8"});
+  EXPECT_EQ(f.get_double_list("f", {}), (std::vector<double>{0.2, 0.5, 0.8}));
+}
+
+TEST(Flags, DoubleListFallback) {
+  const Flags f = parse({});
+  EXPECT_EQ(f.get_double_list("f", {1.0}), (std::vector<double>{1.0}));
+}
+
+TEST(Flags, PositionalArgumentsCollected) {
+  const Flags f = parse({"pos1", "--k=v", "pos2"});
+  EXPECT_EQ(f.positional(), (std::vector<std::string>{"pos1", "pos2"}));
+}
+
+TEST(Flags, LastValueWins) {
+  const Flags f = parse({"--x=1", "--x=2"});
+  EXPECT_EQ(f.get_int("x", 0), 2);
+}
+
+}  // namespace
+}  // namespace gridbw

@@ -1,0 +1,83 @@
+// Tests for the fixed-bin histogram.
+
+#include <gtest/gtest.h>
+
+#include "util/histogram.hpp"
+
+namespace gridbw {
+namespace {
+
+TEST(Histogram, BinsValuesUniformly) {
+  Histogram h{0.0, 10.0, 5};
+  for (double v : {0.5, 2.5, 4.5, 6.5, 8.5}) h.add(v);
+  for (std::size_t b = 0; b < 5; ++b) EXPECT_EQ(h.count_in_bin(b), 1u);
+  EXPECT_EQ(h.total_count(), 5u);
+  EXPECT_EQ(h.underflow(), 0u);
+  EXPECT_EQ(h.overflow(), 0u);
+}
+
+TEST(Histogram, EdgesBelongToTheRightBin) {
+  Histogram h{0.0, 10.0, 5};
+  h.add(0.0);   // first bin, inclusive lower edge
+  h.add(2.0);   // second bin's lower edge
+  h.add(10.0);  // hi is exclusive -> overflow
+  EXPECT_EQ(h.count_in_bin(0), 1u);
+  EXPECT_EQ(h.count_in_bin(1), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+}
+
+TEST(Histogram, UnderOverflowCounted) {
+  Histogram h{0.0, 1.0, 2};
+  h.add(-5.0);
+  h.add(99.0);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.total_count(), 2u);
+  EXPECT_EQ(h.count_in_bin(0), 0u);
+}
+
+TEST(Histogram, BinRange) {
+  Histogram h{10.0, 20.0, 4};
+  EXPECT_EQ(h.bin_range(0), (std::pair{10.0, 12.5}));
+  EXPECT_EQ(h.bin_range(3), (std::pair{17.5, 20.0}));
+  EXPECT_THROW((void)h.bin_range(4), std::out_of_range);
+}
+
+TEST(Histogram, CumulativeFractionIncludesUnderflow) {
+  Histogram h{0.0, 10.0, 2};
+  h.add(-1.0);  // underflow
+  h.add(1.0);   // bin 0
+  h.add(6.0);   // bin 1
+  h.add(20.0);  // overflow
+  EXPECT_DOUBLE_EQ(h.cumulative_fraction(0), 0.5);
+  EXPECT_DOUBLE_EQ(h.cumulative_fraction(1), 0.75);
+}
+
+TEST(Histogram, CumulativeFractionEmpty) {
+  Histogram h{0.0, 1.0, 2};
+  EXPECT_DOUBLE_EQ(h.cumulative_fraction(0), 0.0);
+}
+
+TEST(Histogram, RenderShowsBarsAndOverflow) {
+  Histogram h{0.0, 2.0, 2};
+  h.add(0.5);
+  h.add(0.6);
+  h.add(1.5);
+  h.add(9.0);
+  const std::string text = h.render(10);
+  EXPECT_NE(text.find("##########"), std::string::npos);  // peak bin, full width
+  EXPECT_NE(text.find("#####"), std::string::npos);
+  EXPECT_NE(text.find("overflow: 1"), std::string::npos);
+}
+
+TEST(Histogram, Validation) {
+  EXPECT_THROW((Histogram{1.0, 1.0, 3}), std::invalid_argument);
+  EXPECT_THROW((Histogram{2.0, 1.0, 3}), std::invalid_argument);
+  EXPECT_THROW((Histogram{0.0, 1.0, 0}), std::invalid_argument);
+  Histogram h{0.0, 1.0, 2};
+  EXPECT_THROW((void)h.count_in_bin(2), std::out_of_range);
+  EXPECT_THROW((void)h.cumulative_fraction(5), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace gridbw

@@ -1,0 +1,125 @@
+// Unit tests for the two allocation books.
+
+#include "core/ledger.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gridbw {
+namespace {
+
+TimePoint at(double s) { return TimePoint::at_seconds(s); }
+Bandwidth mbps(double m) { return Bandwidth::megabytes_per_second(m); }
+
+class NetworkLedgerTest : public ::testing::Test {
+ protected:
+  Network net_ = Network::uniform(2, 2, mbps(100));
+  NetworkLedger ledger_{net_};
+};
+
+TEST_F(NetworkLedgerTest, FreshLedgerFitsUpToCapacity) {
+  EXPECT_TRUE(ledger_.fits(IngressId{0}, EgressId{0}, at(0), at(10), mbps(100)));
+  EXPECT_FALSE(ledger_.fits(IngressId{0}, EgressId{0}, at(0), at(10), mbps(101)));
+}
+
+TEST_F(NetworkLedgerTest, ReserveConsumesBothPorts) {
+  ledger_.reserve(IngressId{0}, EgressId{1}, at(0), at(10), mbps(60));
+  EXPECT_FALSE(ledger_.fits(IngressId{0}, EgressId{0}, at(5), at(8), mbps(50)));
+  EXPECT_FALSE(ledger_.fits(IngressId{1}, EgressId{1}, at(5), at(8), mbps(50)));
+  EXPECT_TRUE(ledger_.fits(IngressId{1}, EgressId{0}, at(5), at(8), mbps(100)));
+  EXPECT_TRUE(ledger_.fits(IngressId{0}, EgressId{0}, at(5), at(8), mbps(40)));
+}
+
+TEST_F(NetworkLedgerTest, DisjointTimesDoNotConflict) {
+  ledger_.reserve(IngressId{0}, EgressId{0}, at(0), at(10), mbps(100));
+  EXPECT_TRUE(ledger_.fits(IngressId{0}, EgressId{0}, at(10), at(20), mbps(100)));
+}
+
+TEST_F(NetworkLedgerTest, ReleaseRestoresHeadroom) {
+  ledger_.reserve(IngressId{0}, EgressId{0}, at(0), at(10), mbps(80));
+  EXPECT_FALSE(ledger_.fits(IngressId{0}, EgressId{0}, at(0), at(10), mbps(30)));
+  ledger_.release(IngressId{0}, EgressId{0}, at(0), at(10), mbps(80));
+  EXPECT_TRUE(ledger_.fits(IngressId{0}, EgressId{0}, at(0), at(10), mbps(100)));
+}
+
+TEST_F(NetworkLedgerTest, HeadroomIsMinAcrossPortsAndTime) {
+  ledger_.reserve(IngressId{0}, EgressId{0}, at(0), at(10), mbps(30));
+  ledger_.reserve(IngressId{1}, EgressId{0}, at(5), at(15), mbps(20));
+  // Ingress 0 has 70 free; egress 0 has 50 free on [5,10).
+  EXPECT_DOUBLE_EQ(
+      ledger_.headroom(IngressId{0}, EgressId{0}, at(5), at(10)).to_megabytes_per_second(),
+      50.0);
+  EXPECT_DOUBLE_EQ(
+      ledger_.headroom(IngressId{0}, EgressId{0}, at(0), at(5)).to_megabytes_per_second(),
+      70.0);
+}
+
+TEST_F(NetworkLedgerTest, ExactFillAcceptedWithinTolerance) {
+  ledger_.reserve(IngressId{0}, EgressId{0}, at(0), at(10), mbps(60));
+  ledger_.reserve(IngressId{0}, EgressId{0}, at(0), at(10), mbps(40));
+  // Sum is exactly the capacity; one more byte/s must fail, zero must fit.
+  EXPECT_TRUE(ledger_.fits(IngressId{0}, EgressId{0}, at(0), at(10), Bandwidth::zero()));
+  EXPECT_FALSE(ledger_.fits(IngressId{0}, EgressId{0}, at(0), at(10), mbps(1)));
+}
+
+TEST_F(NetworkLedgerTest, ProfilesAreExposedForInspection) {
+  ledger_.reserve(IngressId{1}, EgressId{0}, at(2), at(4), mbps(10));
+  EXPECT_DOUBLE_EQ(ledger_.ingress_profile(IngressId{1}).value_at(at(3)), 1e7);
+  EXPECT_DOUBLE_EQ(ledger_.egress_profile(EgressId{0}).value_at(at(3)), 1e7);
+  EXPECT_DOUBLE_EQ(ledger_.ingress_profile(IngressId{0}).value_at(at(3)), 0.0);
+}
+
+class CounterLedgerTest : public ::testing::Test {
+ protected:
+  Network net_ = Network::uniform(2, 2, mbps(100));
+  CounterLedger counters_{net_};
+};
+
+TEST_F(CounterLedgerTest, StartsEmpty) {
+  EXPECT_EQ(counters_.allocated_ingress(IngressId{0}), Bandwidth::zero());
+  EXPECT_EQ(counters_.allocated_egress(EgressId{1}), Bandwidth::zero());
+  EXPECT_TRUE(counters_.fits(IngressId{0}, EgressId{0}, mbps(100)));
+}
+
+TEST_F(CounterLedgerTest, AllocateAndReclaim) {
+  counters_.allocate(IngressId{0}, EgressId{1}, mbps(70));
+  EXPECT_EQ(counters_.allocated_ingress(IngressId{0}), mbps(70));
+  EXPECT_EQ(counters_.allocated_egress(EgressId{1}), mbps(70));
+  EXPECT_FALSE(counters_.fits(IngressId{0}, EgressId{0}, mbps(40)));
+  EXPECT_TRUE(counters_.fits(IngressId{0}, EgressId{0}, mbps(30)));
+  counters_.reclaim(IngressId{0}, EgressId{1}, mbps(70));
+  EXPECT_TRUE(counters_.fits(IngressId{0}, EgressId{1}, mbps(100)));
+}
+
+TEST_F(CounterLedgerTest, FitsChecksBothPorts) {
+  counters_.allocate(IngressId{0}, EgressId{0}, mbps(90));
+  EXPECT_FALSE(counters_.fits(IngressId{0}, EgressId{1}, mbps(20)));  // ingress full
+  EXPECT_FALSE(counters_.fits(IngressId{1}, EgressId{0}, mbps(20)));  // egress full
+  EXPECT_TRUE(counters_.fits(IngressId{1}, EgressId{1}, mbps(100)));
+}
+
+TEST_F(CounterLedgerTest, UtilizationWithHypotheticalRequest) {
+  counters_.allocate(IngressId{0}, EgressId{0}, mbps(50));
+  EXPECT_DOUBLE_EQ(counters_.ingress_util_with(IngressId{0}, mbps(25)), 0.75);
+  EXPECT_DOUBLE_EQ(counters_.egress_util_with(EgressId{0}, mbps(50)), 1.0);
+  EXPECT_DOUBLE_EQ(counters_.ingress_util_with(IngressId{1}, Bandwidth::zero()), 0.0);
+}
+
+TEST_F(CounterLedgerTest, ReclaimClampsDriftBelowZero) {
+  counters_.allocate(IngressId{0}, EgressId{0}, mbps(10));
+  counters_.reclaim(IngressId{0}, EgressId{0},
+                    mbps(10) + Bandwidth::bytes_per_second(1e-4));
+  EXPECT_GE(counters_.allocated_ingress(IngressId{0}).to_bytes_per_second(), 0.0);
+  EXPECT_GE(counters_.allocated_egress(EgressId{0}).to_bytes_per_second(), 0.0);
+}
+
+TEST_F(CounterLedgerTest, ManyAllocReclaimCyclesStayExact) {
+  for (int k = 0; k < 10000; ++k) {
+    counters_.allocate(IngressId{0}, EgressId{0}, mbps(33.3));
+    counters_.reclaim(IngressId{0}, EgressId{0}, mbps(33.3));
+  }
+  EXPECT_NEAR(counters_.allocated_ingress(IngressId{0}).to_bytes_per_second(), 0.0, 1.0);
+  EXPECT_TRUE(counters_.fits(IngressId{0}, EgressId{0}, mbps(100)));
+}
+
+}  // namespace
+}  // namespace gridbw

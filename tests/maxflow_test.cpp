@@ -1,0 +1,112 @@
+// Tests for the Dinic max-flow substrate.
+
+#include <gtest/gtest.h>
+
+#include "flow/maxflow.hpp"
+#include "util/random.hpp"
+
+namespace gridbw::flow {
+namespace {
+
+TEST(MaxFlow, SingleEdge) {
+  MaxFlowGraph g{2};
+  const auto e = g.add_edge(0, 1, 7);
+  EXPECT_EQ(g.max_flow(0, 1), 7);
+  EXPECT_EQ(g.flow_on(e), 7);
+}
+
+TEST(MaxFlow, SeriesBottleneck) {
+  MaxFlowGraph g{3};
+  (void)g.add_edge(0, 1, 10);
+  (void)g.add_edge(1, 2, 3);
+  EXPECT_EQ(g.max_flow(0, 2), 3);
+}
+
+TEST(MaxFlow, ParallelPathsAdd) {
+  MaxFlowGraph g{4};
+  (void)g.add_edge(0, 1, 4);
+  (void)g.add_edge(1, 3, 4);
+  (void)g.add_edge(0, 2, 5);
+  (void)g.add_edge(2, 3, 5);
+  EXPECT_EQ(g.max_flow(0, 3), 9);
+}
+
+TEST(MaxFlow, ClassicCLRSExample) {
+  // CLRS figure 26.1: max flow 23.
+  MaxFlowGraph g{6};
+  (void)g.add_edge(0, 1, 16);
+  (void)g.add_edge(0, 2, 13);
+  (void)g.add_edge(1, 2, 10);
+  (void)g.add_edge(2, 1, 4);
+  (void)g.add_edge(1, 3, 12);
+  (void)g.add_edge(3, 2, 9);
+  (void)g.add_edge(2, 4, 14);
+  (void)g.add_edge(4, 3, 7);
+  (void)g.add_edge(3, 5, 20);
+  (void)g.add_edge(4, 5, 4);
+  EXPECT_EQ(g.max_flow(0, 5), 23);
+}
+
+TEST(MaxFlow, RequiresAugmentingPathExchange) {
+  // The case plain greedy path-picking gets wrong without residual edges.
+  MaxFlowGraph g{4};
+  (void)g.add_edge(0, 1, 1);
+  (void)g.add_edge(0, 2, 1);
+  (void)g.add_edge(1, 2, 1);
+  (void)g.add_edge(1, 3, 1);
+  (void)g.add_edge(2, 3, 1);
+  EXPECT_EQ(g.max_flow(0, 3), 2);
+}
+
+TEST(MaxFlow, DisconnectedIsZero) {
+  MaxFlowGraph g{3};
+  (void)g.add_edge(0, 1, 5);
+  EXPECT_EQ(g.max_flow(0, 2), 0);
+}
+
+TEST(MaxFlow, ZeroCapacityEdge) {
+  MaxFlowGraph g{2};
+  (void)g.add_edge(0, 1, 0);
+  EXPECT_EQ(g.max_flow(0, 1), 0);
+}
+
+TEST(MaxFlow, FlowConservationOnRandomGraphs) {
+  Rng rng{55};
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::size_t nodes = 8;
+    MaxFlowGraph g{nodes};
+    std::vector<std::tuple<std::size_t, std::size_t, std::size_t>> edges;  // (from,to,id)
+    for (int e = 0; e < 20; ++e) {
+      const auto from = static_cast<std::size_t>(rng.uniform_int(0, nodes - 1));
+      const auto to = static_cast<std::size_t>(rng.uniform_int(0, nodes - 1));
+      if (from == to) continue;
+      edges.emplace_back(from, to, g.add_edge(from, to, rng.uniform_int(0, 9)));
+    }
+    const std::int64_t total = g.max_flow(0, nodes - 1);
+    // Conservation: net flow out of every interior node is zero; source
+    // emits `total`, sink absorbs it.
+    std::vector<std::int64_t> net(nodes, 0);
+    for (const auto& [from, to, id] : edges) {
+      const std::int64_t f = g.flow_on(id);
+      EXPECT_GE(f, 0);
+      net[from] += f;
+      net[to] -= f;
+    }
+    EXPECT_EQ(net[0], total);
+    EXPECT_EQ(net[nodes - 1], -total);
+    for (std::size_t v = 1; v + 1 < nodes; ++v) EXPECT_EQ(net[v], 0) << "node " << v;
+  }
+}
+
+TEST(MaxFlow, Validation) {
+  EXPECT_THROW(MaxFlowGraph{1}, std::invalid_argument);
+  MaxFlowGraph g{3};
+  EXPECT_THROW((void)g.add_edge(0, 5, 1), std::out_of_range);
+  EXPECT_THROW((void)g.add_edge(0, 1, -1), std::invalid_argument);
+  EXPECT_THROW((void)g.max_flow(0, 0), std::invalid_argument);
+  EXPECT_THROW((void)g.max_flow(0, 9), std::out_of_range);
+  EXPECT_THROW((void)g.flow_on(99), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace gridbw::flow

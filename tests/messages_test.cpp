@@ -1,0 +1,103 @@
+// Tests for the RSVP-like message wire format.
+
+#include <gtest/gtest.h>
+
+#include "control/messages.hpp"
+
+namespace gridbw::control {
+namespace {
+
+Request sample_request() {
+  return RequestBuilder{42}
+      .from(IngressId{3})
+      .to(EgressId{7})
+      .window(TimePoint::at_seconds(10.5), TimePoint::at_seconds(110.5))
+      .volume(Volume::gigabytes(50))
+      .max_rate(Bandwidth::gigabytes_per_second(1))
+      .build();
+}
+
+TEST(Messages, ResvRoundTrip) {
+  const Message original{ResvMessage{sample_request()}};
+  const auto parsed = parse_message(serialize(original));
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_TRUE(std::holds_alternative<ResvMessage>(*parsed));
+  EXPECT_EQ(std::get<ResvMessage>(*parsed), std::get<ResvMessage>(original));
+}
+
+TEST(Messages, GrantRoundTrip) {
+  const Message original{GrantMessage{42, TimePoint::at_seconds(12.25),
+                                      Bandwidth::megabytes_per_second(800)}};
+  const auto parsed = parse_message(serialize(original));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(std::get<GrantMessage>(*parsed), std::get<GrantMessage>(original));
+}
+
+TEST(Messages, RejectRoundTrip) {
+  const Message original{RejectMessage{7, "egress-full"}};
+  const auto parsed = parse_message(serialize(original));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(std::get<RejectMessage>(*parsed), std::get<RejectMessage>(original));
+}
+
+TEST(Messages, TearRoundTrip) {
+  const Message original{
+      TearMessage{42, EgressId{7}, Bandwidth::megabytes_per_second(800)}};
+  const auto parsed = parse_message(serialize(original));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(std::get<TearMessage>(*parsed), std::get<TearMessage>(original));
+}
+
+TEST(Messages, SerializedFormIsStable) {
+  const Message grant{GrantMessage{5, TimePoint::at_seconds(2),
+                                   Bandwidth::bytes_per_second(1e9)}};
+  EXPECT_EQ(serialize(grant), "GRANT|id=5|start=2|bw=1e+09");
+  const Message reject{RejectMessage{5, "ingress-full"}};
+  EXPECT_EQ(serialize(reject), "REJECT|id=5|reason=ingress-full");
+}
+
+TEST(Messages, RejectsUnknownKind) {
+  EXPECT_FALSE(parse_message("NOPE|id=1").has_value());
+  EXPECT_FALSE(parse_message("").has_value());
+  EXPECT_FALSE(parse_message("|id=1").has_value());
+}
+
+TEST(Messages, RejectsMissingFields) {
+  EXPECT_FALSE(parse_message("GRANT|id=5|start=2").has_value());  // no bw
+  EXPECT_FALSE(parse_message("TEAR|id=5|bw=1").has_value());      // no egress
+  EXPECT_FALSE(parse_message("REJECT|id=5").has_value());         // no reason
+}
+
+TEST(Messages, RejectsUnknownAndDuplicateFields) {
+  EXPECT_FALSE(parse_message("GRANT|id=5|start=2|bw=1|junk=9").has_value());
+  EXPECT_FALSE(parse_message("GRANT|id=5|id=6|start=2|bw=1").has_value());
+}
+
+TEST(Messages, RejectsNonNumericValues) {
+  EXPECT_FALSE(parse_message("GRANT|id=abc|start=2|bw=1").has_value());
+  EXPECT_FALSE(parse_message("GRANT|id=5|start=2x|bw=1").has_value());
+}
+
+TEST(Messages, RejectsIllFormedResvPayload) {
+  // deadline before release
+  EXPECT_FALSE(
+      parse_message("RESV|id=1|in=0|out=0|ts=10|tf=5|vol=1e9|max=1e9").has_value());
+  // zero volume
+  EXPECT_FALSE(
+      parse_message("RESV|id=1|in=0|out=0|ts=0|tf=10|vol=0|max=1e9").has_value());
+}
+
+TEST(Messages, ParsesHandWrittenResv) {
+  const auto parsed =
+      parse_message("RESV|id=9|in=2|out=4|ts=1.5|tf=21.5|vol=2e9|max=1e8");
+  ASSERT_TRUE(parsed.has_value());
+  const Request& r = std::get<ResvMessage>(*parsed).request;
+  EXPECT_EQ(r.id, 9u);
+  EXPECT_EQ(r.ingress.value, 2u);
+  EXPECT_EQ(r.egress.value, 4u);
+  EXPECT_DOUBLE_EQ(r.volume.to_bytes(), 2e9);
+  EXPECT_DOUBLE_EQ(r.min_rate().to_bytes_per_second(), 1e8);
+}
+
+}  // namespace
+}  // namespace gridbw::control

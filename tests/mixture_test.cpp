@@ -1,0 +1,98 @@
+// Tests for heterogeneous traffic mixtures.
+
+#include <gtest/gtest.h>
+
+#include "workload/mixture.hpp"
+
+namespace gridbw::workload {
+namespace {
+
+TEST(Mixture, GeneratesBothClasses) {
+  const auto spec =
+      mice_and_elephants(Duration::seconds(0.5), Duration::seconds(400), 0.8);
+  Rng rng{31};
+  const auto trace = generate_mixture(spec, rng);
+  ASSERT_EQ(trace.requests.size(), trace.class_of.size());
+  ASSERT_GT(trace.requests.size(), 100u);
+  const auto mice = trace.of_class(0);
+  const auto elephants = trace.of_class(1);
+  EXPECT_EQ(mice.size() + elephants.size(), trace.requests.size());
+  EXPECT_GT(mice.size(), elephants.size());  // 80 % mice
+}
+
+TEST(Mixture, WeightsControlClassShares) {
+  const auto spec =
+      mice_and_elephants(Duration::seconds(0.2), Duration::seconds(2000), 0.8);
+  Rng rng{32};
+  const auto trace = generate_mixture(spec, rng);
+  const double mice_share = static_cast<double>(trace.of_class(0).size()) /
+                            static_cast<double>(trace.requests.size());
+  EXPECT_NEAR(mice_share, 0.8, 0.02);
+}
+
+TEST(Mixture, ClassesUseTheirOwnLaws) {
+  const auto spec =
+      mice_and_elephants(Duration::seconds(0.5), Duration::seconds(500), 0.5);
+  Rng rng{33};
+  const auto trace = generate_mixture(spec, rng);
+  for (std::size_t i = 0; i < trace.requests.size(); ++i) {
+    const Request& r = trace.requests[i];
+    EXPECT_TRUE(r.is_well_formed()) << r.describe();
+    if (trace.class_of[i] == 0) {
+      EXPECT_LE(r.volume.to_bytes(), 500e6);  // mice <= 500 MB
+      EXPECT_LE(r.max_rate.to_bytes_per_second(), 100e6 + 1);
+    } else {
+      EXPECT_GE(r.volume.to_bytes(), 10e9);  // elephants >= 10 GB
+    }
+  }
+}
+
+TEST(Mixture, ArrivalsFormOneOrderedStream) {
+  const auto spec =
+      mice_and_elephants(Duration::seconds(1), Duration::seconds(300), 0.5);
+  Rng rng{34};
+  const auto trace = generate_mixture(spec, rng);
+  for (std::size_t i = 1; i < trace.requests.size(); ++i) {
+    EXPECT_GE(trace.requests[i].release, trace.requests[i - 1].release);
+    EXPECT_EQ(trace.requests[i].id, trace.requests[i - 1].id + 1);
+  }
+}
+
+TEST(Mixture, DeterministicForSameSeed) {
+  const auto spec =
+      mice_and_elephants(Duration::seconds(1), Duration::seconds(300), 0.7);
+  Rng a{35}, b{35};
+  const auto ta = generate_mixture(spec, a);
+  const auto tb = generate_mixture(spec, b);
+  ASSERT_EQ(ta.requests.size(), tb.requests.size());
+  EXPECT_EQ(ta.class_of, tb.class_of);
+  for (std::size_t i = 0; i < ta.requests.size(); ++i) {
+    EXPECT_EQ(ta.requests[i].volume, tb.requests[i].volume);
+  }
+}
+
+TEST(Mixture, Validation) {
+  Rng rng{36};
+  MixtureSpec empty;
+  EXPECT_THROW((void)generate_mixture(empty, rng), std::invalid_argument);
+  EXPECT_THROW((void)mice_and_elephants(Duration::seconds(1), Duration::seconds(10),
+                                        1.5),
+               std::invalid_argument);
+  MixtureSpec bad = mice_and_elephants(Duration::seconds(1), Duration::seconds(10));
+  bad.classes[0].weight = -1.0;
+  EXPECT_THROW((void)generate_mixture(bad, rng), std::invalid_argument);
+  bad = mice_and_elephants(Duration::seconds(1), Duration::seconds(10));
+  bad.mean_interarrival = Duration::zero();
+  EXPECT_THROW((void)generate_mixture(bad, rng), std::invalid_argument);
+}
+
+TEST(Mixture, OfClassOutOfRangeIsEmpty) {
+  const auto spec =
+      mice_and_elephants(Duration::seconds(1), Duration::seconds(100), 0.5);
+  Rng rng{37};
+  const auto trace = generate_mixture(spec, rng);
+  EXPECT_TRUE(trace.of_class(7).empty());
+}
+
+}  // namespace
+}  // namespace gridbw::workload

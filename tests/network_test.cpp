@@ -1,0 +1,66 @@
+// Unit tests for the platform (Network) model.
+
+#include "core/network.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gridbw {
+namespace {
+
+TEST(Network, UniformBuilder) {
+  const Network n = Network::uniform(10, 10, Bandwidth::gigabytes_per_second(1));
+  EXPECT_EQ(n.ingress_count(), 10u);
+  EXPECT_EQ(n.egress_count(), 10u);
+  EXPECT_EQ(n.ingress_capacity(IngressId{3}), Bandwidth::gigabytes_per_second(1));
+  EXPECT_EQ(n.egress_capacity(EgressId{9}), Bandwidth::gigabytes_per_second(1));
+}
+
+TEST(Network, HeterogeneousCapacities) {
+  const Network n{{Bandwidth::megabytes_per_second(100), Bandwidth::gigabytes_per_second(1)},
+                  {Bandwidth::megabytes_per_second(500)}};
+  EXPECT_EQ(n.ingress_count(), 2u);
+  EXPECT_EQ(n.egress_count(), 1u);
+  EXPECT_EQ(n.ingress_capacity(IngressId{0}), Bandwidth::megabytes_per_second(100));
+}
+
+TEST(Network, TotalCapacitySumsBothSides) {
+  const Network n = Network::uniform(3, 2, Bandwidth::gigabytes_per_second(1));
+  EXPECT_DOUBLE_EQ(n.total_capacity().to_gigabytes_per_second(), 5.0);
+}
+
+TEST(Network, BottleneckIsMinOfPair) {
+  const Network n{{Bandwidth::megabytes_per_second(100)},
+                  {Bandwidth::megabytes_per_second(40)}};
+  EXPECT_EQ(n.bottleneck(IngressId{0}, EgressId{0}),
+            Bandwidth::megabytes_per_second(40));
+}
+
+TEST(Network, RejectsEmptySides) {
+  EXPECT_THROW((Network{{}, {Bandwidth::gigabytes_per_second(1)}}),
+               std::invalid_argument);
+  EXPECT_THROW((Network{{Bandwidth::gigabytes_per_second(1)}, {}}),
+               std::invalid_argument);
+}
+
+TEST(Network, RejectsNonPositiveCapacity) {
+  EXPECT_THROW((Network{{Bandwidth::zero()}, {Bandwidth::gigabytes_per_second(1)}}),
+               std::invalid_argument);
+  EXPECT_THROW(
+      (Network{{Bandwidth::gigabytes_per_second(1)}, {Bandwidth::infinity()}}),
+      std::invalid_argument);
+}
+
+TEST(Network, OutOfRangePortThrows) {
+  const Network n = Network::uniform(2, 2, Bandwidth::gigabytes_per_second(1));
+  EXPECT_THROW((void)n.ingress_capacity(IngressId{2}), std::out_of_range);
+  EXPECT_THROW((void)n.egress_capacity(EgressId{5}), std::out_of_range);
+}
+
+TEST(Network, CapacitySpansExposeAllPorts) {
+  const Network n = Network::uniform(4, 6, Bandwidth::gigabytes_per_second(2));
+  EXPECT_EQ(n.ingress_capacities().size(), 4u);
+  EXPECT_EQ(n.egress_capacities().size(), 6u);
+}
+
+}  // namespace
+}  // namespace gridbw

@@ -1,0 +1,142 @@
+// Tests for the paper's objective metrics.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "metrics/objectives.hpp"
+
+namespace gridbw::metrics {
+namespace {
+
+TimePoint at(double s) { return TimePoint::at_seconds(s); }
+Bandwidth mbps(double m) { return Bandwidth::megabytes_per_second(m); }
+
+Request make(RequestId id, double ts, double tf, double gb, double max_mbps,
+             std::size_t in = 0, std::size_t out = 0) {
+  return RequestBuilder{id}
+      .from(IngressId{in})
+      .to(EgressId{out})
+      .window(at(ts), at(tf))
+      .volume(Volume::gigabytes(gb))
+      .max_rate(mbps(max_mbps))
+      .build();
+}
+
+TEST(AcceptRate, CountsAcceptedOverTotal) {
+  const std::vector<Request> rs{make(1, 0, 100, 1, 100), make(2, 0, 100, 1, 100),
+                                make(3, 0, 100, 1, 100), make(4, 0, 100, 1, 100)};
+  Schedule s;
+  s.accept(1, at(0), mbps(10));
+  s.accept(3, at(0), mbps(10));
+  EXPECT_DOUBLE_EQ(accept_rate(rs, s), 0.5);
+  EXPECT_DOUBLE_EQ(accept_rate(std::vector<Request>{}, s), 0.0);
+}
+
+TEST(ResourceUtilPaper, FullDemandOnEveryPort) {
+  const Network net = Network::uniform(1, 1, mbps(100));
+  const std::vector<Request> rs{make(1, 0, 10, 1, 100)};  // MinRate 100
+  Schedule s;
+  s.accept(1, at(0), mbps(100));
+  // granted = 100; scaled = (min(100,100) + min(100,100))/2 = 100.
+  EXPECT_DOUBLE_EQ(resource_util_paper(net, rs, s), 1.0);
+}
+
+TEST(ResourceUtilPaper, IdlePortsExcludedByScaling) {
+  const Network net = Network::uniform(2, 2, mbps(100));
+  // All demand on the (0, 0) pair; ports 1 have no requests and must not
+  // dilute the ratio.
+  const std::vector<Request> rs{make(1, 0, 10, 1, 100)};
+  Schedule s;
+  s.accept(1, at(0), mbps(100));
+  EXPECT_DOUBLE_EQ(resource_util_paper(net, rs, s), 1.0);
+}
+
+TEST(ResourceUtilPaper, PartialAcceptance) {
+  const Network net = Network::uniform(1, 1, mbps(100));
+  const std::vector<Request> rs{make(1, 0, 10, 0.5, 100), make(2, 0, 10, 0.5, 100)};
+  // Each MinRate = 50; demand = 100 per port (not above capacity).
+  Schedule s;
+  s.accept(1, at(0), mbps(50));
+  EXPECT_DOUBLE_EQ(resource_util_paper(net, rs, s), 0.5);
+}
+
+TEST(ResourceUtilPaper, DemandAboveCapacityScalesToCapacity) {
+  const Network net = Network::uniform(1, 1, mbps(100));
+  const std::vector<Request> rs{make(1, 0, 10, 1, 200), make(2, 0, 10, 1, 200)};
+  // Demand 200 per port, scaled to 100. Accepting one at its MinRate 100
+  // saturates the ratio.
+  Schedule s;
+  s.accept(1, at(0), mbps(100));
+  EXPECT_DOUBLE_EQ(resource_util_paper(net, rs, s), 1.0);
+}
+
+TEST(ResourceUtilPaper, NoRequestsGivesZero) {
+  const Network net = Network::uniform(1, 1, mbps(100));
+  EXPECT_DOUBLE_EQ(resource_util_paper(net, std::vector<Request>{}, Schedule{}), 0.0);
+}
+
+TEST(UtilizationTimeAveraged, GrantedBytesOverHorizonCapacity) {
+  const Network net = Network::uniform(1, 1, mbps(100));
+  // Horizon [0, 100]; granted 1 GB -> 10 MB/s average over 100 MB/s.
+  const std::vector<Request> rs{make(1, 0, 100, 1, 100), make(2, 0, 100, 1, 100)};
+  Schedule s;
+  s.accept(1, at(0), mbps(10));
+  EXPECT_NEAR(utilization_time_averaged(net, rs, s), 0.1, 1e-12);
+}
+
+TEST(UtilizationTimeAveraged, EmptySetIsZero) {
+  const Network net = Network::uniform(1, 1, mbps(100));
+  EXPECT_DOUBLE_EQ(utilization_time_averaged(net, std::vector<Request>{}, Schedule{}),
+                   0.0);
+}
+
+TEST(GuaranteedCount, ChecksFloorPerRequest) {
+  const std::vector<Request> rs{make(1, 0, 1000, 1, 100), make(2, 0, 1000, 1, 100)};
+  Schedule s;
+  s.accept(1, at(0), mbps(85));
+  s.accept(2, at(0), mbps(50));
+  EXPECT_EQ(guaranteed_count(rs, s, 0.8), 1u);  // only r1 meets 80 MB/s
+  EXPECT_EQ(guaranteed_count(rs, s, 0.5), 2u);
+  EXPECT_EQ(guaranteed_count(rs, s, 0.0), 2u);  // floor is MinRate (1 MB/s)
+}
+
+TEST(GuaranteedCount, MinRateFloorAppliesWhenAboveF) {
+  // MinRate = 100 MB/s (tight window); f*Max = 10. The floor is MinRate.
+  const std::vector<Request> rs{make(1, 0, 10, 1, 200)};
+  Schedule s;
+  s.accept(1, at(0), mbps(50));  // below MinRate -> not guaranteed (and infeasible)
+  EXPECT_EQ(guaranteed_count(rs, s, 0.05), 0u);
+}
+
+TEST(StretchStats, OneMeansFullHostRate) {
+  const std::vector<Request> rs{make(1, 0, 1000, 1, 100), make(2, 0, 1000, 1, 100)};
+  Schedule s;
+  s.accept(1, at(0), mbps(100));  // stretch 1
+  s.accept(2, at(0), mbps(25));   // stretch 4
+  const auto stats = stretch_stats(rs, s);
+  EXPECT_EQ(stats.count(), 2u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(stats.min(), 1.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 4.0);
+}
+
+TEST(StartDelayStats, MeasuresWaitingTime) {
+  const std::vector<Request> rs{make(1, 10, 1000, 1, 100), make(2, 20, 1000, 1, 100)};
+  Schedule s;
+  s.accept(1, at(10), mbps(100));  // no wait
+  s.accept(2, at(50), mbps(100));  // waited 30 s
+  const auto stats = start_delay_stats(rs, s);
+  EXPECT_DOUBLE_EQ(stats.mean(), 15.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 30.0);
+}
+
+TEST(StartDelayStats, RejectedRequestsExcluded) {
+  const std::vector<Request> rs{make(1, 0, 1000, 1, 100), make(2, 0, 1000, 1, 100)};
+  Schedule s;
+  s.accept(1, at(5), mbps(100));
+  EXPECT_EQ(start_delay_stats(rs, s).count(), 1u);
+}
+
+}  // namespace
+}  // namespace gridbw::metrics

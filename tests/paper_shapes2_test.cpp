@@ -1,0 +1,172 @@
+// Second batch of integration shape tests, covering the repository's
+// extension experiments at reduced scale (seeded; generous margins).
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "dataplane/replay.hpp"
+#include "heuristics/compact.hpp"
+#include "heuristics/flexible_greedy.hpp"
+#include "heuristics/flexible_window.hpp"
+#include "longlived/longlived.hpp"
+#include "metrics/objectives.hpp"
+#include "workload/generator.hpp"
+#include "workload/mixture.hpp"
+#include "workload/scenario.hpp"
+
+namespace gridbw {
+namespace {
+
+using heuristics::BandwidthPolicy;
+
+TEST(PaperShapes2, SeparatedLanesProtectMice) {
+  const auto spec = workload::mice_and_elephants(Duration::seconds(0.3),
+                                                 Duration::seconds(400), 0.8);
+  const Network full = Network::uniform(10, 10, Bandwidth::gigabytes_per_second(1));
+  const Network lane = Network::uniform(10, 10, Bandwidth::megabytes_per_second(150));
+
+  RunningStats mixed_rate, lane_rate;
+  for (const std::uint64_t seed : {41u, 42u, 43u}) {
+    Rng rng{seed};
+    const auto trace = workload::generate_mixture(spec, rng);
+    const auto mice = trace.of_class(0);
+    const auto mixed = heuristics::schedule_flexible_greedy(
+        full, trace.requests, BandwidthPolicy::fraction_of_max(1.0));
+    mixed_rate.add(metrics::accept_rate(mice, mixed.schedule));
+    lane_rate.add(heuristics::schedule_flexible_greedy(
+                      lane, mice, BandwidthPolicy::fraction_of_max(1.0))
+                      .accept_rate());
+  }
+  EXPECT_GT(lane_rate.mean(), mixed_rate.mean());
+}
+
+TEST(PaperShapes2, CompactionReducesWaitingWithoutLosingAccepts) {
+  const workload::Scenario scenario =
+      workload::paper_flexible(Duration::seconds(2), Duration::seconds(400), 4.0);
+  Rng rng{44};
+  const auto requests = workload::generate(scenario.spec, rng);
+  heuristics::WindowOptions opt;
+  opt.step = Duration::seconds(100);
+  opt.policy = BandwidthPolicy::fraction_of_max(1.0);
+  const auto scheduled =
+      heuristics::schedule_flexible_window(scenario.network, requests, opt);
+  const auto compacted = heuristics::compact_schedule(
+      scenario.network, requests, scheduled.schedule, {Duration::seconds(5)});
+  EXPECT_EQ(compacted.schedule.accepted_count(), scheduled.schedule.accepted_count());
+  EXPECT_LT(metrics::start_delay_stats(requests, compacted.schedule).mean(),
+            metrics::start_delay_stats(requests, scheduled.schedule).mean());
+}
+
+TEST(PaperShapes2, LongLivedOptimumShinesOnSkewedDemand) {
+  // Hot-pair contention: many streams fight for two egress ports.
+  const Network net = Network::uniform(4, 4, Bandwidth::megabytes_per_second(100));
+  const Bandwidth rate = Bandwidth::megabytes_per_second(100);
+  RunningStats gain;
+  for (const std::uint64_t seed : {45u, 46u, 47u, 48u}) {
+    Rng rng{seed};
+    std::vector<longlived::LongLivedRequest> demands;
+    for (RequestId id = 1; id <= 10; ++id) {
+      demands.push_back(longlived::LongLivedRequest{
+          id, IngressId{static_cast<std::size_t>(rng.uniform_int(0, 3))},
+          EgressId{static_cast<std::size_t>(rng.uniform_int(0, 1))}, rate});
+    }
+    const auto greedy = longlived::schedule_greedy(net, demands);
+    const auto optimal = longlived::schedule_uniform_optimal(net, demands, rate);
+    gain.add(static_cast<double>(optimal.accepted_count()) -
+             static_cast<double>(greedy.accepted_count()));
+  }
+  EXPECT_GE(gain.mean(), 0.0);
+  EXPECT_GE(gain.max(), 0.0);
+}
+
+TEST(PaperShapes2, HotspotPenaltyImprovesJainFairnessOnSkew) {
+  const workload::Scenario scenario =
+      workload::paper_flexible(Duration::seconds(1), Duration::seconds(500), 4.0);
+  RunningStats plain_jain, hot_jain;
+  for (const std::uint64_t seed : {49u, 50u, 51u, 52u}) {
+    Rng rng{seed};
+    auto requests = workload::generate(scenario.spec, rng);
+    for (Request& r : requests) {
+      if (rng.bernoulli(0.5)) {
+        r.ingress = IngressId{static_cast<std::size_t>(rng.uniform_int(0, 1))};
+        r.egress = EgressId{static_cast<std::size_t>(rng.uniform_int(0, 1))};
+      }
+    }
+    auto measure = [&](double weight) {
+      heuristics::WindowOptions opt;
+      opt.step = Duration::seconds(100);
+      opt.policy = BandwidthPolicy::fraction_of_max(1.0);
+      opt.hotspot_weight = weight;
+      const auto result =
+          heuristics::schedule_flexible_window(scenario.network, requests, opt);
+      const auto granted =
+          metrics::granted_per_egress(scenario.network, requests, result.schedule);
+      std::vector<double> bytes;
+      for (Volume v : granted) bytes.push_back(v.to_bytes());
+      return metrics::jain_fairness(bytes);
+    };
+    plain_jain.add(measure(0.0));
+    hot_jain.add(measure(1.0));
+  }
+  // The penalty must not *hurt* fairness; typically it helps a little.
+  EXPECT_GE(hot_jain.mean(), plain_jain.mean() - 0.05);
+}
+
+TEST(PaperShapes2, PolicedReplayKeepsPromisesWhereUnpolicedBreaksThem) {
+  const workload::Scenario scenario =
+      workload::paper_flexible(Duration::seconds(2), Duration::seconds(300), 4.0);
+  Rng rng{53};
+  const auto requests = workload::generate(scenario.spec, rng);
+  const auto schedule = heuristics::schedule_flexible_greedy(
+      scenario.network, requests, BandwidthPolicy::fraction_of_max(1.0));
+
+  dataplane::ReplayOptions opt;
+  opt.misbehave_factor = 4.0;
+  std::size_t k = 0;
+  for (const Assignment& a : schedule.schedule.assignments()) {
+    if (++k % 2 == 0) opt.misbehaving.push_back(a.request);
+  }
+  ASSERT_FALSE(opt.misbehaving.empty());
+
+  const auto policed =
+      dataplane::replay_policed(scenario.network, requests, schedule.schedule, opt);
+  const auto wild =
+      dataplane::replay_unpoliced(scenario.network, requests, schedule.schedule, opt);
+  EXPECT_EQ(policed.late_count(), 0u);
+  EXPECT_GT(wild.late_count(), 0u);
+}
+
+TEST(PaperShapes2, JainFairnessMetricBasics) {
+  EXPECT_DOUBLE_EQ(metrics::jain_fairness(std::vector<double>{1, 1, 1, 1}), 1.0);
+  EXPECT_NEAR(metrics::jain_fairness(std::vector<double>{1, 0, 0, 0}), 0.25, 1e-12);
+  EXPECT_DOUBLE_EQ(metrics::jain_fairness(std::vector<double>{}), 1.0);
+  EXPECT_DOUBLE_EQ(metrics::jain_fairness(std::vector<double>{0, 0}), 1.0);
+}
+
+TEST(PaperShapes2, GrantedPerPortSumsToAcceptedVolume) {
+  const workload::Scenario scenario =
+      workload::paper_flexible(Duration::seconds(2), Duration::seconds(300), 4.0);
+  Rng rng{54};
+  const auto requests = workload::generate(scenario.spec, rng);
+  const auto result = heuristics::schedule_flexible_greedy(
+      scenario.network, requests, BandwidthPolicy::min_rate());
+  Volume accepted = Volume::zero();
+  for (const Request& r : requests) {
+    if (result.schedule.is_accepted(r.id)) accepted += r.volume;
+  }
+  Volume in_total = Volume::zero(), out_total = Volume::zero();
+  for (Volume v :
+       metrics::granted_per_ingress(scenario.network, requests, result.schedule)) {
+    in_total += v;
+  }
+  for (Volume v :
+       metrics::granted_per_egress(scenario.network, requests, result.schedule)) {
+    out_total += v;
+  }
+  EXPECT_NEAR(in_total.to_bytes(), accepted.to_bytes(), 1.0);
+  EXPECT_NEAR(out_total.to_bytes(), accepted.to_bytes(), 1.0);
+}
+
+}  // namespace
+}  // namespace gridbw

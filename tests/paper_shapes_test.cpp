@@ -1,0 +1,158 @@
+// Integration tests reproducing the *qualitative shapes* of the paper's
+// evaluation at reduced scale (the bench binaries regenerate the full
+// figures). Each test pins one claim from §4.4 / §5.3.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "baseline/maxmin.hpp"
+#include "core/validate.hpp"
+#include "heuristics/flexible_greedy.hpp"
+#include "heuristics/registry.hpp"
+#include "metrics/experiment.hpp"
+#include "metrics/objectives.hpp"
+#include "workload/generator.hpp"
+#include "workload/load.hpp"
+#include "workload/scenario.hpp"
+
+namespace gridbw {
+namespace {
+
+using heuristics::BandwidthPolicy;
+using heuristics::WindowOptions;
+
+/// Mean accept rate of `scheduler` over a few replications of `scenario`.
+double mean_accept_rate(const workload::Scenario& scenario,
+                        const heuristics::NamedScheduler& scheduler,
+                        std::uint64_t seed_base, std::size_t reps = 4) {
+  metrics::ExperimentConfig cfg;
+  cfg.replications = reps;
+  cfg.base_seed = seed_base;
+  cfg.threads = 1;
+  const auto stats = metrics::run_replicated(cfg, [&](Rng& rng, std::size_t) {
+    const auto requests = workload::generate(scenario.spec, rng);
+    const auto result = scheduler.run(scenario.network, requests);
+    return metrics::MetricBag{{"accept", result.accept_rate()}};
+  });
+  return metrics::metric(stats, "accept").mean();
+}
+
+TEST(PaperShapes, Fig4_FifoIsWorstForRigidRequestsInOverload) {
+  workload::Scenario scenario =
+      workload::paper_rigid(Duration::seconds(1), Duration::seconds(2000));
+  scenario.spec.mean_interarrival =
+      workload::interarrival_for_load(scenario.spec, scenario.network, 4.0);
+
+  const auto lineup = heuristics::rigid_schedulers();
+  const double fifo = mean_accept_rate(scenario, lineup[0], 1000);
+  const double cumulated = mean_accept_rate(scenario, lineup[1], 1000);
+  const double minbw = mean_accept_rate(scenario, lineup[2], 1000);
+
+  EXPECT_LT(fifo, cumulated);
+  EXPECT_LT(fifo, minbw);
+}
+
+TEST(PaperShapes, Fig4_CumulatedAndMinbwAreClose) {
+  workload::Scenario scenario =
+      workload::paper_rigid(Duration::seconds(1), Duration::seconds(2000));
+  scenario.spec.mean_interarrival =
+      workload::interarrival_for_load(scenario.spec, scenario.network, 4.0);
+  const auto lineup = heuristics::rigid_schedulers();
+  const double cumulated = mean_accept_rate(scenario, lineup[1], 1001);
+  const double minbw = mean_accept_rate(scenario, lineup[2], 1001);
+  // "CUMULATED-SLOTS and MINBW-SLOTS have very close performance" (§4.4).
+  EXPECT_NEAR(cumulated, minbw, 0.12);
+}
+
+TEST(PaperShapes, Fig5_WindowBeatsGreedyInHeavyLoad) {
+  const workload::Scenario scenario =
+      workload::paper_flexible(Duration::seconds(0.5), Duration::seconds(500), 4.0);
+  const auto greedy = heuristics::make_greedy(BandwidthPolicy::fraction_of_max(1.0));
+  WindowOptions opt;
+  opt.step = Duration::seconds(200);
+  opt.policy = BandwidthPolicy::fraction_of_max(1.0);
+  const auto window = heuristics::make_window(opt);
+
+  const double g = mean_accept_rate(scenario, greedy, 2000);
+  const double w = mean_accept_rate(scenario, window, 2000);
+  EXPECT_GT(w, g);
+}
+
+TEST(PaperShapes, Fig5_LargerWindowsAcceptMoreInHeavyLoad) {
+  const workload::Scenario scenario =
+      workload::paper_flexible(Duration::seconds(0.5), Duration::seconds(500), 4.0);
+  double previous = 0.0;
+  for (const double step : {50.0, 200.0, 400.0}) {
+    WindowOptions opt;
+    opt.step = Duration::seconds(step);
+    opt.policy = BandwidthPolicy::fraction_of_max(1.0);
+    const double rate =
+        mean_accept_rate(scenario, heuristics::make_window(opt), 2001, 6);
+    EXPECT_GE(rate, previous - 0.03) << "step " << step;  // monotone up to noise
+    previous = rate;
+  }
+}
+
+TEST(PaperShapes, Fig6_SmallerFAcceptsMoreWhenUnderloaded) {
+  const workload::Scenario scenario =
+      workload::paper_flexible(Duration::seconds(15), Duration::seconds(4000), 4.0);
+  const double f_small = mean_accept_rate(
+      scenario, heuristics::make_greedy(BandwidthPolicy::fraction_of_max(0.2)), 3000);
+  const double f_full = mean_accept_rate(
+      scenario, heuristics::make_greedy(BandwidthPolicy::fraction_of_max(1.0)), 3000);
+  EXPECT_GE(f_small, f_full);
+}
+
+TEST(PaperShapes, Fig6_MinRatePolicyMaximizesAcceptsWhenUnderloaded) {
+  const workload::Scenario scenario =
+      workload::paper_flexible(Duration::seconds(15), Duration::seconds(4000), 4.0);
+  const double min_bw =
+      mean_accept_rate(scenario, heuristics::make_greedy(BandwidthPolicy::min_rate()),
+                       3001);
+  const double f_full = mean_accept_rate(
+      scenario, heuristics::make_greedy(BandwidthPolicy::fraction_of_max(1.0)), 3001);
+  EXPECT_GE(min_bw, f_full);
+}
+
+TEST(PaperShapes, Tuning_AcceptRateFallsAsFGrowsUnderloaded) {
+  const workload::Scenario scenario =
+      workload::paper_flexible(Duration::seconds(10), Duration::seconds(4000), 4.0);
+  std::vector<double> rates;
+  for (const double f : {0.2, 0.6, 1.0}) {
+    rates.push_back(mean_accept_rate(
+        scenario, heuristics::make_greedy(BandwidthPolicy::fraction_of_max(f)), 4000));
+  }
+  EXPECT_GE(rates[0], rates[2] - 0.02);  // f=0.2 at least as good as f=1
+}
+
+TEST(PaperShapes, Baseline_MaxMinWastesWorkInOverload) {
+  // In deep overload, uncontrolled max-min sharing lets transfers miss
+  // deadlines after moving data (wasted bytes), while admission control
+  // wastes nothing by construction.
+  workload::Scenario scenario =
+      workload::paper_flexible(Duration::seconds(0.5), Duration::seconds(300), 1.5);
+  Rng rng{91};
+  const auto requests = workload::generate(scenario.spec, rng);
+  const auto fluid = baseline::simulate_maxmin(scenario.network, requests);
+  EXPECT_GT(fluid.wasted_bytes().to_bytes(), 0.0);
+  EXPECT_LT(fluid.success_rate(), 0.9);
+
+  const auto admitted = heuristics::schedule_flexible_greedy(
+      scenario.network, requests, BandwidthPolicy::fraction_of_max(1.0));
+  // Every admitted transfer completes in time: zero wasted bytes.
+  const auto report = validate_schedule(scenario.network, requests, admitted.schedule);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+TEST(PaperShapes, Baseline_MaxMinFineWhenUnderloaded) {
+  workload::Scenario scenario =
+      workload::paper_flexible(Duration::seconds(60), Duration::seconds(3000), 4.0);
+  Rng rng{92};
+  const auto requests = workload::generate(scenario.spec, rng);
+  const auto fluid = baseline::simulate_maxmin(scenario.network, requests);
+  EXPECT_GT(fluid.success_rate(), 0.85);
+}
+
+}  // namespace
+}  // namespace gridbw

@@ -1,0 +1,82 @@
+// Tests for the textual scheduler-spec parser.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/validate.hpp"
+#include "heuristics/parse.hpp"
+#include "workload/generator.hpp"
+#include "workload/scenario.hpp"
+
+namespace gridbw::heuristics {
+namespace {
+
+TEST(ParseScheduler, RigidKinds) {
+  EXPECT_EQ(parse_scheduler("fcfs").name, "FCFS");
+  EXPECT_EQ(parse_scheduler("cumulated").name, "CUMULATED-SLOTS");
+  EXPECT_EQ(parse_scheduler("minbw").name, "MINBW-SLOTS");
+  EXPECT_EQ(parse_scheduler("minvol").name, "MINVOL-SLOTS");
+}
+
+TEST(ParseScheduler, GreedyVariants) {
+  EXPECT_EQ(parse_scheduler("greedy:minrate").name, "greedy/minrate");
+  EXPECT_EQ(parse_scheduler("greedy:f=0.8").name, "greedy/f=0.80");
+  EXPECT_EQ(parse_scheduler("greedy:").name, "greedy/minrate");  // default
+}
+
+TEST(ParseScheduler, WindowVariants) {
+  EXPECT_EQ(parse_scheduler("window:step=400,f=1").name, "window400/f=1.00");
+  EXPECT_EQ(parse_scheduler("window:step=100,minrate").name, "window100/minrate");
+  EXPECT_EQ(parse_scheduler("window:").name, "window400/minrate");  // defaults
+  // hotspot weight is accepted and does not change the display name
+  EXPECT_EQ(parse_scheduler("window:step=200,f=0.5,hotspot=1.5").name,
+            "window200/f=0.50");
+}
+
+TEST(ParseScheduler, BookAheadVariant) {
+  const auto s = parse_scheduler("bookahead:step=100,ahead=3,f=0.8");
+  EXPECT_EQ(s.name, "bookahead100x3/f=0.80");
+}
+
+TEST(ParseScheduler, ErrorsNameTheProblem) {
+  EXPECT_THROW((void)parse_scheduler("unknown"), std::invalid_argument);
+  EXPECT_THROW((void)parse_scheduler("fcfs:step=1"), std::invalid_argument);
+  EXPECT_THROW((void)parse_scheduler("window:step=-5"), std::invalid_argument);
+  EXPECT_THROW((void)parse_scheduler("window:step=abc"), std::invalid_argument);
+  EXPECT_THROW((void)parse_scheduler("window:bogus=1"), std::invalid_argument);
+  EXPECT_THROW((void)parse_scheduler("greedy:f=1.5"), std::invalid_argument);
+  EXPECT_THROW((void)parse_scheduler("greedy:minrate,f=0.5"), std::invalid_argument);
+  EXPECT_THROW((void)parse_scheduler("greedy:f=0.5,f=0.8"), std::invalid_argument);
+  EXPECT_THROW((void)parse_scheduler("bookahead:ahead=-1"), std::invalid_argument);
+}
+
+TEST(ParseScheduler, GrammarMentionsEveryKind) {
+  const std::string grammar = scheduler_grammar();
+  for (const char* kind : {"fcfs", "cumulated", "minbw", "minvol", "greedy", "window",
+                           "bookahead"}) {
+    EXPECT_NE(grammar.find(kind), std::string::npos) << kind;
+  }
+}
+
+TEST(ParseScheduler, ParsedSchedulersActuallyRun) {
+  const workload::Scenario scenario =
+      workload::paper_flexible(Duration::seconds(2), Duration::seconds(200), 4.0);
+  Rng rng{501};
+  const auto requests = workload::generate(scenario.spec, rng);
+  for (const char* spec :
+       {"fcfs", "cumulated", "minbw", "minvol", "greedy:f=1", "greedy:minrate",
+        "window:step=50,f=0.8", "window:step=50,minrate,hotspot=1",
+        "bookahead:step=50,ahead=3,f=1"}) {
+    const auto scheduler = parse_scheduler(spec);
+    const auto result = scheduler.run(scenario.network, requests);
+    EXPECT_EQ(result.accepted_count() + result.rejected.size(), requests.size())
+        << spec;
+    const auto report =
+        validate_schedule(scenario.network, requests, result.schedule);
+    EXPECT_TRUE(report.ok()) << spec << ":\n" << report.to_string();
+  }
+}
+
+}  // namespace
+}  // namespace gridbw::heuristics

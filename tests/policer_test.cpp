@@ -1,0 +1,86 @@
+// Tests for access-point flow policing (§5.4): conforming flows pass
+// untouched, misbehaving flows are clipped to their reservation.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "control/policer.hpp"
+
+namespace gridbw::control {
+namespace {
+
+Bandwidth mbps(double m) { return Bandwidth::megabytes_per_second(m); }
+
+TEST(Policer, ConformingFlowDeliversEverything) {
+  const std::vector<PolicedFlow> flows{{1, mbps(50), mbps(50)}};
+  const auto report = police_flows(flows, Duration::seconds(10));
+  ASSERT_EQ(report.flows.size(), 1u);
+  EXPECT_NEAR(report.flows[0].delivery_ratio(), 1.0, 1e-9);
+  EXPECT_EQ(report.flows[0].dropped, Volume::zero());
+}
+
+TEST(Policer, MisbehavingFlowClippedToReservation) {
+  const std::vector<PolicedFlow> flows{{1, mbps(50), mbps(150)}};  // 3x over
+  const auto report = police_flows(flows, Duration::seconds(10));
+  // Delivered ~ reserved * duration (+ small initial burst allowance).
+  EXPECT_NEAR(report.flows[0].delivered.to_bytes(), 50e6 * 10, 50e6 * 0.05);
+  EXPECT_NEAR(report.flows[0].delivery_ratio(), 1.0 / 3.0, 0.02);
+  EXPECT_GT(report.flows[0].dropped.to_bytes(), 0.0);
+}
+
+TEST(Policer, MisbehaverDoesNotHurtConformers) {
+  const std::vector<PolicedFlow> flows{{1, mbps(40), mbps(40)},
+                                       {2, mbps(40), mbps(400)}};
+  const auto report = police_flows(flows, Duration::seconds(5));
+  EXPECT_NEAR(report.flows[0].delivery_ratio(), 1.0, 1e-9);
+  // The aggregate the port carries stays within the sum of reservations
+  // (plus burst slack), protecting other traffic.
+  EXPECT_LE(report.peak_aggregate.to_bytes_per_second(),
+            (40e6 + 40e6) * (1.0 + 4.0) + 1.0);
+}
+
+TEST(Policer, AggregateWithinReservationsLongRun) {
+  std::vector<PolicedFlow> flows;
+  for (RequestId id = 1; id <= 5; ++id) {
+    flows.push_back(PolicedFlow{id, mbps(20), mbps(100)});
+  }
+  const auto report = police_flows(flows, Duration::seconds(20));
+  // Total delivered over 20 s must stay near 5 * 20 MB/s * 20 s.
+  EXPECT_NEAR(report.total_delivered().to_bytes(), 5 * 20e6 * 20, 5 * 20e6 * 0.1);
+  EXPECT_NEAR(report.total_dropped().to_bytes(), 5 * 80e6 * 20, 5 * 80e6 * 20 * 0.02);
+}
+
+TEST(Policer, OfferedAccountingConsistent) {
+  const std::vector<PolicedFlow> flows{{1, mbps(30), mbps(60)}};
+  const auto report = police_flows(flows, Duration::seconds(3));
+  const auto& f = report.flows[0];
+  EXPECT_NEAR(f.offered.to_bytes(), (f.delivered + f.dropped).to_bytes(), 1.0);
+  EXPECT_NEAR(f.offered.to_bytes(), 60e6 * 3, 60e6 * 0.011);
+}
+
+TEST(Policer, RejectsBadOptions) {
+  const std::vector<PolicedFlow> flows{{1, mbps(10), mbps(10)}};
+  PolicerOptions opt;
+  opt.quantum = Duration::zero();
+  EXPECT_THROW((void)police_flows(flows, Duration::seconds(1), opt),
+               std::invalid_argument);
+  PolicerOptions opt2;
+  opt2.burst_quanta = 0.5;
+  EXPECT_THROW((void)police_flows(flows, Duration::seconds(1), opt2),
+               std::invalid_argument);
+}
+
+TEST(Policer, RejectsNonPositiveRates) {
+  const std::vector<PolicedFlow> flows{{1, Bandwidth::zero(), mbps(10)}};
+  EXPECT_THROW((void)police_flows(flows, Duration::seconds(1)), std::invalid_argument);
+}
+
+TEST(Policer, EmptyFlowSet) {
+  const auto report = police_flows(std::vector<PolicedFlow>{}, Duration::seconds(1));
+  EXPECT_TRUE(report.flows.empty());
+  EXPECT_EQ(report.total_delivered(), Volume::zero());
+}
+
+}  // namespace
+}  // namespace gridbw::control

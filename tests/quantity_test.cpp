@@ -1,0 +1,158 @@
+// Unit tests for the dimensional quantity types.
+
+#include "util/quantity.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gridbw {
+namespace {
+
+TEST(Duration, FactoriesAgree) {
+  EXPECT_DOUBLE_EQ(Duration::seconds(90).to_seconds(), 90.0);
+  EXPECT_DOUBLE_EQ(Duration::minutes(1.5).to_seconds(), 90.0);
+  EXPECT_DOUBLE_EQ(Duration::hours(2).to_seconds(), 7200.0);
+  EXPECT_DOUBLE_EQ(Duration::days(1).to_hours(), 24.0);
+  EXPECT_DOUBLE_EQ(Duration::zero().to_seconds(), 0.0);
+}
+
+TEST(Duration, Arithmetic) {
+  const Duration a = Duration::seconds(10);
+  const Duration b = Duration::seconds(4);
+  EXPECT_EQ(a + b, Duration::seconds(14));
+  EXPECT_EQ(a - b, Duration::seconds(6));
+  EXPECT_EQ(a * 2.0, Duration::seconds(20));
+  EXPECT_EQ(3.0 * b, Duration::seconds(12));
+  EXPECT_EQ(a / 2.0, Duration::seconds(5));
+  EXPECT_DOUBLE_EQ(a / b, 2.5);
+  EXPECT_EQ(-a, Duration::seconds(-10));
+}
+
+TEST(Duration, CompoundAssignment) {
+  Duration d = Duration::seconds(1);
+  d += Duration::seconds(2);
+  EXPECT_EQ(d, Duration::seconds(3));
+  d -= Duration::seconds(1);
+  EXPECT_EQ(d, Duration::seconds(2));
+  d *= 4.0;
+  EXPECT_EQ(d, Duration::seconds(8));
+  d /= 2.0;
+  EXPECT_EQ(d, Duration::seconds(4));
+}
+
+TEST(Duration, PredicatesAndInfinity) {
+  EXPECT_TRUE(Duration::seconds(1).is_positive());
+  EXPECT_FALSE(Duration::zero().is_positive());
+  EXPECT_TRUE(Duration::seconds(-1).is_negative());
+  EXPECT_TRUE(Duration::seconds(5).is_finite());
+  EXPECT_FALSE(Duration::infinity().is_finite());
+  EXPECT_LT(Duration::days(400), Duration::infinity());
+}
+
+TEST(TimePoint, ArithmeticWithDurations) {
+  const TimePoint t = TimePoint::at_seconds(100);
+  EXPECT_EQ(t + Duration::seconds(10), TimePoint::at_seconds(110));
+  EXPECT_EQ(Duration::seconds(10) + t, TimePoint::at_seconds(110));
+  EXPECT_EQ(t - Duration::seconds(30), TimePoint::at_seconds(70));
+  EXPECT_EQ(TimePoint::at_seconds(110) - t, Duration::seconds(10));
+  EXPECT_EQ(TimePoint::origin().to_seconds(), 0.0);
+}
+
+TEST(TimePoint, Ordering) {
+  EXPECT_LT(TimePoint::at_seconds(1), TimePoint::at_seconds(2));
+  EXPECT_LE(TimePoint::at_seconds(2), TimePoint::at_seconds(2));
+  EXPECT_LT(TimePoint::at_seconds(1e18), TimePoint::infinity());
+}
+
+TEST(Volume, FactoriesUseDecimalMultiples) {
+  EXPECT_DOUBLE_EQ(Volume::kilobytes(1).to_bytes(), 1e3);
+  EXPECT_DOUBLE_EQ(Volume::megabytes(1).to_bytes(), 1e6);
+  EXPECT_DOUBLE_EQ(Volume::gigabytes(1).to_bytes(), 1e9);
+  EXPECT_DOUBLE_EQ(Volume::terabytes(1).to_bytes(), 1e12);
+  EXPECT_DOUBLE_EQ(Volume::terabytes(1).to_gigabytes(), 1000.0);
+}
+
+TEST(Volume, Arithmetic) {
+  const Volume a = Volume::gigabytes(10);
+  const Volume b = Volume::gigabytes(4);
+  EXPECT_EQ(a + b, Volume::gigabytes(14));
+  EXPECT_EQ(a - b, Volume::gigabytes(6));
+  EXPECT_EQ(a * 0.5, Volume::gigabytes(5));
+  EXPECT_DOUBLE_EQ(a / b, 2.5);
+}
+
+TEST(Bandwidth, FactoriesAndAccessors) {
+  EXPECT_DOUBLE_EQ(Bandwidth::megabytes_per_second(10).to_bytes_per_second(), 1e7);
+  EXPECT_DOUBLE_EQ(Bandwidth::gigabytes_per_second(1).to_megabytes_per_second(), 1000.0);
+  EXPECT_TRUE(Bandwidth::bytes_per_second(1).is_positive());
+  EXPECT_FALSE(Bandwidth::zero().is_positive());
+  EXPECT_FALSE(Bandwidth::infinity().is_finite());
+}
+
+TEST(Quantity, VolumeOverDurationIsBandwidth) {
+  const Bandwidth bw = Volume::gigabytes(100) / Duration::seconds(100);
+  EXPECT_DOUBLE_EQ(bw.to_gigabytes_per_second(), 1.0);
+}
+
+TEST(Quantity, VolumeOverBandwidthIsDuration) {
+  const Duration d = Volume::terabytes(1) / Bandwidth::megabytes_per_second(10);
+  EXPECT_DOUBLE_EQ(d.to_seconds(), 1e5);
+}
+
+TEST(Quantity, BandwidthTimesDurationIsVolume) {
+  const Volume v = Bandwidth::gigabytes_per_second(2) * Duration::seconds(30);
+  EXPECT_EQ(v, Volume::gigabytes(60));
+  EXPECT_EQ(Duration::seconds(30) * Bandwidth::gigabytes_per_second(2), v);
+}
+
+TEST(Quantity, RoundTripIdentity) {
+  // (vol / bw) * bw == vol, the invariant the schedulers rely on.
+  const Volume vol = Volume::gigabytes(123);
+  const Bandwidth bw = Bandwidth::megabytes_per_second(321);
+  const Volume back = bw * (vol / bw);
+  EXPECT_NEAR(back.to_bytes(), vol.to_bytes(), 1.0);
+}
+
+TEST(Quantity, MinMaxClamp) {
+  EXPECT_EQ(min(Duration::seconds(1), Duration::seconds(2)), Duration::seconds(1));
+  EXPECT_EQ(max(Volume::gigabytes(1), Volume::gigabytes(2)), Volume::gigabytes(2));
+  EXPECT_EQ(min(TimePoint::at_seconds(5), TimePoint::at_seconds(3)),
+            TimePoint::at_seconds(3));
+  const Bandwidth lo = Bandwidth::megabytes_per_second(10);
+  const Bandwidth hi = Bandwidth::megabytes_per_second(100);
+  EXPECT_EQ(clamp(Bandwidth::megabytes_per_second(50), lo, hi),
+            Bandwidth::megabytes_per_second(50));
+  EXPECT_EQ(clamp(Bandwidth::megabytes_per_second(5), lo, hi), lo);
+  EXPECT_EQ(clamp(Bandwidth::megabytes_per_second(500), lo, hi), hi);
+}
+
+TEST(Quantity, ApproxLeToleratesRoundoff) {
+  const double x = 0.1 + 0.2;  // 0.30000000000000004
+  EXPECT_TRUE(approx_eq(x, 0.3));
+  EXPECT_TRUE(approx_le(Bandwidth::gigabytes_per_second(1),
+                        Bandwidth::bytes_per_second(1e9 - 0.5)));
+  EXPECT_FALSE(approx_le(Bandwidth::bytes_per_second(1e9 + 1e3),
+                         Bandwidth::gigabytes_per_second(1)));
+  EXPECT_TRUE(approx_le(TimePoint::at_seconds(10.0000001), TimePoint::at_seconds(10)));
+  EXPECT_FALSE(approx_le(TimePoint::at_seconds(10.1), TimePoint::at_seconds(10)));
+}
+
+TEST(Quantity, FormattingPicksScaledUnits) {
+  EXPECT_EQ(to_string(Bandwidth::gigabytes_per_second(2.5)), "2.50 GB/s");
+  EXPECT_EQ(to_string(Bandwidth::megabytes_per_second(10)), "10.0 MB/s");
+  EXPECT_EQ(to_string(Volume::terabytes(1)), "1.00 TB");
+  EXPECT_EQ(to_string(Volume::gigabytes(500)), "500 GB");
+  EXPECT_EQ(to_string(Duration::seconds(90)), "1.50 min");
+  EXPECT_EQ(to_string(Duration::hours(3.1)), "3.10 h");
+  EXPECT_EQ(to_string(Duration::days(1.2)), "1.20 d");
+  EXPECT_EQ(to_string(Duration::seconds(12)), "12.0 s");
+}
+
+TEST(Quantity, FormattingEdgeCases) {
+  EXPECT_EQ(to_string(Volume::zero()), "0 B");
+  EXPECT_EQ(to_string(Bandwidth::zero()), "0 B/s");
+  EXPECT_EQ(to_string(Duration::infinity()), "inf");
+  EXPECT_EQ(to_string(Bandwidth::infinity()), "inf B/s");
+}
+
+}  // namespace
+}  // namespace gridbw

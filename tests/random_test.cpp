@@ -1,0 +1,192 @@
+// Unit tests for the PRNG stack: determinism, stream independence, and
+// distribution sanity.
+
+#include "util/random.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+namespace gridbw {
+namespace {
+
+TEST(SplitMix64, IsDeterministic) {
+  SplitMix64 a{42};
+  SplitMix64 b{42};
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a{1};
+  SplitMix64 b{2};
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Xoshiro256, SameSeedSameSequence) {
+  Xoshiro256 a{123};
+  Xoshiro256 b{123};
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Xoshiro256, JumpYieldsDisjointStream) {
+  Xoshiro256 a{123};
+  Xoshiro256 b{123};
+  b.jump();
+  std::set<std::uint64_t> head;
+  for (int i = 0; i < 256; ++i) head.insert(a());
+  for (int i = 0; i < 256; ++i) EXPECT_EQ(head.count(b()), 0u);
+}
+
+TEST(DeriveStream, DistinctIndexesGiveDistinctSeeds) {
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t k = 0; k < 1000; ++k) seeds.insert(derive_stream(7, k));
+  EXPECT_EQ(seeds.size(), 1000u);
+}
+
+TEST(DeriveStream, DependsOnParentSeed) {
+  EXPECT_NE(derive_stream(1, 0), derive_stream(2, 0));
+}
+
+TEST(Rng, Uniform01InRange) {
+  Rng rng{1};
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.uniform01();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, Uniform01MeanNearHalf) {
+  Rng rng{2};
+  double sum = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) sum += rng.uniform01();
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  Rng rng{3};
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.uniform(-5.0, 7.0);
+    EXPECT_GE(x, -5.0);
+    EXPECT_LT(x, 7.0);
+  }
+}
+
+TEST(Rng, UniformRejectsInvertedBounds) {
+  Rng rng{4};
+  EXPECT_THROW((void)rng.uniform(1.0, 0.0), std::invalid_argument);
+}
+
+TEST(Rng, UniformIntCoversRangeInclusively) {
+  Rng rng{5};
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.uniform_int(3, 7));
+  EXPECT_EQ(seen, (std::set<std::int64_t>{3, 4, 5, 6, 7}));
+}
+
+TEST(Rng, UniformIntSinglePoint) {
+  Rng rng{6};
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform_int(9, 9), 9);
+}
+
+TEST(Rng, UniformIntRejectsInvertedBounds) {
+  Rng rng{7};
+  EXPECT_THROW((void)rng.uniform_int(2, 1), std::invalid_argument);
+}
+
+TEST(Rng, ExponentialHasRequestedMean) {
+  Rng rng{8};
+  double sum = 0.0;
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) sum += rng.exponential(3.0);
+  EXPECT_NEAR(sum / kN, 3.0, 0.05);
+}
+
+TEST(Rng, ExponentialIsPositive) {
+  Rng rng{9};
+  for (int i = 0; i < 10000; ++i) EXPECT_GE(rng.exponential(0.5), 0.0);
+}
+
+TEST(Rng, ExponentialRejectsNonPositiveMean) {
+  Rng rng{10};
+  EXPECT_THROW((void)rng.exponential(0.0), std::invalid_argument);
+  EXPECT_THROW((void)rng.exponential(-1.0), std::invalid_argument);
+}
+
+TEST(Rng, BernoulliMatchesProbability) {
+  Rng rng{11};
+  int hits = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / kN, 0.3, 0.01);
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng{12};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+  EXPECT_THROW((void)rng.bernoulli(1.5), std::invalid_argument);
+}
+
+TEST(Rng, PickReturnsMembers) {
+  Rng rng{13};
+  const std::vector<int> items{10, 20, 30};
+  std::set<int> seen;
+  for (int i = 0; i < 300; ++i) {
+    seen.insert(rng.pick(std::span<const int>{items}));
+  }
+  EXPECT_EQ(seen, (std::set<int>{10, 20, 30}));
+}
+
+TEST(Rng, PickEmptyThrows) {
+  Rng rng{14};
+  const std::vector<int> empty;
+  EXPECT_THROW((void)rng.pick(std::span<const int>{empty}), std::invalid_argument);
+}
+
+TEST(Rng, PickWeightedHonorsWeights) {
+  Rng rng{15};
+  const std::vector<double> weights{0.0, 1.0, 3.0};
+  std::vector<int> counts(3, 0);
+  constexpr int kN = 40000;
+  for (int i = 0; i < kN; ++i) ++counts[rng.pick_weighted(weights)];
+  EXPECT_EQ(counts[0], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[1], 3.0, 0.15);
+}
+
+TEST(Rng, PickWeightedRejectsBadWeights) {
+  Rng rng{16};
+  EXPECT_THROW((void)rng.pick_weighted(std::vector<double>{0.0, 0.0}),
+               std::invalid_argument);
+  EXPECT_THROW((void)rng.pick_weighted(std::vector<double>{1.0, -1.0}),
+               std::invalid_argument);
+}
+
+TEST(Rng, ShufflePreservesMultiset) {
+  Rng rng{17};
+  std::vector<int> items{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = items;
+  rng.shuffle(items);
+  std::sort(items.begin(), items.end());
+  EXPECT_EQ(items, sorted);
+}
+
+TEST(Rng, QuantityHelpersStayInRange) {
+  Rng rng{18};
+  for (int i = 0; i < 1000; ++i) {
+    const Bandwidth b = rng.uniform_bandwidth(Bandwidth::megabytes_per_second(10),
+                                              Bandwidth::gigabytes_per_second(1));
+    EXPECT_GE(b.to_bytes_per_second(), 1e7);
+    EXPECT_LT(b.to_bytes_per_second(), 1e9);
+    const Duration d = rng.exponential_duration(Duration::seconds(2));
+    EXPECT_GE(d.to_seconds(), 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace gridbw

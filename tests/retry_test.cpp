@@ -1,0 +1,151 @@
+// Tests for client resubmission (§2.3 "try later").
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/validate.hpp"
+#include "heuristics/flexible_greedy.hpp"
+#include "heuristics/retry.hpp"
+#include "workload/generator.hpp"
+#include "workload/scenario.hpp"
+
+namespace gridbw::heuristics {
+namespace {
+
+TimePoint at(double s) { return TimePoint::at_seconds(s); }
+Bandwidth mbps(double m) { return Bandwidth::megabytes_per_second(m); }
+
+Request flexible(RequestId id, double ts, double fastest, double max_mbps,
+                 double slack, std::size_t in = 0, std::size_t out = 0) {
+  const Volume vol = mbps(max_mbps) * Duration::seconds(fastest);
+  return RequestBuilder{id}
+      .from(IngressId{in})
+      .to(EgressId{out})
+      .window(at(ts), at(ts + fastest * slack))
+      .volume(vol)
+      .max_rate(mbps(max_mbps))
+      .build();
+}
+
+TEST(Retry, SingleAttemptMatchesPlainGreedy) {
+  const workload::Scenario scenario =
+      workload::paper_flexible(Duration::seconds(1), Duration::seconds(300), 4.0);
+  Rng rng{701};
+  const auto requests = workload::generate(scenario.spec, rng);
+  const BandwidthPolicy policy = BandwidthPolicy::fraction_of_max(1.0);
+  RetryPolicy retry;
+  retry.max_attempts = 1;
+  const auto with_retries =
+      schedule_greedy_with_retries(scenario.network, requests, policy, retry);
+  const auto plain = schedule_flexible_greedy(scenario.network, requests, policy);
+  EXPECT_EQ(with_retries.result.accepted_count(), plain.accepted_count());
+  EXPECT_EQ(with_retries.retries_issued, 0u);
+  EXPECT_EQ(with_retries.accepted_on_retry, 0u);
+}
+
+TEST(Retry, RejectedRequestSucceedsAfterBackoff) {
+  const Network net = Network::uniform(1, 1, mbps(100));
+  // r1 fills the port for 10 s; r2 arrives during it, fails, retries 15 s
+  // later when the port is free.
+  const std::vector<Request> rs{flexible(1, 0, 10, 100, 4.0),
+                                flexible(2, 5, 10, 100, 4.0)};
+  RetryPolicy retry;
+  retry.max_attempts = 2;
+  retry.initial_backoff = Duration::seconds(15);
+  const auto out = schedule_greedy_with_retries(
+      net, rs, BandwidthPolicy::fraction_of_max(1.0), retry);
+  EXPECT_EQ(out.result.accepted_count(), 2u);
+  EXPECT_EQ(out.retries_issued, 1u);
+  EXPECT_EQ(out.accepted_on_retry, 1u);
+  const auto a2 = out.result.schedule.assignment(2);
+  ASSERT_TRUE(a2.has_value());
+  EXPECT_NEAR(a2->start.to_seconds(), 20.0, 1e-9);  // 5 + 15
+}
+
+TEST(Retry, GivesUpAfterMaxAttempts) {
+  const Network net = Network::uniform(1, 1, mbps(100));
+  // r1 occupies the port for 1000 s; r2's three attempts all collide.
+  const std::vector<Request> rs{flexible(1, 0, 1000, 100, 4.0),
+                                flexible(2, 5, 10, 100, 4.0)};
+  RetryPolicy retry;
+  retry.max_attempts = 3;
+  retry.initial_backoff = Duration::seconds(10);
+  retry.backoff_factor = 2.0;
+  const auto out = schedule_greedy_with_retries(
+      net, rs, BandwidthPolicy::fraction_of_max(1.0), retry);
+  EXPECT_FALSE(out.result.schedule.is_accepted(2));
+  EXPECT_EQ(out.retries_issued, 2u);
+  ASSERT_EQ(out.result.rejected.size(), 1u);
+  EXPECT_EQ(out.result.rejected.front(), 2u);
+}
+
+TEST(Retry, BackoffGrowsGeometrically) {
+  const Network net = Network::uniform(1, 1, mbps(100));
+  const std::vector<Request> rs{flexible(1, 0, 100, 100, 4.0),
+                                flexible(2, 0.5, 10, 100, 4.0)};
+  // Attempts of r2 at: 0.5, +10 -> 10.5, +20 -> 30.5, +40 -> 70.5; the port
+  // frees at 100 s, so a 5-attempt budget (+80 -> 150.5) succeeds there.
+  RetryPolicy retry;
+  retry.max_attempts = 5;
+  retry.initial_backoff = Duration::seconds(10);
+  retry.backoff_factor = 2.0;
+  const auto out = schedule_greedy_with_retries(
+      net, rs, BandwidthPolicy::fraction_of_max(1.0), retry);
+  const auto a2 = out.result.schedule.assignment(2);
+  ASSERT_TRUE(a2.has_value());
+  EXPECT_NEAR(a2->start.to_seconds(), 150.5, 1e-9);
+  EXPECT_EQ(out.retries_issued, 4u);
+}
+
+TEST(Retry, EffectiveRequestsValidateTheSchedule) {
+  const workload::Scenario scenario =
+      workload::paper_flexible(Duration::seconds(0.5), Duration::seconds(300), 4.0);
+  Rng rng{702};
+  const auto requests = workload::generate(scenario.spec, rng);
+  RetryPolicy retry;
+  retry.max_attempts = 3;
+  retry.initial_backoff = Duration::seconds(30);
+  const auto out = schedule_greedy_with_retries(
+      scenario.network, requests, BandwidthPolicy::fraction_of_max(0.8), retry);
+  EXPECT_EQ(out.effective_requests.size(), requests.size());
+  const auto report = validate_schedule(scenario.network, out.effective_requests,
+                                        out.result.schedule);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+  EXPECT_EQ(out.result.accepted_count() + out.result.rejected.size(), requests.size());
+}
+
+TEST(Retry, RetriesImproveAcceptanceUnderTransientOverload) {
+  const workload::Scenario scenario =
+      workload::paper_flexible(Duration::seconds(1), Duration::seconds(200), 4.0);
+  Rng rng{703};
+  const auto requests = workload::generate(scenario.spec, rng);
+  const BandwidthPolicy policy = BandwidthPolicy::fraction_of_max(1.0);
+  RetryPolicy none;
+  none.max_attempts = 1;
+  RetryPolicy three;
+  three.max_attempts = 3;
+  three.initial_backoff = Duration::minutes(5);
+  const auto base =
+      schedule_greedy_with_retries(scenario.network, requests, policy, none);
+  const auto retried =
+      schedule_greedy_with_retries(scenario.network, requests, policy, three);
+  EXPECT_GE(retried.result.accepted_count(), base.result.accepted_count());
+}
+
+TEST(Retry, Validation) {
+  const Network net = Network::uniform(1, 1, mbps(100));
+  RetryPolicy bad;
+  bad.max_attempts = 0;
+  EXPECT_THROW((void)schedule_greedy_with_retries(net, std::vector<Request>{},
+                                                  BandwidthPolicy::min_rate(), bad),
+               std::invalid_argument);
+  RetryPolicy bad2;
+  bad2.backoff_factor = 0.5;
+  EXPECT_THROW((void)schedule_greedy_with_retries(net, std::vector<Request>{},
+                                                  BandwidthPolicy::min_rate(), bad2),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gridbw::heuristics

@@ -1,0 +1,114 @@
+// Tests for schedule CSV persistence and the Gantt rendering.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/schedule_io.hpp"
+
+namespace gridbw {
+namespace {
+
+TimePoint at(double s) { return TimePoint::at_seconds(s); }
+Bandwidth mbps(double m) { return Bandwidth::megabytes_per_second(m); }
+
+TEST(ScheduleIo, RoundTrip) {
+  Schedule original;
+  original.accept(3, at(5.25), mbps(40));
+  original.accept(1, at(0), mbps(100));
+  original.accept(2, at(5.25), mbps(60));
+
+  std::stringstream ss;
+  write_schedule(ss, original);
+  const Schedule loaded = read_schedule(ss);
+  EXPECT_EQ(loaded.accepted_count(), 3u);
+  for (RequestId id : {1u, 2u, 3u}) {
+    const auto a = loaded.assignment(id);
+    const auto b = original.assignment(id);
+    ASSERT_TRUE(a.has_value());
+    EXPECT_NEAR(a->start.to_seconds(), b->start.to_seconds(), 1e-6);
+    EXPECT_NEAR(a->bw.to_bytes_per_second(), b->bw.to_bytes_per_second(), 1.0);
+  }
+}
+
+TEST(ScheduleIo, RowsSortedByStartThenId) {
+  Schedule s;
+  s.accept(9, at(10), mbps(1));
+  s.accept(2, at(5), mbps(1));
+  s.accept(1, at(10), mbps(1));
+  std::stringstream ss;
+  write_schedule(ss, s);
+  std::string line;
+  std::getline(ss, line);  // header
+  std::getline(ss, line);
+  EXPECT_EQ(line.substr(0, 2), "2,");
+  std::getline(ss, line);
+  EXPECT_EQ(line.substr(0, 2), "1,");
+  std::getline(ss, line);
+  EXPECT_EQ(line.substr(0, 2), "9,");
+}
+
+TEST(ScheduleIo, EmptySchedule) {
+  std::stringstream ss;
+  write_schedule(ss, Schedule{});
+  const Schedule loaded = read_schedule(ss);
+  EXPECT_EQ(loaded.accepted_count(), 0u);
+}
+
+TEST(ScheduleIo, RejectsWrongHeader) {
+  std::stringstream ss{"nope\n"};
+  EXPECT_THROW((void)read_schedule(ss), std::runtime_error);
+}
+
+TEST(ScheduleIo, RejectsBadRows) {
+  std::stringstream missing{"request,start_s,bw_bps\n1,2.0\n"};
+  EXPECT_THROW((void)read_schedule(missing), std::runtime_error);
+  std::stringstream extra{"request,start_s,bw_bps\n1,2.0,3.0,4.0\n"};
+  EXPECT_THROW((void)read_schedule(extra), std::runtime_error);
+  std::stringstream dup{"request,start_s,bw_bps\n1,2.0,3.0\n1,4.0,5.0\n"};
+  EXPECT_THROW((void)read_schedule(dup), std::runtime_error);
+}
+
+TEST(Gantt, RendersOccupationGlyphs) {
+  const Network net = Network::uniform(2, 1, mbps(100));
+  std::vector<Request> rs;
+  rs.push_back(RequestBuilder{1}
+                   .from(IngressId{0})
+                   .to(EgressId{0})
+                   .rigid(at(0), Duration::seconds(50), mbps(100))
+                   .build());
+  rs.push_back(RequestBuilder{2}
+                   .from(IngressId{1})
+                   .to(EgressId{0})
+                   .window(at(50), at(150))
+                   .volume(Volume::gigabytes(1))
+                   .max_rate(mbps(100))
+                   .build());
+  Schedule s;
+  s.accept(1, at(0), mbps(100));  // in0 fully busy over [0, 50)
+  s.accept(2, at(50), mbps(10));  // in1 lightly busy over [50, 150)
+  const std::string gantt =
+      render_ingress_gantt(net, rs, s, at(0), at(100), 10);
+  // Two rows, one per ingress port.
+  EXPECT_NE(gantt.find("in0"), std::string::npos);
+  EXPECT_NE(gantt.find("in1"), std::string::npos);
+  // in0: first half '#' (full), second half idle.
+  const auto in0_line = gantt.substr(0, gantt.find('\n'));
+  EXPECT_NE(in0_line.find("#####"), std::string::npos);
+  // in1: '.' glyphs (10% utilization) in the second half.
+  const auto in1_line = gantt.substr(gantt.find('\n') + 1);
+  EXPECT_NE(in1_line.find("....."), std::string::npos);
+}
+
+TEST(Gantt, Validation) {
+  const Network net = Network::uniform(1, 1, mbps(100));
+  EXPECT_THROW((void)render_ingress_gantt(net, std::vector<Request>{}, Schedule{},
+                                          at(5), at(5), 10),
+               std::invalid_argument);
+  EXPECT_THROW((void)render_ingress_gantt(net, std::vector<Request>{}, Schedule{},
+                                          at(0), at(5), 0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gridbw

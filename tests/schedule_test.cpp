@@ -1,0 +1,88 @@
+// Unit tests for the Schedule container and ScheduleResult.
+
+#include "core/schedule.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gridbw {
+namespace {
+
+TimePoint at(double s) { return TimePoint::at_seconds(s); }
+Bandwidth mbps(double m) { return Bandwidth::megabytes_per_second(m); }
+
+TEST(Schedule, StartsEmpty) {
+  Schedule s;
+  EXPECT_EQ(s.accepted_count(), 0u);
+  EXPECT_FALSE(s.is_accepted(1));
+  EXPECT_FALSE(s.assignment(1).has_value());
+}
+
+TEST(Schedule, AcceptRecordsAssignment) {
+  Schedule s;
+  s.accept(42, at(10), mbps(50));
+  EXPECT_TRUE(s.is_accepted(42));
+  const auto a = s.assignment(42);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->start, at(10));
+  EXPECT_EQ(a->bw, mbps(50));
+  EXPECT_EQ(s.accepted_count(), 1u);
+}
+
+TEST(Schedule, DuplicateAcceptThrows) {
+  Schedule s;
+  s.accept(1, at(0), mbps(10));
+  EXPECT_THROW(s.accept(1, at(5), mbps(20)), std::logic_error);
+}
+
+TEST(Schedule, WithdrawRemoves) {
+  Schedule s;
+  s.accept(1, at(0), mbps(10));
+  s.accept(2, at(1), mbps(20));
+  s.accept(3, at(2), mbps(30));
+  EXPECT_TRUE(s.withdraw(2));
+  EXPECT_FALSE(s.is_accepted(2));
+  EXPECT_EQ(s.accepted_count(), 2u);
+  // Remaining assignments intact (withdraw swaps from the back).
+  EXPECT_EQ(s.assignment(1)->bw, mbps(10));
+  EXPECT_EQ(s.assignment(3)->bw, mbps(30));
+  EXPECT_FALSE(s.withdraw(2));  // already gone
+  EXPECT_FALSE(s.withdraw(99));
+}
+
+TEST(Schedule, WithdrawThenReacceptAllowed) {
+  Schedule s;
+  s.accept(1, at(0), mbps(10));
+  EXPECT_TRUE(s.withdraw(1));
+  s.accept(1, at(5), mbps(20));
+  EXPECT_EQ(s.assignment(1)->start, at(5));
+}
+
+TEST(Assignment, EndDerivesFromVolume) {
+  const Request r = RequestBuilder{5}
+                        .from(IngressId{0})
+                        .to(EgressId{0})
+                        .window(at(0), at(100))
+                        .volume(Volume::gigabytes(1))
+                        .max_rate(mbps(100))
+                        .build();
+  const Assignment a{5, at(10), mbps(50)};
+  EXPECT_EQ(a.end(r), at(30));  // 1 GB at 50 MB/s = 20 s
+}
+
+TEST(ScheduleResult, AcceptRate) {
+  ScheduleResult r;
+  r.schedule.accept(1, at(0), mbps(1));
+  r.schedule.accept(2, at(0), mbps(1));
+  r.rejected = {3, 4, 5, 6};
+  EXPECT_EQ(r.accepted_count(), 2u);
+  EXPECT_EQ(r.total_count(), 6u);
+  EXPECT_NEAR(r.accept_rate(), 2.0 / 6.0, 1e-12);
+}
+
+TEST(ScheduleResult, EmptyAcceptRateIsZero) {
+  const ScheduleResult r;
+  EXPECT_DOUBLE_EQ(r.accept_rate(), 0.0);
+}
+
+}  // namespace
+}  // namespace gridbw

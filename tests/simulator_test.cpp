@@ -1,0 +1,106 @@
+// Unit tests for the discrete-event simulator kernel.
+
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace gridbw::sim {
+namespace {
+
+TimePoint at(double s) { return TimePoint::at_seconds(s); }
+
+TEST(Simulator, ClockStartsAtOrigin) {
+  Simulator s;
+  EXPECT_EQ(s.now(), TimePoint::origin());
+  EXPECT_FALSE(s.has_pending());
+}
+
+TEST(Simulator, RunExecutesAllEventsInOrder) {
+  Simulator s;
+  std::vector<double> times;
+  (void)s.at(at(2), [&] { times.push_back(s.now().to_seconds()); });
+  (void)s.at(at(1), [&] { times.push_back(s.now().to_seconds()); });
+  EXPECT_EQ(s.run(), 2u);
+  EXPECT_EQ(times, (std::vector<double>{1.0, 2.0}));
+  EXPECT_EQ(s.now(), at(2));
+}
+
+TEST(Simulator, HandlersCanScheduleMoreEvents) {
+  Simulator s;
+  std::vector<double> times;
+  (void)s.at(at(1), [&] {
+    times.push_back(s.now().to_seconds());
+    (void)s.after(Duration::seconds(5), [&] { times.push_back(s.now().to_seconds()); });
+  });
+  (void)s.run();
+  EXPECT_EQ(times, (std::vector<double>{1.0, 6.0}));
+}
+
+TEST(Simulator, SchedulingInThePastThrows) {
+  Simulator s;
+  (void)s.at(at(10), [] {});
+  (void)s.run();
+  EXPECT_THROW((void)s.at(at(5), [] {}), std::invalid_argument);
+  EXPECT_THROW((void)s.after(Duration::seconds(-1), [] {}), std::invalid_argument);
+}
+
+TEST(Simulator, RunUntilStopsAtHorizon) {
+  Simulator s;
+  std::vector<double> times;
+  for (double t : {1.0, 2.0, 3.0, 4.0}) {
+    (void)s.at(at(t), [&s, &times] { times.push_back(s.now().to_seconds()); });
+  }
+  EXPECT_EQ(s.run_until(at(2.5)), 2u);
+  EXPECT_EQ(times, (std::vector<double>{1.0, 2.0}));
+  EXPECT_EQ(s.now(), at(2.5));
+  EXPECT_TRUE(s.has_pending());
+}
+
+TEST(Simulator, RunUntilAdvancesClockWhenQueueDrains) {
+  Simulator s;
+  (void)s.at(at(1), [] {});
+  (void)s.run_until(at(100));
+  EXPECT_EQ(s.now(), at(100));
+}
+
+TEST(Simulator, RunUntilIncludesEventsExactlyAtHorizon) {
+  Simulator s;
+  bool fired = false;
+  (void)s.at(at(5), [&] { fired = true; });
+  (void)s.run_until(at(5));
+  EXPECT_TRUE(fired);
+}
+
+TEST(Simulator, CancelledEventsDoNotRun) {
+  Simulator s;
+  bool fired = false;
+  const EventId id = s.at(at(1), [&] { fired = true; });
+  EXPECT_TRUE(s.cancel(id));
+  (void)s.run();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(s.executed_events(), 0u);
+}
+
+TEST(Simulator, StepRunsOneEvent) {
+  Simulator s;
+  int count = 0;
+  (void)s.at(at(1), [&] { ++count; });
+  (void)s.at(at(2), [&] { ++count; });
+  EXPECT_TRUE(s.step());
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(s.step());
+  EXPECT_FALSE(s.step());
+  EXPECT_EQ(count, 2);
+}
+
+TEST(Simulator, ExecutedEventsCounts) {
+  Simulator s;
+  for (int i = 0; i < 7; ++i) (void)s.at(at(i + 1.0), [] {});
+  (void)s.run();
+  EXPECT_EQ(s.executed_events(), 7u);
+}
+
+}  // namespace
+}  // namespace gridbw::sim

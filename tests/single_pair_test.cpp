@@ -1,0 +1,130 @@
+// Tests for the single ingress-egress pair polynomial case: EDF greedy is
+// optimal (verified against brute force on random instances).
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "exact/single_pair.hpp"
+#include "util/random.hpp"
+
+namespace gridbw::exact {
+namespace {
+
+TEST(SinglePairEdf, EmptyInput) {
+  const auto out = schedule_single_pair_edf(std::vector<UnitJob>{}, 1);
+  EXPECT_EQ(out.accepted_count(), 0u);
+  EXPECT_TRUE(out.rejected.empty());
+}
+
+TEST(SinglePairEdf, SingleJobRunsInItsWindow) {
+  const std::vector<UnitJob> jobs{{1, 5, 8}};
+  const auto out = schedule_single_pair_edf(jobs, 1);
+  ASSERT_EQ(out.accepted_count(), 1u);
+  EXPECT_EQ(out.assigned[0].first, 1u);
+  EXPECT_GE(out.assigned[0].second, 5);
+  EXPECT_LT(out.assigned[0].second, 8);
+}
+
+TEST(SinglePairEdf, CapacityLimitsConcurrency) {
+  // Three jobs, all with window [0, 1): capacity 2 accepts exactly two.
+  const std::vector<UnitJob> jobs{{1, 0, 1}, {2, 0, 1}, {3, 0, 1}};
+  const auto out = schedule_single_pair_edf(jobs, 2);
+  EXPECT_EQ(out.accepted_count(), 2u);
+  EXPECT_EQ(out.rejected.size(), 1u);
+}
+
+TEST(SinglePairEdf, EarliestDeadlineWinsContention) {
+  // Two jobs available at slot 0; only one fits per slot. The tight one
+  // (deadline 1) must run first, the loose one at slot 1.
+  const std::vector<UnitJob> jobs{{1, 0, 3}, {2, 0, 1}};
+  const auto out = schedule_single_pair_edf(jobs, 1);
+  ASSERT_EQ(out.accepted_count(), 2u);
+  for (const auto& [id, slot] : out.assigned) {
+    if (id == 2) EXPECT_EQ(slot, 0);
+    if (id == 1) EXPECT_EQ(slot, 1);
+  }
+}
+
+TEST(SinglePairEdf, ExpiredJobsAreRejected) {
+  // Three same-window jobs on capacity 1: one must expire.
+  const std::vector<UnitJob> jobs{{1, 0, 2}, {2, 0, 2}, {3, 0, 2}};
+  const auto out = schedule_single_pair_edf(jobs, 1);
+  EXPECT_EQ(out.accepted_count(), 2u);
+  EXPECT_EQ(out.rejected.size(), 1u);
+}
+
+TEST(SinglePairEdf, SkipsIdleGaps) {
+  const std::vector<UnitJob> jobs{{1, 0, 1}, {2, 1000, 1001}};
+  const auto out = schedule_single_pair_edf(jobs, 1);
+  EXPECT_EQ(out.accepted_count(), 2u);
+}
+
+TEST(SinglePairEdf, NoSlotUsedTwiceBeyondCapacity) {
+  Rng rng{51};
+  std::vector<UnitJob> jobs;
+  for (RequestId id = 1; id <= 40; ++id) {
+    const auto r = rng.uniform_int(0, 10);
+    jobs.push_back(UnitJob{id, r, r + rng.uniform_int(1, 6)});
+  }
+  const std::size_t capacity = 3;
+  const auto out = schedule_single_pair_edf(jobs, capacity);
+  std::map<std::int64_t, std::size_t> used;
+  for (const auto& [id, slot] : out.assigned) ++used[slot];
+  for (const auto& [slot, count] : used) {
+    EXPECT_LE(count, capacity) << "slot " << slot;
+  }
+  // Every assignment sits inside its job's window.
+  for (const auto& [id, slot] : out.assigned) {
+    const auto& job = jobs[id - 1];
+    EXPECT_GE(slot, job.release);
+    EXPECT_LT(slot, job.deadline);
+  }
+  EXPECT_EQ(out.accepted_count() + out.rejected.size(), jobs.size());
+}
+
+TEST(SinglePairEdf, Validation) {
+  EXPECT_THROW((void)schedule_single_pair_edf(std::vector<UnitJob>{{1, 0, 2}}, 0),
+               std::invalid_argument);
+  EXPECT_THROW((void)schedule_single_pair_edf(std::vector<UnitJob>{{1, 2, 2}}, 1),
+               std::invalid_argument);
+}
+
+TEST(SinglePairBruteForce, HandCases) {
+  EXPECT_EQ(single_pair_optimal_bruteforce(std::vector<UnitJob>{{1, 0, 1}, {2, 0, 1}}, 1),
+            1u);
+  EXPECT_EQ(single_pair_optimal_bruteforce(std::vector<UnitJob>{{1, 0, 2}, {2, 0, 2}}, 1),
+            2u);
+  EXPECT_EQ(single_pair_optimal_bruteforce(std::vector<UnitJob>{}, 2), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// The optimality claim of Theorem 1's footnote: EDF greedy == brute force on
+// the single pair, across random instances and capacities.
+// ---------------------------------------------------------------------------
+
+class EdfOptimality
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::uint64_t>> {};
+
+TEST_P(EdfOptimality, GreedyMatchesBruteForce) {
+  const auto [capacity, seed] = GetParam();
+  Rng rng{seed};
+  std::vector<UnitJob> jobs;
+  const auto count = static_cast<RequestId>(rng.uniform_int(4, 9));
+  for (RequestId id = 1; id <= count; ++id) {
+    const auto r = rng.uniform_int(0, 6);
+    jobs.push_back(UnitJob{id, r, r + rng.uniform_int(1, 4)});
+  }
+  const auto greedy = schedule_single_pair_edf(jobs, capacity);
+  const auto optimal = single_pair_optimal_bruteforce(jobs, capacity);
+  EXPECT_EQ(greedy.accepted_count(), optimal);
+}
+
+INSTANTIATE_TEST_SUITE_P(CapacitiesAndSeeds, EdfOptimality,
+                         ::testing::Combine(::testing::Values(1u, 2u, 3u),
+                                            ::testing::Values(61u, 62u, 63u, 64u, 65u,
+                                                              66u, 67u, 68u)));
+
+}  // namespace
+}  // namespace gridbw::exact

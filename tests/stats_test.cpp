@@ -1,0 +1,152 @@
+// Unit tests for the statistics helpers.
+
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/random.hpp"
+
+namespace gridbw {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stderr_mean(), 0.0);
+}
+
+TEST(RunningStats, SingleSample) {
+  RunningStats s;
+  s.add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(RunningStats, MatchesHandComputedMoments) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance with n-1: sum sq dev = 32, / 7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, WelfordIsNumericallyStable) {
+  // Large offset + small variance: the naive sum-of-squares formula loses
+  // all precision here.
+  RunningStats s;
+  const double offset = 1e9;
+  for (double x : {offset + 1, offset + 2, offset + 3}) s.add(x);
+  EXPECT_NEAR(s.variance(), 1.0, 1e-6);
+}
+
+TEST(RunningStats, MergeEqualsSequential) {
+  Rng rng{21};
+  RunningStats whole, left, right;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(-3, 9);
+    whole.add(x);
+    (i % 2 == 0 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-10);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-8);
+  EXPECT_DOUBLE_EQ(left.min(), whole.min());
+  EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
+TEST(RunningStats, MergeWithEmptySides) {
+  RunningStats a, b;
+  a.add(1.0);
+  a.add(3.0);
+  b.merge(a);  // empty.merge(full)
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+  RunningStats empty;
+  b.merge(empty);  // full.merge(empty)
+  EXPECT_EQ(b.count(), 2u);
+}
+
+TEST(ConfidenceInterval, CoversTheMeanSymmetrically) {
+  RunningStats s;
+  for (int i = 1; i <= 100; ++i) s.add(static_cast<double>(i));
+  const auto ci = confidence_interval(s, 0.95);
+  EXPECT_TRUE(ci.contains(s.mean()));
+  EXPECT_NEAR((ci.lo + ci.hi) / 2.0, s.mean(), 1e-9);
+  // z(95%) = 1.96; half-width = z * stderr.
+  EXPECT_NEAR(ci.half_width(), 1.959964 * s.stderr_mean(), 1e-4);
+}
+
+TEST(ConfidenceInterval, WiderLevelsGiveWiderIntervals) {
+  RunningStats s;
+  for (int i = 0; i < 50; ++i) s.add(i % 7);
+  EXPECT_LT(confidence_interval(s, 0.90).half_width(),
+            confidence_interval(s, 0.99).half_width());
+}
+
+TEST(ConfidenceInterval, RejectsBadLevels) {
+  RunningStats s;
+  s.add(1);
+  s.add(2);
+  EXPECT_THROW((void)confidence_interval(s, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)confidence_interval(s, 1.0), std::invalid_argument);
+}
+
+TEST(Percentile, ExactOnSmallSets) {
+  const std::vector<double> xs{1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.25), 2.0);
+}
+
+TEST(Percentile, InterpolatesBetweenRanks) {
+  const std::vector<double> xs{0, 10};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.9), 9.0);
+}
+
+TEST(Percentile, InputOrderIrrelevant) {
+  const std::vector<double> xs{5, 1, 4, 2, 3};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.5), 3.0);
+}
+
+TEST(Percentile, Errors) {
+  EXPECT_THROW((void)percentile(std::vector<double>{}, 0.5), std::invalid_argument);
+  EXPECT_THROW((void)percentile(std::vector<double>{1.0}, 1.5), std::invalid_argument);
+}
+
+TEST(Summarize, FullSummary) {
+  const std::vector<double> xs{1, 2, 3, 4, 100};
+  const Summary s = summarize(xs);
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 22.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 100.0);
+  EXPECT_DOUBLE_EQ(s.p50, 3.0);
+}
+
+TEST(Summarize, EmptyGivesZeros) {
+  const Summary s = summarize(std::vector<double>{});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+}
+
+TEST(FormatMeanCi, RendersPlusMinus) {
+  RunningStats s;
+  for (int i = 0; i < 16; ++i) s.add(0.5);
+  EXPECT_EQ(format_mean_ci(s), "0.5000 ± 0.0000");
+}
+
+}  // namespace
+}  // namespace gridbw

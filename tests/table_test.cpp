@@ -1,0 +1,88 @@
+// Unit tests for table / CSV emission.
+
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace gridbw {
+namespace {
+
+TEST(Table, RejectsEmptyHeader) {
+  EXPECT_THROW(Table{std::vector<std::string>{}}, std::invalid_argument);
+}
+
+TEST(Table, RejectsMismatchedRow) {
+  Table t{{"a", "b"}};
+  EXPECT_THROW(t.add_row({"1"}), std::invalid_argument);
+  EXPECT_THROW(t.add_row({"1", "2", "3"}), std::invalid_argument);
+}
+
+TEST(Table, RendersAlignedColumns) {
+  Table t{{"name", "v"}};
+  t.add_row({"x", "1"});
+  t.add_row({"longer", "22"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("| name   | v  |"), std::string::npos);
+  EXPECT_NE(s.find("| longer | 22 |"), std::string::npos);
+  EXPECT_NE(s.find("+--------+----+"), std::string::npos);
+}
+
+TEST(Table, NumericRowsUsePrecision) {
+  Table t{{"x", "y"}};
+  t.add_row_numeric(std::vector<double>{1.23456, 2.0}, 2);
+  EXPECT_NE(t.to_string().find("1.23"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 1u);
+  EXPECT_EQ(t.column_count(), 2u);
+}
+
+TEST(Table, CsvOutput) {
+  Table t{{"a", "b"}};
+  t.add_row({"1", "x,y"});
+  EXPECT_EQ(t.to_csv(), "a,b\n1,\"x,y\"\n");
+}
+
+TEST(CsvEscape, QuotesOnlyWhenNeeded) {
+  EXPECT_EQ(csv_escape("plain"), "plain");
+  EXPECT_EQ(csv_escape("with,comma"), "\"with,comma\"");
+  EXPECT_EQ(csv_escape("with\"quote"), "\"with\"\"quote\"");
+  EXPECT_EQ(csv_escape("with\nnewline"), "\"with\nnewline\"");
+}
+
+TEST(FormatDouble, Precision) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_double(1.0, 0), "1");
+}
+
+TEST(CsvWriter, WritesHeaderAndRows) {
+  const std::string path = ::testing::TempDir() + "gridbw_csv_test.csv";
+  {
+    CsvWriter w{path, {"load", "accept"}};
+    w.add_row(std::vector<std::string>{"0.5", "0.9"});
+    w.add_row_numeric(std::vector<double>{1.0, 0.5}, 2);
+    w.close();
+  }
+  std::ifstream in{path};
+  std::stringstream ss;
+  ss << in.rdbuf();
+  EXPECT_EQ(ss.str(), "load,accept\n0.5,0.9\n1.00,0.50\n");
+  std::remove(path.c_str());
+}
+
+TEST(CsvWriter, RejectsMismatchedRow) {
+  const std::string path = ::testing::TempDir() + "gridbw_csv_test2.csv";
+  CsvWriter w{path, {"a", "b"}};
+  EXPECT_THROW(w.add_row(std::vector<std::string>{"only-one"}), std::invalid_argument);
+  w.close();
+  std::remove(path.c_str());
+}
+
+TEST(CsvWriter, RejectsUnopenablePath) {
+  EXPECT_THROW((CsvWriter{"/nonexistent-dir/x.csv", {"a"}}), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace gridbw

@@ -1,0 +1,84 @@
+// Unit tests for the worker pool and parallel_for_index.
+
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace gridbw {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool{4};
+  auto f = pool.submit([] { return 7; });
+  EXPECT_EQ(f.get(), 7);
+}
+
+TEST(ThreadPool, DefaultsToHardwareConcurrency) {
+  ThreadPool pool{};
+  EXPECT_GE(pool.thread_count(), 1u);
+}
+
+TEST(ThreadPool, ExecutesManyTasks) {
+  ThreadPool pool{3};
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.submit([&counter] { ++counter; }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, PropagatesExceptionsThroughFutures) {
+  ThreadPool pool{2};
+  auto f = pool.submit([]() -> int { throw std::runtime_error{"boom"}; });
+  EXPECT_THROW((void)f.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, DrainsQueueOnDestruction) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool{1};
+    for (int i = 0; i < 50; ++i) {
+      (void)pool.submit([&counter] { ++counter; });
+    }
+  }  // destructor must run all 50
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ParallelForIndex, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool{4};
+  std::vector<std::atomic<int>> hits(257);
+  parallel_for_index(pool, hits.size(), [&](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelForIndex, ZeroCountIsNoop) {
+  ThreadPool pool{2};
+  parallel_for_index(pool, 0, [](std::size_t) { FAIL() << "must not run"; });
+}
+
+TEST(ParallelForIndex, RethrowsBodyException) {
+  ThreadPool pool{2};
+  EXPECT_THROW(parallel_for_index(pool, 8,
+                                  [](std::size_t i) {
+                                    if (i == 3) throw std::logic_error{"bad index"};
+                                  }),
+               std::logic_error);
+}
+
+TEST(SerialForIndex, MatchesParallelResults) {
+  std::vector<int> serial(64, 0), parallel(64, 0);
+  serial_for_index(serial.size(), [&](std::size_t i) { serial[i] = static_cast<int>(i * i); });
+  ThreadPool pool{4};
+  parallel_for_index(pool, parallel.size(),
+                     [&](std::size_t i) { parallel[i] = static_cast<int>(i * i); });
+  EXPECT_EQ(serial, parallel);
+}
+
+}  // namespace
+}  // namespace gridbw

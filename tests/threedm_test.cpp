@@ -1,0 +1,180 @@
+// Tests for the 3-DM reduction: both certificate directions and the
+// equivalence "matching exists <=> K requests schedulable", validated with
+// the exact flexible solver on random instances.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/validate.hpp"
+#include "exact/bnb.hpp"
+#include "exact/threedm.hpp"
+#include "util/random.hpp"
+
+namespace gridbw::exact {
+namespace {
+
+ThreeDMInstance perfect_instance_n3() {
+  // Diagonal matching exists: (0,0,0), (1,1,1), (2,2,2) + noise triples.
+  return ThreeDMInstance{3,
+                         {{0, 0, 0}, {1, 1, 1}, {2, 2, 2}, {0, 1, 2}, {2, 1, 0}}};
+}
+
+ThreeDMInstance unmatchable_instance_n2() {
+  // Every triple uses y = 0: no two disjoint triples exist.
+  return ThreeDMInstance{2, {{0, 0, 0}, {1, 0, 1}, {0, 0, 1}}};
+}
+
+TEST(ThreeDM, ValidityCheck) {
+  EXPECT_TRUE(perfect_instance_n3().is_valid());
+  const ThreeDMInstance bad{2, {{0, 0, 5}}};
+  EXPECT_FALSE(bad.is_valid());
+}
+
+TEST(ThreeDM, BruteForceFindsDiagonalMatching) {
+  const auto m = solve_3dm_bruteforce(perfect_instance_n3());
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->size(), 3u);
+}
+
+TEST(ThreeDM, BruteForceDetectsUnmatchable) {
+  EXPECT_FALSE(solve_3dm_bruteforce(unmatchable_instance_n2()).has_value());
+}
+
+TEST(ThreeDM, BruteForceRejectsInvalidInstance) {
+  const ThreeDMInstance bad{2, {{0, 0, 9}}};
+  EXPECT_THROW((void)solve_3dm_bruteforce(bad), std::invalid_argument);
+}
+
+TEST(Reduction, SizesMatchTheorem1) {
+  const auto inst = perfect_instance_n3();
+  const auto red = reduce_3dm(inst);
+  const std::size_t n = inst.n;
+  EXPECT_EQ(red.network.ingress_count(), n + 1);
+  EXPECT_EQ(red.network.egress_count(), n + 1);
+  EXPECT_EQ(red.requests.size(), inst.triples.size() + 2 * n * (n - 1));
+  EXPECT_EQ(red.k_bound, n + 2 * n * (n - 1));
+  EXPECT_EQ(red.regular_count, inst.triples.size());
+  // Special ports have capacity n-1 units, regular ports 1 unit.
+  const Bandwidth unit = Bandwidth::megabytes_per_second(1);
+  EXPECT_EQ(red.network.ingress_capacity(IngressId{0}), unit);
+  EXPECT_EQ(red.network.ingress_capacity(IngressId{n}),
+            unit * static_cast<double>(n - 1));
+  EXPECT_EQ(red.network.egress_capacity(EgressId{n}),
+            unit * static_cast<double>(n - 1));
+}
+
+TEST(Reduction, RegularRequestsAreRigidAtTheirStep) {
+  const auto inst = perfect_instance_n3();
+  const auto red = reduce_3dm(inst);
+  for (std::size_t t = 0; t < red.regular_count; ++t) {
+    const Request& r = red.requests[red.regular_offset + t];
+    EXPECT_TRUE(r.is_rigid()) << r.describe();
+    EXPECT_DOUBLE_EQ(r.release.to_seconds(),
+                     static_cast<double>(inst.triples[t].z + 1));
+    EXPECT_DOUBLE_EQ(r.window().to_seconds(), 1.0);
+    EXPECT_EQ(r.ingress.value, inst.triples[t].x);
+    EXPECT_EQ(r.egress.value, inst.triples[t].y);
+  }
+}
+
+TEST(Reduction, SpecialRequestsAreFlexibleOverAllSteps) {
+  const auto inst = perfect_instance_n3();
+  const auto red = reduce_3dm(inst);
+  for (std::size_t k = 0; k < red.regular_offset; ++k) {
+    const Request& r = red.requests[k];
+    EXPECT_FALSE(r.is_rigid()) << r.describe();
+    EXPECT_DOUBLE_EQ(r.release.to_seconds(), 1.0);
+    EXPECT_DOUBLE_EQ(r.deadline.to_seconds(), static_cast<double>(inst.n + 1));
+    // Exactly one endpoint is the special port.
+    EXPECT_TRUE((r.ingress.value == inst.n) != (r.egress.value == inst.n));
+  }
+}
+
+TEST(Reduction, RequiresNAtLeastTwo) {
+  const ThreeDMInstance tiny{1, {{0, 0, 0}}};
+  EXPECT_THROW((void)reduce_3dm(tiny), std::invalid_argument);
+}
+
+TEST(Certificates, MatchingYieldsFeasibleScheduleAcceptingK) {
+  const auto inst = perfect_instance_n3();
+  const auto red = reduce_3dm(inst);
+  const auto matching = solve_3dm_bruteforce(inst);
+  ASSERT_TRUE(matching.has_value());
+  const Schedule s = schedule_from_matching(red, inst, *matching);
+  EXPECT_EQ(s.accepted_count(), red.k_bound);
+  const auto report = validate_schedule(red.network, red.requests, s);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+TEST(Certificates, ScheduleMapsBackToMatching) {
+  const auto inst = perfect_instance_n3();
+  const auto red = reduce_3dm(inst);
+  const auto matching = solve_3dm_bruteforce(inst);
+  ASSERT_TRUE(matching.has_value());
+  const Schedule s = schedule_from_matching(red, inst, *matching);
+  const auto recovered = matching_from_schedule(red, inst, s);
+  ASSERT_TRUE(recovered.has_value());
+  EXPECT_EQ(*recovered, *matching);
+}
+
+TEST(Certificates, TooSmallScheduleYieldsNoMatching) {
+  const auto inst = perfect_instance_n3();
+  const auto red = reduce_3dm(inst);
+  const Schedule empty;
+  EXPECT_FALSE(matching_from_schedule(red, inst, empty).has_value());
+}
+
+TEST(Certificates, WrongMatchingSizeThrows) {
+  const auto inst = perfect_instance_n3();
+  const auto red = reduce_3dm(inst);
+  EXPECT_THROW((void)schedule_from_matching(red, inst, std::vector<std::size_t>{0}),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// The equivalence of Theorem 1 on random instances: the exact solver reaches
+// K on the reduced platform iff the 3-DM instance has a perfect matching.
+// ---------------------------------------------------------------------------
+
+class Theorem1Equivalence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Theorem1Equivalence, ExactSolverAgreesWithBruteForce3DM) {
+  Rng rng{GetParam()};
+  // n = 2 keeps the reduced platform small enough for a provably-optimal
+  // search (the special requests are pairwise symmetric, which the B&B does
+  // not exploit).
+  const std::size_t n = 2;
+  ThreeDMInstance inst{n, {}};
+  const auto triple_count = static_cast<std::size_t>(rng.uniform_int(2, 4));
+  for (std::size_t t = 0; t < triple_count; ++t) {
+    inst.triples.push_back(Triple{static_cast<std::size_t>(rng.uniform_int(0, 1)),
+                                  static_cast<std::size_t>(rng.uniform_int(0, 1)),
+                                  static_cast<std::size_t>(rng.uniform_int(0, 1))});
+  }
+  const bool has_matching = solve_3dm_bruteforce(inst).has_value();
+
+  const auto red = reduce_3dm(inst);
+  const auto solved =
+      solve_flexible_optimal(red.network, red.requests, Duration::seconds(1),
+                             ExactOptions{20'000'000});
+  ASSERT_TRUE(solved.proven_optimal);
+  EXPECT_EQ(solved.result.accepted_count() >= red.k_bound, has_matching);
+  if (has_matching) {
+    const auto recovered = matching_from_schedule(red, inst, solved.result.schedule);
+    ASSERT_TRUE(recovered.has_value());
+    // The recovered triples must form a genuine matching of the instance.
+    std::vector<char> used_x(inst.n, 0), used_y(inst.n, 0), used_z(inst.n, 0);
+    for (std::size_t idx : *recovered) {
+      const Triple& tr = inst.triples.at(idx);
+      EXPECT_FALSE(used_x[tr.x] || used_y[tr.y] || used_z[tr.z]);
+      used_x[tr.x] = used_y[tr.y] = used_z[tr.z] = 1;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, Theorem1Equivalence,
+                         ::testing::Values(201, 202, 203, 204, 205));
+
+}  // namespace
+}  // namespace gridbw::exact

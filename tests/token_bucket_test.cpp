@@ -1,0 +1,82 @@
+// Tests for the token-bucket policer primitive.
+
+#include <gtest/gtest.h>
+
+#include "control/token_bucket.hpp"
+
+namespace gridbw::control {
+namespace {
+
+TimePoint at(double s) { return TimePoint::at_seconds(s); }
+Bandwidth mbps(double m) { return Bandwidth::megabytes_per_second(m); }
+Volume mb(double m) { return Volume::megabytes(m); }
+
+TEST(TokenBucket, StartsFull) {
+  TokenBucket tb{mbps(10), mb(5)};
+  EXPECT_EQ(tb.tokens_at(at(0)), mb(5));
+  EXPECT_TRUE(tb.try_consume(at(0), mb(5)));
+  EXPECT_FALSE(tb.try_consume(at(0), mb(0.001)));
+}
+
+TEST(TokenBucket, RefillsAtRate) {
+  TokenBucket tb{mbps(10), mb(5)};
+  ASSERT_TRUE(tb.try_consume(at(0), mb(5)));
+  // After 0.2 s: 2 MB of tokens.
+  EXPECT_NEAR(tb.tokens_at(at(0.2)).to_bytes(), 2e6, 1.0);
+  EXPECT_TRUE(tb.try_consume(at(0.2), mb(2)));
+  EXPECT_FALSE(tb.try_consume(at(0.2), mb(0.5)));
+}
+
+TEST(TokenBucket, CapsAtBurst) {
+  TokenBucket tb{mbps(10), mb(5)};
+  ASSERT_TRUE(tb.try_consume(at(0), mb(5)));
+  // After a long idle period tokens cap at the burst size.
+  EXPECT_EQ(tb.tokens_at(at(1000)), mb(5));
+}
+
+TEST(TokenBucket, AllOrNothingConsume) {
+  TokenBucket tb{mbps(10), mb(5)};
+  EXPECT_FALSE(tb.try_consume(at(0), mb(6)));
+  // The failed attempt must not have consumed anything.
+  EXPECT_TRUE(tb.try_consume(at(0), mb(5)));
+}
+
+TEST(TokenBucket, ConsumeUpToGrantsPartial) {
+  TokenBucket tb{mbps(10), mb(5)};
+  EXPECT_EQ(tb.consume_up_to(at(0), mb(8)), mb(5));
+  EXPECT_EQ(tb.consume_up_to(at(0), mb(1)), Volume::zero());
+  EXPECT_NEAR(tb.consume_up_to(at(0.1), mb(8)).to_bytes(), 1e6, 1.0);
+}
+
+TEST(TokenBucket, SustainedRateIsEnforced) {
+  TokenBucket tb{mbps(10), mb(1)};
+  // Offer 20 MB/s for 10 s in 0.1 s quanta. Each quantum refills exactly
+  // one bucket's worth (the burst cap), so delivered == rate * time.
+  Volume delivered = Volume::zero();
+  for (int k = 1; k <= 100; ++k) {
+    delivered += tb.consume_up_to(at(0.1 * k), mb(2));
+  }
+  EXPECT_NEAR(delivered.to_bytes(), 10e6 * 10, 1e3);
+}
+
+TEST(TokenBucket, ConformingFlowNeverDropped) {
+  TokenBucket tb{mbps(10), mb(1)};
+  for (int k = 1; k <= 1000; ++k) {
+    EXPECT_TRUE(tb.try_consume(at(0.1 * k), mb(1)));  // exactly the rate
+  }
+}
+
+TEST(TokenBucket, TimeMustNotGoBackwards) {
+  TokenBucket tb{mbps(10), mb(1)};
+  ASSERT_TRUE(tb.try_consume(at(5), mb(1)));
+  EXPECT_THROW((void)tb.try_consume(at(4), mb(0.1)), std::invalid_argument);
+  EXPECT_THROW((void)tb.tokens_at(at(1)), std::invalid_argument);
+}
+
+TEST(TokenBucket, RejectsBadParameters) {
+  EXPECT_THROW((TokenBucket{Bandwidth::zero(), mb(1)}), std::invalid_argument);
+  EXPECT_THROW((TokenBucket{mbps(1), Volume::zero()}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gridbw::control

@@ -1,0 +1,153 @@
+// Unit tests for the independent schedule validator: every violation kind
+// must be detectable, and feasible schedules must pass.
+
+#include "core/validate.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace gridbw {
+namespace {
+
+TimePoint at(double s) { return TimePoint::at_seconds(s); }
+Bandwidth mbps(double m) { return Bandwidth::megabytes_per_second(m); }
+
+class ValidateTest : public ::testing::Test {
+ protected:
+  Network net_ = Network::uniform(2, 2, mbps(100));
+
+  Request make(RequestId id, double ts, double tf, double gb, double max_mbps,
+               std::size_t in = 0, std::size_t out = 0) {
+    return RequestBuilder{id}
+        .from(IngressId{in})
+        .to(EgressId{out})
+        .window(at(ts), at(tf))
+        .volume(Volume::gigabytes(gb))
+        .max_rate(mbps(max_mbps))
+        .build();
+  }
+
+  bool has_violation(const ValidationReport& report, ViolationKind kind) {
+    for (const auto& v : report.violations) {
+      if (v.kind == kind) return true;
+    }
+    return false;
+  }
+};
+
+TEST_F(ValidateTest, EmptyScheduleIsValid) {
+  const std::vector<Request> rs{make(1, 0, 100, 1, 100)};
+  const Schedule s;
+  EXPECT_TRUE(validate_schedule(net_, rs, s).ok());
+}
+
+TEST_F(ValidateTest, FeasibleScheduleIsValid) {
+  const std::vector<Request> rs{make(1, 0, 100, 1, 100), make(2, 0, 100, 1, 100, 1, 1)};
+  Schedule s;
+  s.accept(1, at(0), mbps(10));   // finishes exactly at the deadline
+  s.accept(2, at(50), mbps(50));  // delayed start, faster rate
+  const auto report = validate_schedule(net_, rs, s);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+TEST_F(ValidateTest, UnknownRequestFlagged) {
+  const std::vector<Request> rs{make(1, 0, 100, 1, 100)};
+  Schedule s;
+  s.accept(99, at(0), mbps(10));
+  const auto report = validate_schedule(net_, rs, s);
+  EXPECT_TRUE(has_violation(report, ViolationKind::kUnknownRequest));
+}
+
+TEST_F(ValidateTest, StartBeforeReleaseFlagged) {
+  const std::vector<Request> rs{make(1, 10, 100, 1, 100)};
+  Schedule s;
+  s.accept(1, at(5), mbps(50));
+  EXPECT_TRUE(has_violation(validate_schedule(net_, rs, s),
+                            ViolationKind::kStartBeforeRelease));
+}
+
+TEST_F(ValidateTest, EndAfterDeadlineFlagged) {
+  const std::vector<Request> rs{make(1, 0, 100, 1, 100)};
+  Schedule s;
+  s.accept(1, at(0), mbps(5));  // 1 GB at 5 MB/s = 200 s > 100 s window
+  EXPECT_TRUE(
+      has_violation(validate_schedule(net_, rs, s), ViolationKind::kEndAfterDeadline));
+}
+
+TEST_F(ValidateTest, RateAboveMaxFlagged) {
+  const std::vector<Request> rs{make(1, 0, 100, 1, 50)};
+  Schedule s;
+  s.accept(1, at(0), mbps(80));
+  EXPECT_TRUE(
+      has_violation(validate_schedule(net_, rs, s), ViolationKind::kRateAboveMax));
+}
+
+TEST_F(ValidateTest, NonPositiveRateFlagged) {
+  const std::vector<Request> rs{make(1, 0, 100, 1, 100)};
+  Schedule s;
+  s.accept(1, at(0), Bandwidth::zero());
+  EXPECT_TRUE(
+      has_violation(validate_schedule(net_, rs, s), ViolationKind::kRateNotPositive));
+}
+
+TEST_F(ValidateTest, IngressOverCapacityFlagged) {
+  // Two 60 MB/s flows on the same 100 MB/s ingress, different egress.
+  const std::vector<Request> rs{make(1, 0, 100, 6, 100, 0, 0),
+                                make(2, 0, 100, 6, 100, 0, 1)};
+  Schedule s;
+  s.accept(1, at(0), mbps(60));
+  s.accept(2, at(0), mbps(60));
+  const auto report = validate_schedule(net_, rs, s);
+  EXPECT_TRUE(has_violation(report, ViolationKind::kIngressOverCapacity));
+  EXPECT_FALSE(has_violation(report, ViolationKind::kEgressOverCapacity));
+}
+
+TEST_F(ValidateTest, EgressOverCapacityFlagged) {
+  const std::vector<Request> rs{make(1, 0, 100, 6, 100, 0, 0),
+                                make(2, 0, 100, 6, 100, 1, 0)};
+  Schedule s;
+  s.accept(1, at(0), mbps(60));
+  s.accept(2, at(0), mbps(60));
+  const auto report = validate_schedule(net_, rs, s);
+  EXPECT_TRUE(has_violation(report, ViolationKind::kEgressOverCapacity));
+}
+
+TEST_F(ValidateTest, SequentialFullCapacityIsValid) {
+  // Back-to-back 100 MB/s reservations on the same port never coexist.
+  const std::vector<Request> rs{make(1, 0, 10, 1, 100), make(2, 10, 20, 1, 100)};
+  Schedule s;
+  s.accept(1, at(0), mbps(100));
+  s.accept(2, at(10), mbps(100));
+  const auto report = validate_schedule(net_, rs, s);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+TEST_F(ValidateTest, GuaranteeFloorChecked) {
+  const std::vector<Request> rs{make(1, 0, 1000, 1, 100)};
+  Schedule s;
+  s.accept(1, at(0), mbps(10));  // well above MinRate (1 MB/s) but below 0.8*Max
+  EXPECT_TRUE(validate_schedule(net_, rs, s, 0.0).ok());
+  const auto report = validate_schedule(net_, rs, s, 0.8);
+  EXPECT_FALSE(report.ok());
+}
+
+TEST_F(ValidateTest, GuaranteeFloorSatisfied) {
+  const std::vector<Request> rs{make(1, 0, 1000, 1, 100)};
+  Schedule s;
+  s.accept(1, at(0), mbps(80));
+  EXPECT_TRUE(validate_schedule(net_, rs, s, 0.8).ok());
+}
+
+TEST_F(ValidateTest, ReportRendering) {
+  const std::vector<Request> rs{make(1, 10, 100, 1, 100)};
+  Schedule s;
+  s.accept(1, at(5), mbps(50));
+  const auto report = validate_schedule(net_, rs, s);
+  EXPECT_NE(report.to_string().find("start-before-release"), std::string::npos);
+  Schedule ok;
+  EXPECT_EQ(validate_schedule(net_, rs, ok).to_string(), "valid");
+}
+
+}  // namespace
+}  // namespace gridbw

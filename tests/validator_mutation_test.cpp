@@ -1,0 +1,162 @@
+// Mutation tests for the validator — the oracle every other test leans on.
+// Start from a known-valid schedule, apply a single corrupting mutation,
+// and require the validator to flag it. If the oracle is blind to a class
+// of corruption, the whole suite's guarantees silently weaken; this file
+// pins each class.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/validate.hpp"
+#include "heuristics/flexible_greedy.hpp"
+#include "workload/generator.hpp"
+#include "workload/scenario.hpp"
+
+namespace gridbw {
+namespace {
+
+struct Fixture {
+  workload::Scenario scenario =
+      workload::paper_flexible(Duration::seconds(2), Duration::seconds(300), 4.0);
+  std::vector<Request> requests;
+  Schedule valid;
+
+  Fixture() {
+    Rng rng{1001};
+    requests = workload::generate(scenario.spec, rng);
+    auto result = heuristics::schedule_flexible_greedy(
+        scenario.network, requests, heuristics::BandwidthPolicy::fraction_of_max(0.8));
+    valid = std::move(result.schedule);
+    // Preconditions of every mutation test.
+    EXPECT_TRUE(validate_schedule(scenario.network, requests, valid).ok());
+    EXPECT_GT(valid.accepted_count(), 10u);
+  }
+
+  /// Rebuilds the schedule with `mutate` applied to the `index`-th
+  /// assignment (in assignments() order).
+  Schedule mutated(std::size_t index, auto&& mutate) const {
+    Schedule out;
+    std::size_t k = 0;
+    for (const Assignment& a : valid.assignments()) {
+      Assignment m = a;
+      if (k++ == index) mutate(m);
+      out.accept(m.request, m.start, m.bw);
+    }
+    return out;
+  }
+};
+
+TEST(ValidatorMutation, DetectsRateInflation) {
+  const Fixture f;
+  // Inflating one assignment's rate past MaxRate must be flagged.
+  const auto mutant = f.mutated(3, [&](Assignment& a) {
+    for (const Request& r : f.requests) {
+      if (r.id == a.request) a.bw = r.max_rate * 1.2;
+    }
+  });
+  const auto report = validate_schedule(f.scenario.network, f.requests, mutant);
+  EXPECT_FALSE(report.ok());
+}
+
+TEST(ValidatorMutation, DetectsEarlyStart) {
+  const Fixture f;
+  const auto mutant = f.mutated(5, [](Assignment& a) {
+    a.start = a.start - Duration::hours(1);
+  });
+  // Either start-before-release or (if release ~0) a port overlap appears;
+  // the schedule must not validate cleanly unless the move is harmless —
+  // an hour's shift on a tight greedy schedule never is.
+  const auto report = validate_schedule(f.scenario.network, f.requests, mutant);
+  EXPECT_FALSE(report.ok());
+}
+
+TEST(ValidatorMutation, DetectsDeadlineOverrun) {
+  const Fixture f;
+  const auto mutant = f.mutated(2, [&](Assignment& a) {
+    // Slash the rate so the transfer cannot finish inside its window.
+    for (const Request& r : f.requests) {
+      if (r.id == a.request) a.bw = r.min_rate() * 0.2;
+    }
+  });
+  const auto report = validate_schedule(f.scenario.network, f.requests, mutant);
+  EXPECT_FALSE(report.ok());
+}
+
+TEST(ValidatorMutation, DetectsDuplicatedCapacityUse) {
+  const Fixture f;
+  // Re-point one accepted request's id at another accepted request: the
+  // duplicate id is rejected by Schedule::accept itself.
+  Schedule out;
+  const auto assignments = f.valid.assignments();
+  ASSERT_GE(assignments.size(), 2u);
+  out.accept(assignments[0].request, assignments[0].start, assignments[0].bw);
+  EXPECT_THROW(out.accept(assignments[0].request, assignments[1].start,
+                          assignments[1].bw),
+               std::logic_error);
+}
+
+TEST(ValidatorMutation, DetectsForeignRequestId) {
+  const Fixture f;
+  const auto mutant = f.mutated(1, [](Assignment& a) { a.request = 99999999; });
+  const auto report = validate_schedule(f.scenario.network, f.requests, mutant);
+  EXPECT_FALSE(report.ok());
+}
+
+TEST(ValidatorMutation, DetectsPortOverload) {
+  // Directly: two full-port transfers overlapped on purpose.
+  const Network net = Network::uniform(1, 1, Bandwidth::megabytes_per_second(100));
+  std::vector<Request> rs;
+  for (RequestId id = 1; id <= 2; ++id) {
+    rs.push_back(RequestBuilder{id}
+                     .from(IngressId{0})
+                     .to(EgressId{0})
+                     .window(TimePoint::at_seconds(0), TimePoint::at_seconds(100))
+                     .volume(Volume::gigabytes(1))
+                     .max_rate(Bandwidth::megabytes_per_second(100))
+                     .build());
+  }
+  Schedule s;
+  s.accept(1, TimePoint::at_seconds(0), Bandwidth::megabytes_per_second(100));
+  s.accept(2, TimePoint::at_seconds(5), Bandwidth::megabytes_per_second(100));
+  const auto report = validate_schedule(net, rs, s);
+  EXPECT_FALSE(report.ok());
+}
+
+TEST(ValidatorMutation, GuaranteeFloorMutationDetected) {
+  const Fixture f;
+  // The valid schedule satisfies f = 0.8; nudging one rate below the
+  // floor (but above MinRate) must fail the floor check specifically.
+  EXPECT_TRUE(validate_schedule(f.scenario.network, f.requests, f.valid, 0.8).ok());
+  // Find an assignment whose feasible floor sits below 0.5 x MaxRate, so
+  // lowering the rate to 0.5 x MaxRate stays deadline-feasible but breaks
+  // the f = 0.8 guarantee.
+  std::size_t target = 0;
+  bool found = false;
+  for (std::size_t k = 0; k < f.valid.assignments().size() && !found; ++k) {
+    const Assignment& a = f.valid.assignments()[k];
+    for (const Request& r : f.requests) {
+      if (r.id == a.request && r.min_rate_from(a.start) < r.max_rate * 0.5) {
+        target = k;
+        found = true;
+      }
+    }
+  }
+  ASSERT_TRUE(found);
+  const auto mutant = f.mutated(target, [&](Assignment& a) {
+    for (const Request& r : f.requests) {
+      if (r.id == a.request) {
+        a.bw = max(r.min_rate_from(a.start), r.max_rate * 0.5);
+      }
+    }
+  });
+  const auto strict = validate_schedule(f.scenario.network, f.requests, mutant, 0.8);
+  const auto loose = validate_schedule(f.scenario.network, f.requests, mutant, 0.0);
+  // Under the floor the mutant fails; without it, the mutation alone
+  // (lower rate, same start) can only shrink port usage, so it passes.
+  EXPECT_FALSE(strict.ok());
+  EXPECT_TRUE(loose.ok()) << loose.to_string();
+}
+
+}  // namespace
+}  // namespace gridbw
