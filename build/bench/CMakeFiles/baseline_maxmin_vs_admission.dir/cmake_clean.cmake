@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_maxmin_vs_admission.dir/baseline_maxmin_vs_admission.cpp.o"
+  "CMakeFiles/baseline_maxmin_vs_admission.dir/baseline_maxmin_vs_admission.cpp.o.d"
+  "baseline_maxmin_vs_admission"
+  "baseline_maxmin_vs_admission.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_maxmin_vs_admission.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for baseline_maxmin_vs_admission.
+# This may be replaced when dependencies are built.

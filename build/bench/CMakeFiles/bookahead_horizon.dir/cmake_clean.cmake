@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bookahead_horizon.dir/bookahead_horizon.cpp.o"
+  "CMakeFiles/bookahead_horizon.dir/bookahead_horizon.cpp.o.d"
+  "bookahead_horizon"
+  "bookahead_horizon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bookahead_horizon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctrl_policing.dir/ctrl_policing.cpp.o"
+  "CMakeFiles/ctrl_policing.dir/ctrl_policing.cpp.o.d"
+  "ctrl_policing"
+  "ctrl_policing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctrl_policing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_hotspot_distributed.dir/ext_hotspot_distributed.cpp.o"
+  "CMakeFiles/ext_hotspot_distributed.dir/ext_hotspot_distributed.cpp.o.d"
+  "ext_hotspot_distributed"
+  "ext_hotspot_distributed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_hotspot_distributed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_rigid_heuristics.dir/fig4_rigid_heuristics.cpp.o"
+  "CMakeFiles/fig4_rigid_heuristics.dir/fig4_rigid_heuristics.cpp.o.d"
+  "fig4_rigid_heuristics"
+  "fig4_rigid_heuristics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_rigid_heuristics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_window_vs_fcfs.dir/fig5_window_vs_fcfs.cpp.o"
+  "CMakeFiles/fig5_window_vs_fcfs.dir/fig5_window_vs_fcfs.cpp.o.d"
+  "fig5_window_vs_fcfs"
+  "fig5_window_vs_fcfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_window_vs_fcfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

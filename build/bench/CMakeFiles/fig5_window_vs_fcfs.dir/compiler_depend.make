@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig5_window_vs_fcfs.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_greedy_f.dir/fig6_greedy_f.cpp.o"
+  "CMakeFiles/fig6_greedy_f.dir/fig6_greedy_f.cpp.o.d"
+  "fig6_greedy_f"
+  "fig6_greedy_f.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_greedy_f.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_window_f.dir/fig7_window_f.cpp.o"
+  "CMakeFiles/fig7_window_f.dir/fig7_window_f.cpp.o.d"
+  "fig7_window_f"
+  "fig7_window_f.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_window_f.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

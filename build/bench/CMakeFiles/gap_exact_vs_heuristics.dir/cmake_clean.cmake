@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gap_exact_vs_heuristics.dir/gap_exact_vs_heuristics.cpp.o"
+  "CMakeFiles/gap_exact_vs_heuristics.dir/gap_exact_vs_heuristics.cpp.o.d"
+  "gap_exact_vs_heuristics"
+  "gap_exact_vs_heuristics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gap_exact_vs_heuristics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

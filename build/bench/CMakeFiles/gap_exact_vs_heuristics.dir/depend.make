@@ -1,0 +1,2 @@
+# Empty dependencies file for gap_exact_vs_heuristics.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/longlived_optimal_vs_greedy.dir/longlived_optimal_vs_greedy.cpp.o"
+  "CMakeFiles/longlived_optimal_vs_greedy.dir/longlived_optimal_vs_greedy.cpp.o.d"
+  "longlived_optimal_vs_greedy"
+  "longlived_optimal_vs_greedy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/longlived_optimal_vs_greedy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mice_elephants.dir/mice_elephants.cpp.o"
+  "CMakeFiles/mice_elephants.dir/mice_elephants.cpp.o.d"
+  "mice_elephants"
+  "mice_elephants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mice_elephants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

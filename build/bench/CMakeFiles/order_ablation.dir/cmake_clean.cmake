@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/order_ablation.dir/order_ablation.cpp.o"
+  "CMakeFiles/order_ablation.dir/order_ablation.cpp.o.d"
+  "order_ablation"
+  "order_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/order_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

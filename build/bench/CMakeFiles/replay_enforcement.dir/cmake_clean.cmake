@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replay_enforcement.dir/replay_enforcement.cpp.o"
+  "CMakeFiles/replay_enforcement.dir/replay_enforcement.cpp.o.d"
+  "replay_enforcement"
+  "replay_enforcement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replay_enforcement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tune_factor_study.dir/tune_factor_study.cpp.o"
+  "CMakeFiles/tune_factor_study.dir/tune_factor_study.cpp.o.d"
+  "tune_factor_study"
+  "tune_factor_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tune_factor_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

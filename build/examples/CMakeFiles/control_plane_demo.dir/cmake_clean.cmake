@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/control_plane_demo.dir/control_plane_demo.cpp.o"
+  "CMakeFiles/control_plane_demo.dir/control_plane_demo.cpp.o.d"
+  "control_plane_demo"
+  "control_plane_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/control_plane_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/datagrid_campaign.cpp" "examples/CMakeFiles/datagrid_campaign.dir/datagrid_campaign.cpp.o" "gcc" "examples/CMakeFiles/datagrid_campaign.dir/datagrid_campaign.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/gridbw_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gridbw_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gridbw_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/gridbw_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/heuristics/CMakeFiles/gridbw_heuristics.dir/DependInfo.cmake"
+  "/root/repo/build/src/exact/CMakeFiles/gridbw_exact.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/gridbw_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/control/CMakeFiles/gridbw_control.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/gridbw_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/flow/CMakeFiles/gridbw_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/longlived/CMakeFiles/gridbw_longlived.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataplane/CMakeFiles/gridbw_dataplane.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datagrid_campaign.dir/datagrid_campaign.cpp.o"
+  "CMakeFiles/datagrid_campaign.dir/datagrid_campaign.cpp.o.d"
+  "datagrid_campaign"
+  "datagrid_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datagrid_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gridbw_sim_cli.dir/gridbw_sim.cpp.o"
+  "CMakeFiles/gridbw_sim_cli.dir/gridbw_sim.cpp.o.d"
+  "gridbw_sim"
+  "gridbw_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gridbw_sim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/longlived_planning.dir/longlived_planning.cpp.o"
+  "CMakeFiles/longlived_planning.dir/longlived_planning.cpp.o.d"
+  "longlived_planning"
+  "longlived_planning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/longlived_planning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gridbw_baseline.dir/maxmin.cpp.o"
+  "CMakeFiles/gridbw_baseline.dir/maxmin.cpp.o.d"
+  "libgridbw_baseline.a"
+  "libgridbw_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gridbw_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

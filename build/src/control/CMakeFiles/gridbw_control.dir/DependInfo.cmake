@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/control/control_plane.cpp" "src/control/CMakeFiles/gridbw_control.dir/control_plane.cpp.o" "gcc" "src/control/CMakeFiles/gridbw_control.dir/control_plane.cpp.o.d"
+  "/root/repo/src/control/messages.cpp" "src/control/CMakeFiles/gridbw_control.dir/messages.cpp.o" "gcc" "src/control/CMakeFiles/gridbw_control.dir/messages.cpp.o.d"
+  "/root/repo/src/control/policer.cpp" "src/control/CMakeFiles/gridbw_control.dir/policer.cpp.o" "gcc" "src/control/CMakeFiles/gridbw_control.dir/policer.cpp.o.d"
+  "/root/repo/src/control/token_bucket.cpp" "src/control/CMakeFiles/gridbw_control.dir/token_bucket.cpp.o" "gcc" "src/control/CMakeFiles/gridbw_control.dir/token_bucket.cpp.o.d"
+  "/root/repo/src/control/topology.cpp" "src/control/CMakeFiles/gridbw_control.dir/topology.cpp.o" "gcc" "src/control/CMakeFiles/gridbw_control.dir/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/gridbw_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gridbw_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/heuristics/CMakeFiles/gridbw_heuristics.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gridbw_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gridbw_control.dir/control_plane.cpp.o"
+  "CMakeFiles/gridbw_control.dir/control_plane.cpp.o.d"
+  "CMakeFiles/gridbw_control.dir/messages.cpp.o"
+  "CMakeFiles/gridbw_control.dir/messages.cpp.o.d"
+  "CMakeFiles/gridbw_control.dir/policer.cpp.o"
+  "CMakeFiles/gridbw_control.dir/policer.cpp.o.d"
+  "CMakeFiles/gridbw_control.dir/token_bucket.cpp.o"
+  "CMakeFiles/gridbw_control.dir/token_bucket.cpp.o.d"
+  "CMakeFiles/gridbw_control.dir/topology.cpp.o"
+  "CMakeFiles/gridbw_control.dir/topology.cpp.o.d"
+  "libgridbw_control.a"
+  "libgridbw_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gridbw_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

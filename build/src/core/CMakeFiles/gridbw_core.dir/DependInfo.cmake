@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/ledger.cpp" "src/core/CMakeFiles/gridbw_core.dir/ledger.cpp.o" "gcc" "src/core/CMakeFiles/gridbw_core.dir/ledger.cpp.o.d"
+  "/root/repo/src/core/network.cpp" "src/core/CMakeFiles/gridbw_core.dir/network.cpp.o" "gcc" "src/core/CMakeFiles/gridbw_core.dir/network.cpp.o.d"
+  "/root/repo/src/core/request.cpp" "src/core/CMakeFiles/gridbw_core.dir/request.cpp.o" "gcc" "src/core/CMakeFiles/gridbw_core.dir/request.cpp.o.d"
+  "/root/repo/src/core/schedule.cpp" "src/core/CMakeFiles/gridbw_core.dir/schedule.cpp.o" "gcc" "src/core/CMakeFiles/gridbw_core.dir/schedule.cpp.o.d"
+  "/root/repo/src/core/schedule_io.cpp" "src/core/CMakeFiles/gridbw_core.dir/schedule_io.cpp.o" "gcc" "src/core/CMakeFiles/gridbw_core.dir/schedule_io.cpp.o.d"
+  "/root/repo/src/core/step_function.cpp" "src/core/CMakeFiles/gridbw_core.dir/step_function.cpp.o" "gcc" "src/core/CMakeFiles/gridbw_core.dir/step_function.cpp.o.d"
+  "/root/repo/src/core/validate.cpp" "src/core/CMakeFiles/gridbw_core.dir/validate.cpp.o" "gcc" "src/core/CMakeFiles/gridbw_core.dir/validate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/gridbw_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

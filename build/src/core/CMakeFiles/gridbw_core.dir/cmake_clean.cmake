@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gridbw_core.dir/ledger.cpp.o"
+  "CMakeFiles/gridbw_core.dir/ledger.cpp.o.d"
+  "CMakeFiles/gridbw_core.dir/network.cpp.o"
+  "CMakeFiles/gridbw_core.dir/network.cpp.o.d"
+  "CMakeFiles/gridbw_core.dir/request.cpp.o"
+  "CMakeFiles/gridbw_core.dir/request.cpp.o.d"
+  "CMakeFiles/gridbw_core.dir/schedule.cpp.o"
+  "CMakeFiles/gridbw_core.dir/schedule.cpp.o.d"
+  "CMakeFiles/gridbw_core.dir/schedule_io.cpp.o"
+  "CMakeFiles/gridbw_core.dir/schedule_io.cpp.o.d"
+  "CMakeFiles/gridbw_core.dir/step_function.cpp.o"
+  "CMakeFiles/gridbw_core.dir/step_function.cpp.o.d"
+  "CMakeFiles/gridbw_core.dir/validate.cpp.o"
+  "CMakeFiles/gridbw_core.dir/validate.cpp.o.d"
+  "libgridbw_core.a"
+  "libgridbw_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gridbw_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gridbw_dataplane.dir/replay.cpp.o"
+  "CMakeFiles/gridbw_dataplane.dir/replay.cpp.o.d"
+  "libgridbw_dataplane.a"
+  "libgridbw_dataplane.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gridbw_dataplane.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exact/bnb.cpp" "src/exact/CMakeFiles/gridbw_exact.dir/bnb.cpp.o" "gcc" "src/exact/CMakeFiles/gridbw_exact.dir/bnb.cpp.o.d"
+  "/root/repo/src/exact/single_pair.cpp" "src/exact/CMakeFiles/gridbw_exact.dir/single_pair.cpp.o" "gcc" "src/exact/CMakeFiles/gridbw_exact.dir/single_pair.cpp.o.d"
+  "/root/repo/src/exact/threedm.cpp" "src/exact/CMakeFiles/gridbw_exact.dir/threedm.cpp.o" "gcc" "src/exact/CMakeFiles/gridbw_exact.dir/threedm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/gridbw_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gridbw_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gridbw_exact.dir/bnb.cpp.o"
+  "CMakeFiles/gridbw_exact.dir/bnb.cpp.o.d"
+  "CMakeFiles/gridbw_exact.dir/single_pair.cpp.o"
+  "CMakeFiles/gridbw_exact.dir/single_pair.cpp.o.d"
+  "CMakeFiles/gridbw_exact.dir/threedm.cpp.o"
+  "CMakeFiles/gridbw_exact.dir/threedm.cpp.o.d"
+  "libgridbw_exact.a"
+  "libgridbw_exact.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gridbw_exact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgridbw_exact.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gridbw_flow.dir/maxflow.cpp.o"
+  "CMakeFiles/gridbw_flow.dir/maxflow.cpp.o.d"
+  "libgridbw_flow.a"
+  "libgridbw_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gridbw_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/heuristics/bandwidth_policy.cpp" "src/heuristics/CMakeFiles/gridbw_heuristics.dir/bandwidth_policy.cpp.o" "gcc" "src/heuristics/CMakeFiles/gridbw_heuristics.dir/bandwidth_policy.cpp.o.d"
+  "/root/repo/src/heuristics/compact.cpp" "src/heuristics/CMakeFiles/gridbw_heuristics.dir/compact.cpp.o" "gcc" "src/heuristics/CMakeFiles/gridbw_heuristics.dir/compact.cpp.o.d"
+  "/root/repo/src/heuristics/distributed.cpp" "src/heuristics/CMakeFiles/gridbw_heuristics.dir/distributed.cpp.o" "gcc" "src/heuristics/CMakeFiles/gridbw_heuristics.dir/distributed.cpp.o.d"
+  "/root/repo/src/heuristics/flexible_bookahead.cpp" "src/heuristics/CMakeFiles/gridbw_heuristics.dir/flexible_bookahead.cpp.o" "gcc" "src/heuristics/CMakeFiles/gridbw_heuristics.dir/flexible_bookahead.cpp.o.d"
+  "/root/repo/src/heuristics/flexible_greedy.cpp" "src/heuristics/CMakeFiles/gridbw_heuristics.dir/flexible_greedy.cpp.o" "gcc" "src/heuristics/CMakeFiles/gridbw_heuristics.dir/flexible_greedy.cpp.o.d"
+  "/root/repo/src/heuristics/flexible_window.cpp" "src/heuristics/CMakeFiles/gridbw_heuristics.dir/flexible_window.cpp.o" "gcc" "src/heuristics/CMakeFiles/gridbw_heuristics.dir/flexible_window.cpp.o.d"
+  "/root/repo/src/heuristics/parse.cpp" "src/heuristics/CMakeFiles/gridbw_heuristics.dir/parse.cpp.o" "gcc" "src/heuristics/CMakeFiles/gridbw_heuristics.dir/parse.cpp.o.d"
+  "/root/repo/src/heuristics/registry.cpp" "src/heuristics/CMakeFiles/gridbw_heuristics.dir/registry.cpp.o" "gcc" "src/heuristics/CMakeFiles/gridbw_heuristics.dir/registry.cpp.o.d"
+  "/root/repo/src/heuristics/retry.cpp" "src/heuristics/CMakeFiles/gridbw_heuristics.dir/retry.cpp.o" "gcc" "src/heuristics/CMakeFiles/gridbw_heuristics.dir/retry.cpp.o.d"
+  "/root/repo/src/heuristics/rigid_fcfs.cpp" "src/heuristics/CMakeFiles/gridbw_heuristics.dir/rigid_fcfs.cpp.o" "gcc" "src/heuristics/CMakeFiles/gridbw_heuristics.dir/rigid_fcfs.cpp.o.d"
+  "/root/repo/src/heuristics/rigid_slots.cpp" "src/heuristics/CMakeFiles/gridbw_heuristics.dir/rigid_slots.cpp.o" "gcc" "src/heuristics/CMakeFiles/gridbw_heuristics.dir/rigid_slots.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/gridbw_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gridbw_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

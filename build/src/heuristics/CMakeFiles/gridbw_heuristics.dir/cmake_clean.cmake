@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gridbw_heuristics.dir/bandwidth_policy.cpp.o"
+  "CMakeFiles/gridbw_heuristics.dir/bandwidth_policy.cpp.o.d"
+  "CMakeFiles/gridbw_heuristics.dir/compact.cpp.o"
+  "CMakeFiles/gridbw_heuristics.dir/compact.cpp.o.d"
+  "CMakeFiles/gridbw_heuristics.dir/distributed.cpp.o"
+  "CMakeFiles/gridbw_heuristics.dir/distributed.cpp.o.d"
+  "CMakeFiles/gridbw_heuristics.dir/flexible_bookahead.cpp.o"
+  "CMakeFiles/gridbw_heuristics.dir/flexible_bookahead.cpp.o.d"
+  "CMakeFiles/gridbw_heuristics.dir/flexible_greedy.cpp.o"
+  "CMakeFiles/gridbw_heuristics.dir/flexible_greedy.cpp.o.d"
+  "CMakeFiles/gridbw_heuristics.dir/flexible_window.cpp.o"
+  "CMakeFiles/gridbw_heuristics.dir/flexible_window.cpp.o.d"
+  "CMakeFiles/gridbw_heuristics.dir/parse.cpp.o"
+  "CMakeFiles/gridbw_heuristics.dir/parse.cpp.o.d"
+  "CMakeFiles/gridbw_heuristics.dir/registry.cpp.o"
+  "CMakeFiles/gridbw_heuristics.dir/registry.cpp.o.d"
+  "CMakeFiles/gridbw_heuristics.dir/retry.cpp.o"
+  "CMakeFiles/gridbw_heuristics.dir/retry.cpp.o.d"
+  "CMakeFiles/gridbw_heuristics.dir/rigid_fcfs.cpp.o"
+  "CMakeFiles/gridbw_heuristics.dir/rigid_fcfs.cpp.o.d"
+  "CMakeFiles/gridbw_heuristics.dir/rigid_slots.cpp.o"
+  "CMakeFiles/gridbw_heuristics.dir/rigid_slots.cpp.o.d"
+  "libgridbw_heuristics.a"
+  "libgridbw_heuristics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gridbw_heuristics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

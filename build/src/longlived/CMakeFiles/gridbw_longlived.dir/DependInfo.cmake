@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/longlived/longlived.cpp" "src/longlived/CMakeFiles/gridbw_longlived.dir/longlived.cpp.o" "gcc" "src/longlived/CMakeFiles/gridbw_longlived.dir/longlived.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/gridbw_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gridbw_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/flow/CMakeFiles/gridbw_flow.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gridbw_longlived.dir/longlived.cpp.o"
+  "CMakeFiles/gridbw_longlived.dir/longlived.cpp.o.d"
+  "libgridbw_longlived.a"
+  "libgridbw_longlived.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gridbw_longlived.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

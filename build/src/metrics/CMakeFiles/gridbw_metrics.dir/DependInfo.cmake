@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/metrics/experiment.cpp" "src/metrics/CMakeFiles/gridbw_metrics.dir/experiment.cpp.o" "gcc" "src/metrics/CMakeFiles/gridbw_metrics.dir/experiment.cpp.o.d"
+  "/root/repo/src/metrics/objectives.cpp" "src/metrics/CMakeFiles/gridbw_metrics.dir/objectives.cpp.o" "gcc" "src/metrics/CMakeFiles/gridbw_metrics.dir/objectives.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/gridbw_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gridbw_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gridbw_metrics.dir/experiment.cpp.o"
+  "CMakeFiles/gridbw_metrics.dir/experiment.cpp.o.d"
+  "CMakeFiles/gridbw_metrics.dir/objectives.cpp.o"
+  "CMakeFiles/gridbw_metrics.dir/objectives.cpp.o.d"
+  "libgridbw_metrics.a"
+  "libgridbw_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gridbw_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gridbw_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/gridbw_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/gridbw_sim.dir/simulator.cpp.o"
+  "CMakeFiles/gridbw_sim.dir/simulator.cpp.o.d"
+  "libgridbw_sim.a"
+  "libgridbw_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gridbw_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gridbw_util.dir/config.cpp.o"
+  "CMakeFiles/gridbw_util.dir/config.cpp.o.d"
+  "CMakeFiles/gridbw_util.dir/flags.cpp.o"
+  "CMakeFiles/gridbw_util.dir/flags.cpp.o.d"
+  "CMakeFiles/gridbw_util.dir/histogram.cpp.o"
+  "CMakeFiles/gridbw_util.dir/histogram.cpp.o.d"
+  "CMakeFiles/gridbw_util.dir/quantity.cpp.o"
+  "CMakeFiles/gridbw_util.dir/quantity.cpp.o.d"
+  "CMakeFiles/gridbw_util.dir/random.cpp.o"
+  "CMakeFiles/gridbw_util.dir/random.cpp.o.d"
+  "CMakeFiles/gridbw_util.dir/stats.cpp.o"
+  "CMakeFiles/gridbw_util.dir/stats.cpp.o.d"
+  "CMakeFiles/gridbw_util.dir/table.cpp.o"
+  "CMakeFiles/gridbw_util.dir/table.cpp.o.d"
+  "CMakeFiles/gridbw_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/gridbw_util.dir/thread_pool.cpp.o.d"
+  "libgridbw_util.a"
+  "libgridbw_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gridbw_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

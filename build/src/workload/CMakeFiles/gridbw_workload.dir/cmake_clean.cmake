@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gridbw_workload.dir/generator.cpp.o"
+  "CMakeFiles/gridbw_workload.dir/generator.cpp.o.d"
+  "CMakeFiles/gridbw_workload.dir/load.cpp.o"
+  "CMakeFiles/gridbw_workload.dir/load.cpp.o.d"
+  "CMakeFiles/gridbw_workload.dir/mixture.cpp.o"
+  "CMakeFiles/gridbw_workload.dir/mixture.cpp.o.d"
+  "CMakeFiles/gridbw_workload.dir/scenario.cpp.o"
+  "CMakeFiles/gridbw_workload.dir/scenario.cpp.o.d"
+  "CMakeFiles/gridbw_workload.dir/trace.cpp.o"
+  "CMakeFiles/gridbw_workload.dir/trace.cpp.o.d"
+  "CMakeFiles/gridbw_workload.dir/volume_law.cpp.o"
+  "CMakeFiles/gridbw_workload.dir/volume_law.cpp.o.d"
+  "libgridbw_workload.a"
+  "libgridbw_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gridbw_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bookahead_test.dir/bookahead_test.cpp.o"
+  "CMakeFiles/bookahead_test.dir/bookahead_test.cpp.o.d"
+  "bookahead_test"
+  "bookahead_test.pdb"
+  "bookahead_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bookahead_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

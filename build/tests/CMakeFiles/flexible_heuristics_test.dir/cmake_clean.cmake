@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexible_heuristics_test.dir/flexible_heuristics_test.cpp.o"
+  "CMakeFiles/flexible_heuristics_test.dir/flexible_heuristics_test.cpp.o.d"
+  "flexible_heuristics_test"
+  "flexible_heuristics_test.pdb"
+  "flexible_heuristics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexible_heuristics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

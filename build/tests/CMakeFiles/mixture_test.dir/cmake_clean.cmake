@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mixture_test.dir/mixture_test.cpp.o"
+  "CMakeFiles/mixture_test.dir/mixture_test.cpp.o.d"
+  "mixture_test"
+  "mixture_test.pdb"
+  "mixture_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mixture_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

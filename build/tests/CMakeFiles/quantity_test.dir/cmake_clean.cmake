@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quantity_test.dir/quantity_test.cpp.o"
+  "CMakeFiles/quantity_test.dir/quantity_test.cpp.o.d"
+  "quantity_test"
+  "quantity_test.pdb"
+  "quantity_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quantity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rigid_heuristics_test.dir/rigid_heuristics_test.cpp.o"
+  "CMakeFiles/rigid_heuristics_test.dir/rigid_heuristics_test.cpp.o.d"
+  "rigid_heuristics_test"
+  "rigid_heuristics_test.pdb"
+  "rigid_heuristics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rigid_heuristics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/single_pair_test.dir/single_pair_test.cpp.o"
+  "CMakeFiles/single_pair_test.dir/single_pair_test.cpp.o.d"
+  "single_pair_test"
+  "single_pair_test.pdb"
+  "single_pair_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/single_pair_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/step_function_test.dir/step_function_test.cpp.o"
+  "CMakeFiles/step_function_test.dir/step_function_test.cpp.o.d"
+  "step_function_test"
+  "step_function_test.pdb"
+  "step_function_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/step_function_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

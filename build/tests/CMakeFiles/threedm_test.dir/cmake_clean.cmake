@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/threedm_test.dir/threedm_test.cpp.o"
+  "CMakeFiles/threedm_test.dir/threedm_test.cpp.o.d"
+  "threedm_test"
+  "threedm_test.pdb"
+  "threedm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/threedm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
