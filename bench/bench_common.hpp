@@ -1,13 +1,16 @@
 // Shared plumbing for the figure-reproduction benches: flag parsing,
-// replication configs, and consistent table/CSV output. Every bench accepts
+// replication configs, and consistent table/CSV/JSON output. Every bench
+// accepts
 //
 //   --reps=N        replications per sweep point (default 8)
 //   --threads=N     worker threads (default: hardware concurrency)
 //   --seed=S        base seed (default 42)
 //   --quick         cut workloads down for smoke runs
 //   --csv=PATH      also write the table as CSV
+//   --json=PATH     also write the table + timing as a BENCH_*.json
 //
-// and prints the same series the corresponding paper figure plots.
+// and prints the same series the corresponding paper figure plots, followed
+// by a per-heuristic wall-clock timing table.
 
 #pragma once
 
@@ -15,6 +18,7 @@
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "metrics/experiment.hpp"
 #include "util/flags.hpp"
@@ -26,6 +30,7 @@ struct BenchArgs {
   metrics::ExperimentConfig config;
   bool quick{false};
   std::string csv_path;
+  std::string json_path;
 
   static BenchArgs parse(int argc, const char* const* argv) {
     const Flags flags{argc, argv};
@@ -36,6 +41,7 @@ struct BenchArgs {
     args.config.base_seed = static_cast<std::uint64_t>(flags.get_int("seed", 42));
     args.quick = flags.get_bool("quick", false);
     args.csv_path = flags.get_string("csv", "");
+    args.json_path = flags.get_string("json", "");
     if (args.quick && !flags.has("reps")) args.config.replications = 3;
     return args;
   }
@@ -57,6 +63,98 @@ inline void emit(const std::string& title, const Table& table,
 /// "0.5321 ±0.0123" cell.
 inline std::string cell(const RunningStats& stats) {
   return format_mean_ci(stats);
+}
+
+/// Per-task wall-clock table: one row per heuristic, aggregated over every
+/// replication of every sweep point.
+inline Table timing_table(const std::vector<std::string>& names,
+                          const std::vector<RunningStats>& wall_seconds) {
+  Table table{{"heuristic", "wall_s (per run)", "total_s", "runs"}};
+  for (std::size_t t = 0; t < names.size(); ++t) {
+    const RunningStats& w = wall_seconds[t];
+    table.add_row({names[t], format_mean_ci(w),
+                   format_double(w.mean() * static_cast<double>(w.count()), 3),
+                   std::to_string(w.count())});
+  }
+  return table;
+}
+
+/// Minimal RFC 8259 string escaping (the cells are ASCII table text).
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Writes the bench result as a small self-describing JSON document:
+/// {"bench": ..., "title": ..., "columns": [...], "rows": [[...]],
+///  "timing": {"<heuristic>": {"mean_s":, "stddev_s":, "total_s":, "runs":}}}.
+inline void write_bench_json(const std::string& path, const std::string& bench,
+                             const std::string& title, const Table& table,
+                             const std::vector<std::string>& names,
+                             const std::vector<RunningStats>& wall_seconds) {
+  std::ofstream out{path};
+  out << "{\n  \"bench\": \"" << json_escape(bench) << "\",\n";
+  out << "  \"title\": \"" << json_escape(title) << "\",\n";
+  out << "  \"columns\": [";
+  for (std::size_t c = 0; c < table.header().size(); ++c) {
+    out << (c == 0 ? "" : ", ") << '"' << json_escape(table.header()[c]) << '"';
+  }
+  out << "],\n  \"rows\": [\n";
+  const auto& rows = table.rows();
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    out << "    [";
+    for (std::size_t c = 0; c < rows[r].size(); ++c) {
+      out << (c == 0 ? "" : ", ") << '"' << json_escape(rows[r][c]) << '"';
+    }
+    out << (r + 1 < rows.size() ? "],\n" : "]\n");
+  }
+  out << "  ],\n  \"timing\": {\n";
+  for (std::size_t t = 0; t < names.size(); ++t) {
+    const RunningStats& w = wall_seconds[t];
+    char buf[160];
+    std::snprintf(buf, sizeof buf,
+                  "{\"mean_s\": %.6f, \"stddev_s\": %.6f, \"total_s\": %.6f, "
+                  "\"runs\": %zu}",
+                  w.count() > 0 ? w.mean() : 0.0, w.count() > 1 ? w.stddev() : 0.0,
+                  w.count() > 0 ? w.mean() * static_cast<double>(w.count()) : 0.0,
+                  w.count());
+    out << "    \"" << json_escape(names[t]) << "\": " << buf
+        << (t + 1 < names.size() ? ",\n" : "\n");
+  }
+  out << "  }\n}\n";
+}
+
+/// Prints the timing table and, when --json was given, persists the main
+/// table plus timing. `wall_seconds` is indexed like `names`.
+inline void emit_timing(const std::string& bench, const std::string& title,
+                        const Table& table, const std::vector<std::string>& names,
+                        const std::vector<RunningStats>& wall_seconds,
+                        const BenchArgs& args) {
+  Table timing = timing_table(names, wall_seconds);
+  std::cout << "\n=== " << title << " — timing ===\n";
+  timing.print(std::cout);
+  if (!args.json_path.empty()) {
+    write_bench_json(args.json_path, bench, title, table, names, wall_seconds);
+    std::cout << "(json written to " << args.json_path << ")\n";
+  }
+  std::cout.flush();
 }
 
 }  // namespace gridbw::bench

@@ -1,0 +1,182 @@
+// ENGINE_SPEEDUP — wall-clock comparison of the fast admission engines
+// against their paper-literal references on a large (default 10k-request)
+// workload:
+//
+//   *-SLOTS:  SlotsEngine::kRebuild  vs  kIncremental  (all three SlotCosts)
+//   WINDOW:   WindowEngine::kScan    vs  kHeap
+//
+// Both members of each pair are checked to produce the identical schedule
+// before timing is reported. Results (including slices/sec telemetry) are
+// written to BENCH_engine_speedup.json by default; pass --json=PATH to
+// redirect or --quick for a smoke run that skips the JSON artifact.
+
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "heuristics/flexible_window.hpp"
+#include "heuristics/rigid_slots.hpp"
+#include "workload/generator.hpp"
+#include "workload/load.hpp"
+#include "workload/scenario.hpp"
+
+namespace gridbw {
+namespace {
+
+std::vector<Request> workload_of(std::size_t count, bool rigid) {
+  workload::Scenario scenario =
+      rigid ? workload::paper_rigid(Duration::seconds(1), Duration::seconds(1))
+            : workload::paper_flexible(Duration::seconds(1), Duration::seconds(1), 4.0);
+  scenario.spec.mean_interarrival =
+      workload::interarrival_for_load(scenario.spec, scenario.network, 3.0);
+  scenario.spec.horizon =
+      scenario.spec.mean_interarrival * static_cast<double>(count);
+  Rng rng{1234};
+  auto requests = workload::generate(scenario.spec, rng);
+  requests.resize(std::min(requests.size(), count));
+  return requests;
+}
+
+const Network& paper_network() {
+  static const Network net =
+      Network::uniform(10, 10, Bandwidth::gigabytes_per_second(1));
+  return net;
+}
+
+/// Times `fn` (which returns a ScheduleResult) `reps` times.
+template <typename Fn>
+RunningStats time_runs(std::size_t reps, const Fn& fn, ScheduleResult* last) {
+  RunningStats wall;
+  for (std::size_t k = 0; k < reps; ++k) {
+    const auto t0 = std::chrono::steady_clock::now();
+    auto result = fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    wall.add(std::chrono::duration<double>(t1 - t0).count());
+    *last = std::move(result);
+  }
+  return wall;
+}
+
+bool same_schedule(const ScheduleResult& a, const ScheduleResult& b) {
+  if (a.rejected.size() != b.rejected.size()) return false;
+  if (a.schedule.assignments().size() != b.schedule.assignments().size()) return false;
+  for (std::size_t k = 0; k < a.schedule.assignments().size(); ++k) {
+    const Assignment& x = a.schedule.assignments()[k];
+    const Assignment& y = b.schedule.assignments()[k];
+    if (x.request != y.request || !(x.start == y.start) || !(x.bw == y.bw)) return false;
+  }
+  return true;
+}
+
+int run(int argc, const char* const* argv) {
+  auto args = bench::BenchArgs::parse(argc, argv);
+  // This bench's artifact is the ISSUE's speedup proof; keep writing it by
+  // default on full runs, but never let a --quick smoke run overwrite it.
+  if (args.json_path.empty() && !args.quick) {
+    args.json_path = "BENCH_engine_speedup.json";
+  }
+  const std::size_t count = args.quick ? 2000 : 10000;
+  const std::size_t reps = args.quick ? 1 : 3;
+
+  const auto rigid = workload_of(count, true);
+  const auto flexible = workload_of(count, false);
+  std::cout << "workload: " << rigid.size() << " rigid / " << flexible.size()
+            << " flexible requests, " << reps << " timed runs each\n";
+
+  Table table{{"kernel", "engine", "wall_s", "speedup", "slices", "skipped",
+               "admission_checks", "slices_per_s"}};
+  std::vector<std::string> names;
+  std::vector<RunningStats> walls;
+
+  for (const auto cost : {heuristics::SlotCost::kCumulated,
+                          heuristics::SlotCost::kMinBandwidth,
+                          heuristics::SlotCost::kMinVolume}) {
+    const std::string kernel = to_string(cost);
+    ScheduleResult ref, fast;
+    heuristics::SlotsTelemetry ref_tm, fast_tm;
+    const RunningStats ref_wall = time_runs(
+        reps,
+        [&] {
+          ref_tm = {};
+          return heuristics::schedule_rigid_slots(
+              paper_network(), rigid, cost, heuristics::SlotsEngine::kRebuild, &ref_tm);
+        },
+        &ref);
+    const RunningStats fast_wall = time_runs(
+        reps,
+        [&] {
+          fast_tm = {};
+          return heuristics::schedule_rigid_slots(paper_network(), rigid, cost,
+                                                  heuristics::SlotsEngine::kIncremental,
+                                                  &fast_tm);
+        },
+        &fast);
+    if (!same_schedule(ref, fast)) {
+      std::cerr << "FATAL: engines diverge for " << kernel << "\n";
+      return 1;
+    }
+    const double speedup = fast_wall.mean() > 0.0 ? ref_wall.mean() / fast_wall.mean() : 0.0;
+    for (const auto& [engine, wall, tm] :
+         {std::tuple{std::string{"rebuild"}, ref_wall, ref_tm},
+          std::tuple{std::string{"incremental"}, fast_wall, fast_tm}}) {
+      table.add_row({kernel, engine, format_double(wall.mean(), 4),
+                     engine == "incremental" ? format_double(speedup, 2) + "x" : "1.00x",
+                     std::to_string(tm.slices), std::to_string(tm.skipped_slices),
+                     std::to_string(tm.admission_checks),
+                     format_double(wall.mean() > 0.0
+                                       ? static_cast<double>(tm.slices) / wall.mean()
+                                       : 0.0,
+                                   0)});
+      names.push_back(kernel + "/" + engine);
+      walls.push_back(wall);
+    }
+  }
+
+  {
+    heuristics::WindowOptions opt;
+    opt.step = Duration::seconds(100);
+    opt.policy = heuristics::BandwidthPolicy::fraction_of_max(1.0);
+    ScheduleResult ref, fast;
+    opt.engine = heuristics::WindowEngine::kScan;
+    const RunningStats ref_wall = time_runs(
+        reps,
+        [&] { return heuristics::schedule_flexible_window(paper_network(), flexible, opt); },
+        &ref);
+    opt.engine = heuristics::WindowEngine::kHeap;
+    const RunningStats fast_wall = time_runs(
+        reps,
+        [&] { return heuristics::schedule_flexible_window(paper_network(), flexible, opt); },
+        &fast);
+    if (!same_schedule(ref, fast)) {
+      std::cerr << "FATAL: engines diverge for window\n";
+      return 1;
+    }
+    const double speedup = fast_wall.mean() > 0.0 ? ref_wall.mean() / fast_wall.mean() : 0.0;
+    table.add_row({"window", "scan", format_double(ref_wall.mean(), 4), "1.00x", "-",
+                   "-", "-", "-"});
+    table.add_row({"window", "heap", format_double(fast_wall.mean(), 4),
+                   format_double(speedup, 2) + "x", "-", "-", "-", "-"});
+    names.push_back("window/scan");
+    names.push_back("window/heap");
+    walls.push_back(ref_wall);
+    walls.push_back(fast_wall);
+  }
+
+  const std::string title = "Admission engine speedup — fast vs reference, " +
+                            std::to_string(count) + " requests";
+  bench::emit(title, table, args);
+  if (!args.json_path.empty()) {
+    bench::write_bench_json(args.json_path, "engine_speedup", title, table, names,
+                            walls);
+    std::cout << "(json written to " << args.json_path << ")\n";
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace gridbw
+
+int main(int argc, char** argv) { return gridbw::run(argc, argv); }

@@ -27,42 +27,51 @@ int run(int argc, const char* const* argv) {
   const auto lineup = heuristics::rigid_schedulers();
 
   std::vector<std::string> header{"load"};
+  std::vector<std::string> names;
   for (const auto& h : lineup) {
     header.push_back(h.name + " accept");
     header.push_back(h.name + " util");
+    names.push_back(h.name);
   }
   Table table{header};
+  std::vector<RunningStats> wall(lineup.size());
 
   for (const double load : loads) {
     workload::Scenario scenario = workload::paper_rigid(Duration::seconds(1), horizon);
     scenario.spec.mean_interarrival =
         workload::interarrival_for_load(scenario.spec, scenario.network, load);
 
-    const auto stats = metrics::run_replicated(args.config, [&](Rng& rng, std::size_t) {
-      const auto requests = workload::generate(scenario.spec, rng);
-      metrics::MetricBag bag;
-      for (const auto& h : lineup) {
-        const auto result = h.run(scenario.network, requests);
-        bag[h.name + "/accept"] =
-            metrics::accept_rate(requests, result.schedule);
-        bag[h.name + "/util"] =
-            metrics::utilization_over(scenario.network, requests, result.schedule,
-                                      TimePoint::origin(),
-                                      TimePoint::origin() + horizon);
-      }
-      return bag;
-    });
+    // One (replication, heuristic) cell per work item: independent
+    // heuristics of the same replication run concurrently, each over the
+    // identical regenerated workload.
+    const auto tasked = metrics::run_replicated_tasks(
+        args.config, lineup.size(), [&](Rng& rng, std::size_t, std::size_t t) {
+          const auto requests = workload::generate(scenario.spec, rng);
+          const auto& h = lineup[t];
+          const auto result = h.run(scenario.network, requests);
+          metrics::MetricBag bag;
+          bag[h.name + "/accept"] = metrics::accept_rate(requests, result.schedule);
+          bag[h.name + "/util"] =
+              metrics::utilization_over(scenario.network, requests, result.schedule,
+                                        TimePoint::origin(),
+                                        TimePoint::origin() + horizon);
+          return bag;
+        });
+    for (std::size_t t = 0; t < lineup.size(); ++t) {
+      wall[t].merge(tasked.task_wall_seconds[t]);
+    }
 
     std::vector<std::string> row{format_double(load, 2)};
     for (const auto& h : lineup) {
-      row.push_back(bench::cell(metrics::metric(stats, h.name + "/accept")));
-      row.push_back(bench::cell(metrics::metric(stats, h.name + "/util")));
+      row.push_back(bench::cell(metrics::metric(tasked.metrics, h.name + "/accept")));
+      row.push_back(bench::cell(metrics::metric(tasked.metrics, h.name + "/util")));
     }
     table.add_row(std::move(row));
   }
 
-  bench::emit("Fig. 4 — rigid heuristics vs load (accept rate, utilization)", table,
-              args);
+  const std::string title = "Fig. 4 — rigid heuristics vs load (accept rate, utilization)";
+  bench::emit(title, table, args);
+  bench::emit_timing("fig4_rigid_heuristics", title, table, names, wall, args);
   return 0;
 }
 

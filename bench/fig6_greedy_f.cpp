@@ -29,45 +29,60 @@ std::vector<heuristics::NamedScheduler> lineup() {
   return all;
 }
 
-void panel(const bench::BenchArgs& args, const std::string& title,
-           const std::vector<double>& interarrivals, Duration horizon) {
+void panel(const bench::BenchArgs& args, const std::string& bench_id,
+           const std::string& title, const std::vector<double>& interarrivals,
+           Duration horizon) {
   const auto schedulers = lineup();
   std::vector<std::string> header{"interarrival_s"};
-  for (const auto& h : schedulers) header.push_back(h.name);
+  std::vector<std::string> names;
+  for (const auto& h : schedulers) {
+    header.push_back(h.name);
+    names.push_back(h.name);
+  }
   Table table{header};
+  std::vector<RunningStats> wall(schedulers.size());
 
   for (const double ia : interarrivals) {
     const workload::Scenario scenario =
         workload::paper_flexible(Duration::seconds(ia), horizon, 4.0);
-    const auto stats = metrics::run_replicated(args.config, [&](Rng& rng, std::size_t) {
-      const auto requests = workload::generate(scenario.spec, rng);
-      metrics::MetricBag bag;
-      for (const auto& h : schedulers) {
-        bag[h.name] = h.run(scenario.network, requests).accept_rate();
-      }
-      return bag;
-    });
+    const auto tasked = metrics::run_replicated_tasks(
+        args.config, schedulers.size(), [&](Rng& rng, std::size_t, std::size_t t) {
+          const auto requests = workload::generate(scenario.spec, rng);
+          const auto& h = schedulers[t];
+          metrics::MetricBag bag;
+          bag[h.name] = h.run(scenario.network, requests).accept_rate();
+          return bag;
+        });
+    for (std::size_t t = 0; t < schedulers.size(); ++t) {
+      wall[t].merge(tasked.task_wall_seconds[t]);
+    }
     std::vector<std::string> row{format_double(ia, 2)};
     for (const auto& h : schedulers) {
-      row.push_back(bench::cell(metrics::metric(stats, h.name)));
+      row.push_back(bench::cell(metrics::metric(tasked.metrics, h.name)));
     }
     table.add_row(std::move(row));
   }
   bench::emit(title, table, args);
+  bench::emit_timing(bench_id, title, table, names, wall, args);
 }
 
 int run(int argc, const char* const* argv) {
   auto args = bench::BenchArgs::parse(argc, argv);
   const std::string csv = args.csv_path;
+  const std::string json = args.json_path;
 
   args.csv_path = csv.empty() ? "" : csv + ".heavy.csv";
-  panel(args, "Fig. 6 (left) — GREEDY accept rate vs f, heavy load",
+  args.json_path = json.empty() ? "" : json + ".heavy.json";
+  panel(args, "fig6_greedy_f.heavy",
+        "Fig. 6 (left) — GREEDY accept rate vs f, heavy load",
         args.quick ? std::vector<double>{0.5, 2.0}
                    : std::vector<double>{0.1, 0.2, 0.5, 1.0, 2.0, 5.0},
         Duration::seconds(args.quick ? 300 : 1000));
 
   args.csv_path = csv.empty() ? "" : csv + ".light.csv";
-  panel(args, "Fig. 6 (right) — GREEDY accept rate vs f, underloaded",
+  args.json_path = json.empty() ? "" : json + ".light.json";
+  panel(args, "fig6_greedy_f.light",
+        "Fig. 6 (right) — GREEDY accept rate vs f, underloaded",
         args.quick ? std::vector<double>{5.0, 20.0}
                    : std::vector<double>{3.0, 5.0, 8.0, 12.0, 16.0, 20.0},
         Duration::seconds(args.quick ? 2000 : 8000));

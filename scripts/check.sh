@@ -4,15 +4,25 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cmake -B build -G Ninja
-cmake --build build
+# Respect an already-configured build tree (whatever its generator);
+# otherwise prefer Ninja when available.
+if [ -f build/CMakeCache.txt ]; then
+  cmake -B build
+elif command -v ninja > /dev/null; then
+  cmake -B build -G Ninja
+else
+  cmake -B build
+fi
+cmake --build build -j "$(nproc)"
 ctest --test-dir build --output-on-failure
 
 for b in build/bench/*; do
   [ -f "$b" ] && [ -x "$b" ] || continue
   echo "== $(basename "$b") =="
   if [[ "$(basename "$b")" == micro_* ]]; then
-    "$b" --benchmark_min_time=0.01s > /dev/null
+    # benchmark >= 1.8 wants a "0.01s" suffix, older versions a bare double.
+    "$b" --benchmark_min_time=0.01s > /dev/null 2>&1 \
+      || "$b" --benchmark_min_time=0.01 > /dev/null
   else
     "$b" --quick > /dev/null
   fi

@@ -29,10 +29,19 @@ DistributedResult schedule_flexible_distributed(const Network& network,
   if (options.sync_period.is_negative()) {
     throw std::invalid_argument{"schedule_flexible_distributed: negative sync period"};
   }
-  std::vector<Request> order{requests.begin(), requests.end()};
+  DistributedResult out;
+  std::vector<Request> order;
+  order.reserve(requests.size());
+  for (const Request& r : requests) {
+    // A non-positive window has an infinite MinRate; reject it up front.
+    if (!(r.deadline > r.release)) {
+      out.result.rejected.push_back(r.id);
+      continue;
+    }
+    order.push_back(r);
+  }
   sort_fcfs(order);
 
-  DistributedResult out;
   CounterLedger truth{network};  // ground-truth counters (ingress exact + egress exact)
   std::priority_queue<Completion, std::vector<Completion>, LaterFinish> completions;
 

@@ -16,10 +16,18 @@ ScheduleResult schedule_flexible_bookahead(const Network& network,
     throw std::invalid_argument{"schedule_flexible_bookahead: step must be positive"};
   }
 
-  std::vector<Request> order{requests.begin(), requests.end()};
-  sort_fcfs(order);
-
   ScheduleResult result;
+  std::vector<Request> order;
+  order.reserve(requests.size());
+  for (const Request& r : requests) {
+    // A non-positive window has an infinite MinRate; reject it up front.
+    if (!(r.deadline > r.release)) {
+      result.rejected.push_back(r.id);
+      continue;
+    }
+    order.push_back(r);
+  }
+  sort_fcfs(order);
   if (order.empty()) return result;
 
   NetworkLedger ledger{network};

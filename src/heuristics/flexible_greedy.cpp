@@ -27,10 +27,19 @@ struct LaterFinish {
 ScheduleResult schedule_flexible_greedy(const Network& network,
                                         std::span<const Request> requests,
                                         BandwidthPolicy policy) {
-  std::vector<Request> order{requests.begin(), requests.end()};
+  ScheduleResult result;
+  std::vector<Request> order;
+  order.reserve(requests.size());
+  for (const Request& r : requests) {
+    // A non-positive window has an infinite MinRate; reject it up front.
+    if (!(r.deadline > r.release)) {
+      result.rejected.push_back(r.id);
+      continue;
+    }
+    order.push_back(r);
+  }
   sort_fcfs(order);
 
-  ScheduleResult result;
   CounterLedger counters{network};
   std::priority_queue<Completion, std::vector<Completion>, LaterFinish> completions;
 

@@ -11,6 +11,8 @@
 namespace gridbw::heuristics {
 namespace {
 
+constexpr std::size_t kInvalid = static_cast<std::size_t>(-1);
+
 struct Completion {
   TimePoint finish;
   IngressId ingress;
@@ -44,6 +46,135 @@ double candidate_cost(const CounterLedger& counters, const Candidate& c,
   return cost;
 }
 
+double selection_cost(const CounterLedger& counters, const Candidate& c,
+                      const WindowOptions& options) {
+  switch (options.order) {
+    case CandidateOrder::kMinCost:
+      return candidate_cost(counters, c, options.hotspot_weight);
+    case CandidateOrder::kEarliestDeadline:
+      return c.request->deadline.to_seconds();
+    case CandidateOrder::kShortestJob:
+      return (c.request->volume / c.bw).to_seconds();
+  }
+  throw std::logic_error{"selection_cost: bad candidate order"};
+}
+
+/// Costs within the approx_le tolerance of the minimum are treated as equal
+/// and broken by request id: exact float equality would make the candidate
+/// order depend on platform rounding (libm, FMA contraction, ...).
+bool cost_tied(double cost, double min_cost) { return approx_le(cost, min_cost); }
+
+/// Admits/rejects the chosen candidate; shared by both selection engines.
+void decide(const Candidate& chosen, TimePoint decision, CounterLedger& counters,
+            std::priority_queue<Completion, std::vector<Completion>, LaterFinish>&
+                completions,
+            ScheduleResult& result) {
+  // The admission test is the pure capacity ratio even when the hot-spot
+  // penalty inflates the selection cost. With the penalty disabled the two
+  // coincide, and "minimum cost > 1" means no candidate fits — matching the
+  // paper's stopping rule exactly.
+  const Request& r = *chosen.request;
+  if (candidate_cost(counters, chosen, 0.0) > 1.0 + 1e-12) {
+    result.rejected.push_back(r.id);
+    return;
+  }
+  counters.allocate(r.ingress, r.egress, chosen.bw);
+  result.schedule.accept(r.id, decision, chosen.bw);
+  completions.push(
+      Completion{decision + r.volume / chosen.bw, r.ingress, r.egress, chosen.bw});
+}
+
+/// Reference engine: re-evaluate every remaining candidate per admission.
+void drain_by_scan(std::vector<Candidate>& candidates, const WindowOptions& options,
+                   TimePoint decision, CounterLedger& counters,
+                   std::priority_queue<Completion, std::vector<Completion>, LaterFinish>&
+                       completions,
+                   ScheduleResult& result, std::vector<double>& cost_scratch) {
+  while (!candidates.empty()) {
+    cost_scratch.resize(candidates.size());
+    double min_cost = std::numeric_limits<double>::infinity();
+    for (std::size_t k = 0; k < candidates.size(); ++k) {
+      cost_scratch[k] = selection_cost(counters, candidates[k], options);
+      min_cost = std::min(min_cost, cost_scratch[k]);
+    }
+    std::size_t best = kInvalid;
+    for (std::size_t k = 0; k < candidates.size(); ++k) {
+      if (!cost_tied(cost_scratch[k], min_cost)) continue;
+      if (best == kInvalid || candidates[k].request->id < candidates[best].request->id) {
+        best = k;
+      }
+    }
+    const Candidate chosen = candidates[best];
+    candidates[best] = candidates.back();
+    candidates.pop_back();
+    decide(chosen, decision, counters, completions, result);
+  }
+}
+
+/// Heap entry: `cost` is a lower bound of the candidate's current cost
+/// (counters only fill up while draining, so costs never decrease).
+struct HeapEntry {
+  double cost;
+  RequestId id;
+  std::size_t slot;  // index into the interval's candidate array
+};
+
+struct WorseEntry {
+  bool operator()(const HeapEntry& a, const HeapEntry& b) const {
+    if (a.cost != b.cost) return a.cost > b.cost;
+    return a.id > b.id;
+  }
+};
+
+/// Heap engine: pop-and-refresh until the top is current, then gather the
+/// epsilon tie band and break it by id, exactly like the scan.
+void drain_by_heap(std::vector<Candidate>& candidates, const WindowOptions& options,
+                   TimePoint decision, CounterLedger& counters,
+                   std::priority_queue<Completion, std::vector<Completion>, LaterFinish>&
+                       completions,
+                   ScheduleResult& result, std::vector<HeapEntry>& tie_scratch) {
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, WorseEntry> heap;
+  for (std::size_t k = 0; k < candidates.size(); ++k) {
+    heap.push(HeapEntry{selection_cost(counters, candidates[k], options),
+                        candidates[k].request->id, k});
+  }
+  while (!heap.empty()) {
+    HeapEntry top = heap.top();
+    heap.pop();
+    const double current = selection_cost(counters, candidates[top.slot], options);
+    if (current > top.cost) {
+      top.cost = current;  // stale lower bound: refresh and retry
+      heap.push(top);
+      continue;
+    }
+    // `top` holds the true numeric minimum. Gather every candidate whose
+    // *current* cost ties it within tolerance; stale keys are lower bounds,
+    // so any tied candidate's key is <= the tie threshold and gets popped.
+    tie_scratch.clear();
+    tie_scratch.push_back(top);
+    while (!heap.empty() && cost_tied(heap.top().cost, top.cost)) {
+      HeapEntry e = heap.top();
+      heap.pop();
+      e.cost = selection_cost(counters, candidates[e.slot], options);
+      if (cost_tied(e.cost, top.cost)) {
+        tie_scratch.push_back(e);
+      } else {
+        heap.push(e);
+      }
+    }
+    std::size_t chosen_at = 0;
+    for (std::size_t k = 1; k < tie_scratch.size(); ++k) {
+      if (tie_scratch[k].id < tie_scratch[chosen_at].id) chosen_at = k;
+    }
+    const std::size_t slot = tie_scratch[chosen_at].slot;
+    for (std::size_t k = 0; k < tie_scratch.size(); ++k) {
+      if (k != chosen_at) heap.push(tie_scratch[k]);
+    }
+    decide(candidates[slot], decision, counters, completions, result);
+  }
+  candidates.clear();
+}
+
 }  // namespace
 
 std::string to_string(CandidateOrder order) {
@@ -55,6 +186,14 @@ std::string to_string(CandidateOrder order) {
   return "unknown";
 }
 
+std::string to_string(WindowEngine engine) {
+  switch (engine) {
+    case WindowEngine::kScan: return "scan";
+    case WindowEngine::kHeap: return "heap";
+  }
+  return "unknown";
+}
+
 ScheduleResult schedule_flexible_window(const Network& network,
                                         std::span<const Request> requests,
                                         const WindowOptions& options) {
@@ -62,14 +201,26 @@ ScheduleResult schedule_flexible_window(const Network& network,
     throw std::invalid_argument{"schedule_flexible_window: step must be positive"};
   }
 
-  std::vector<Request> order{requests.begin(), requests.end()};
-  sort_fcfs(order);
-
   ScheduleResult result;
+  std::vector<Request> order;
+  order.reserve(requests.size());
+  for (const Request& r : requests) {
+    // Degenerate windows cannot carry any volume; reject them up front so
+    // their infinite MinRate never reaches the cost computations.
+    if (!(r.deadline > r.release)) {
+      result.rejected.push_back(r.id);
+      continue;
+    }
+    order.push_back(r);
+  }
+  sort_fcfs(order);
   if (order.empty()) return result;
 
   CounterLedger counters{network};
   std::priority_queue<Completion, std::vector<Completion>, LaterFinish> completions;
+  std::vector<Candidate> candidates;
+  std::vector<double> cost_scratch;
+  std::vector<HeapEntry> tie_scratch;
 
   std::size_t next_arrival = 0;
   TimePoint interval_start = order.front().release;
@@ -78,7 +229,7 @@ ScheduleResult schedule_flexible_window(const Network& network,
     const TimePoint decision = interval_start + options.step;
 
     // Candidates: requests whose arrival lies inside [interval_start, decision).
-    std::vector<Candidate> candidates;
+    candidates.clear();
     while (next_arrival < order.size() && order[next_arrival].release < decision) {
       const Request& r = order[next_arrival++];
       const auto bw = options.policy.assign(r, decision);
@@ -99,45 +250,15 @@ ScheduleResult schedule_flexible_window(const Network& network,
 
     // Repeatedly admit the best candidate (by the configured order) while
     // it fits (capacity-ratio cost <= 1).
-    while (!candidates.empty()) {
-      std::size_t best = 0;
-      double best_cost = std::numeric_limits<double>::infinity();
-      for (std::size_t k = 0; k < candidates.size(); ++k) {
-        double cost = 0.0;
-        switch (options.order) {
-          case CandidateOrder::kMinCost:
-            cost = candidate_cost(counters, candidates[k], options.hotspot_weight);
-            break;
-          case CandidateOrder::kEarliestDeadline:
-            cost = candidates[k].request->deadline.to_seconds();
-            break;
-          case CandidateOrder::kShortestJob:
-            cost = (candidates[k].request->volume / candidates[k].bw).to_seconds();
-            break;
-        }
-        if (cost < best_cost ||
-            (cost == best_cost &&
-             candidates[k].request->id < candidates[best].request->id)) {
-          best = k;
-          best_cost = cost;
-        }
-      }
-      // The admission test is the pure capacity ratio even when the
-      // hot-spot penalty inflates the selection cost. With the penalty
-      // disabled the two coincide, and "minimum cost > 1" means no
-      // candidate fits — matching the paper's stopping rule exactly.
-      const Candidate chosen = candidates[best];
-      candidates[best] = candidates.back();
-      candidates.pop_back();
-      const Request& r = *chosen.request;
-      if (candidate_cost(counters, chosen, 0.0) > 1.0 + 1e-12) {
-        result.rejected.push_back(r.id);
-        continue;
-      }
-      counters.allocate(r.ingress, r.egress, chosen.bw);
-      result.schedule.accept(r.id, decision, chosen.bw);
-      completions.push(
-          Completion{decision + r.volume / chosen.bw, r.ingress, r.egress, chosen.bw});
+    switch (options.engine) {
+      case WindowEngine::kScan:
+        drain_by_scan(candidates, options, decision, counters, completions, result,
+                      cost_scratch);
+        break;
+      case WindowEngine::kHeap:
+        drain_by_heap(candidates, options, decision, counters, completions, result,
+                      tie_scratch);
+        break;
     }
 
     // Next interval: contiguous tiling, but skip idle gaps so sparse

@@ -40,6 +40,19 @@ enum class CandidateOrder {
 
 [[nodiscard]] std::string to_string(CandidateOrder order);
 
+/// How the per-interval loop finds the next-best candidate. Both engines
+/// produce identical schedules (enforced by the differential tests):
+/// kScan is the literal O(C²) reference — re-evaluate every remaining
+/// candidate per admission; kHeap keeps candidates in a lazily-refreshed
+/// min-heap (costs only grow as admissions consume capacity, so a stale key
+/// is always a lower bound and a refreshed top is the true minimum).
+enum class WindowEngine {
+  kScan,  // reference: linear re-scan per admission
+  kHeap,  // default: lazy min-heap selection
+};
+
+[[nodiscard]] std::string to_string(WindowEngine engine);
+
 struct WindowOptions {
   /// Interval length t_step. Longer intervals batch more candidates and
   /// schedule better, at the price of request response latency (§5.2).
@@ -52,6 +65,8 @@ struct WindowOptions {
   double hotspot_weight{0.0};
 
   CandidateOrder order{CandidateOrder::kMinCost};
+
+  WindowEngine engine{WindowEngine::kHeap};
 };
 
 [[nodiscard]] ScheduleResult schedule_flexible_window(const Network& network,

@@ -8,10 +8,19 @@ namespace gridbw::heuristics {
 
 ScheduleResult schedule_rigid_fcfs(const Network& network,
                                    std::span<const Request> requests) {
-  std::vector<Request> order{requests.begin(), requests.end()};
+  ScheduleResult result;
+  std::vector<Request> order;
+  order.reserve(requests.size());
+  for (const Request& r : requests) {
+    // A non-positive window has an infinite MinRate; reject it up front.
+    if (!(r.deadline > r.release)) {
+      result.rejected.push_back(r.id);
+      continue;
+    }
+    order.push_back(r);
+  }
   sort_fcfs(order);
 
-  ScheduleResult result;
   NetworkLedger ledger{network};
   for (const Request& r : order) {
     const Bandwidth bw = r.min_rate();  // rigid: the one admissible rate

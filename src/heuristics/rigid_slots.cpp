@@ -1,19 +1,281 @@
 #include "heuristics/rigid_slots.hpp"
 
 #include <algorithm>
+#include <functional>
+#include <queue>
 #include <stdexcept>
-#include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "core/ledger.hpp"
 
 namespace gridbw::heuristics {
+namespace {
+
+constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+
+/// State shared by both sweep engines: validity flags, slice boundaries,
+/// and the release-order cursor. Requests with a non-positive window are
+/// rejected up front — their cost factor would be NaN/inf and poison the
+/// per-slice sort — and contribute no slice boundaries.
+struct SweepSetup {
+  std::vector<char> alive;
+  std::vector<TimePoint> boundaries;
+  std::vector<std::size_t> by_release;
+};
+
+SweepSetup prepare_sweep(std::span<const Request> requests) {
+  SweepSetup s;
+  s.alive.assign(requests.size(), 1);
+  s.boundaries.reserve(requests.size() * 2);
+  for (std::size_t k = 0; k < requests.size(); ++k) {
+    const Request& r = requests[k];
+    if (!(r.deadline > r.release)) {
+      s.alive[k] = 0;
+      continue;
+    }
+    s.boundaries.push_back(r.release);
+    s.boundaries.push_back(r.deadline);
+  }
+  std::sort(s.boundaries.begin(), s.boundaries.end());
+  s.boundaries.erase(std::unique(s.boundaries.begin(), s.boundaries.end()),
+                     s.boundaries.end());
+
+  s.by_release.reserve(requests.size());
+  for (std::size_t k = 0; k < requests.size(); ++k) {
+    if (s.alive[k]) s.by_release.push_back(k);
+  }
+  std::sort(s.by_release.begin(), s.by_release.end(),
+            [&](std::size_t a, std::size_t b) {
+              if (requests[a].release != requests[b].release) {
+                return requests[a].release < requests[b].release;
+              }
+              return requests[a].id < requests[b].id;
+            });
+  return s;
+}
+
+/// Final accept/reject assembly, identical for both engines.
+ScheduleResult assemble(std::span<const Request> requests,
+                        const std::vector<char>& alive) {
+  ScheduleResult result;
+  for (std::size_t k = 0; k < requests.size(); ++k) {
+    const Request& r = requests[k];
+    if (alive[k] && approx_le(r.min_rate(), r.max_rate)) {
+      result.schedule.accept(r.id, r.release, r.min_rate());
+    } else {
+      result.rejected.push_back(r.id);
+    }
+  }
+  return result;
+}
+
+/// Paper-literal reference: every slice re-sorts the active set and rebuilds
+/// a fresh CounterLedger. Kept as the differential-test oracle.
+ScheduleResult sweep_rebuild(const Network& network, std::span<const Request> requests,
+                             SlotCost cost, SweepSetup& s, SlotsTelemetry* telemetry) {
+  std::size_t next_release = 0;
+  std::vector<std::size_t> running;
+
+  CounterLedger counters{network};
+  for (std::size_t b = 0; b + 1 < s.boundaries.size(); ++b) {
+    const TimePoint t1 = s.boundaries[b];
+    const TimePoint t2 = s.boundaries[b + 1];
+    if (telemetry != nullptr) ++telemetry->slices;
+
+    // Update the running set: drop finished/rejected, add newly released.
+    std::erase_if(running, [&](std::size_t k) {
+      return !s.alive[k] || !(requests[k].deadline >= t2);
+    });
+    while (next_release < s.by_release.size() &&
+           requests[s.by_release[next_release]].release <= t1) {
+      const std::size_t k = s.by_release[next_release++];
+      if (s.alive[k] && requests[k].deadline >= t2) running.push_back(k);
+    }
+    if (running.empty()) continue;
+
+    // Sort the slice's active requests by non-decreasing cost.
+    std::vector<std::size_t> order = running;
+    std::vector<double> costs(requests.size());
+    for (std::size_t k : order) costs[k] = slot_cost(network, requests[k], cost, t1, t2);
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b2) {
+      if (costs[a] != costs[b2]) return costs[a] < costs[b2];
+      return requests[a].id < requests[b2].id;
+    });
+
+    // Fresh per-slice counters (no request starts or stops inside a slice,
+    // so per-slice admission is exact).
+    counters = CounterLedger{network};
+    for (std::size_t k : order) {
+      const Request& r = requests[k];
+      const Bandwidth bw = r.min_rate();
+      if (telemetry != nullptr) ++telemetry->admission_checks;
+      if (approx_le(bw, r.max_rate) && counters.fits(r.ingress, r.egress, bw)) {
+        counters.allocate(r.ingress, r.egress, bw);
+      } else {
+        // Retro-removal: the request is discarded permanently. Earlier
+        // slices already processed keep their decisions (the paper frees
+        // the bookkeeping but does not revisit them).
+        s.alive[k] = 0;
+      }
+    }
+  }
+  return assemble(requests, s.alive);
+}
+
+/// Incremental engine. The sorted active set and the AdmissionLedger
+/// survive across slices; boundaries apply finish/retro-removal deltas and
+/// greedy admission is replayed only from the first position whose decision
+/// inputs changed. For CUMULATED-SLOTS the cost factor is slice-dependent,
+/// so any membership change forces a full re-sort and replay — but a slice
+/// whose membership is unchanged is provably identical to its predecessor
+/// (an unchanged set means the previous slice admitted everyone, and a set
+/// that fits in one greedy order fits in all of them) and is skipped.
+ScheduleResult sweep_incremental(const Network& network,
+                                 std::span<const Request> requests, SlotCost cost,
+                                 SweepSetup& s, SlotsTelemetry* telemetry) {
+  const bool cost_is_static = cost != SlotCost::kCumulated;
+  const std::size_t n = requests.size();
+
+  // Per-request constants; CUMULATED costs are refreshed per slice.
+  std::vector<Bandwidth> rates(n, Bandwidth::zero());
+  std::vector<char> feasible(n, 0);
+  std::vector<double> costs(n, 0.0);
+  for (std::size_t k = 0; k < n; ++k) {
+    if (!s.alive[k]) continue;
+    const Request& r = requests[k];
+    rates[k] = r.min_rate();
+    feasible[k] = approx_le(rates[k], r.max_rate) ? 1 : 0;
+    if (cost_is_static) {
+      costs[k] = slot_cost(network, r, cost, r.release, r.deadline);
+    }
+  }
+  const auto by_cost = [&](std::size_t a, std::size_t b) {
+    if (costs[a] != costs[b]) return costs[a] < costs[b];
+    return requests[a].id < requests[b].id;
+  };
+
+  AdmissionLedger book{network, n};
+  std::vector<std::size_t> order;  // active set, sorted by (cost, id)
+  order.reserve(n);
+  std::vector<std::size_t> newcomers;  // reusable per-slice scratch
+  // Earliest active deadline, to detect departures in O(1). Entries are
+  // lazy: a dead member's entry only forces a (correct) non-skipped slice.
+  std::priority_queue<std::pair<double, std::size_t>,
+                      std::vector<std::pair<double, std::size_t>>, std::greater<>>
+      departures;
+
+  std::size_t next_release = 0;
+  bool dirty = false;  // a request was retro-removed during the last replay
+
+  for (std::size_t b = 0; b + 1 < s.boundaries.size(); ++b) {
+    const TimePoint t1 = s.boundaries[b];
+    const TimePoint t2 = s.boundaries[b + 1];
+    if (telemetry != nullptr) ++telemetry->slices;
+
+    // Consume arrivals due by t1.
+    newcomers.clear();
+    while (next_release < s.by_release.size() &&
+           requests[s.by_release[next_release]].release <= t1) {
+      const std::size_t k = s.by_release[next_release++];
+      if (s.alive[k] && requests[k].deadline >= t2) newcomers.push_back(k);
+    }
+
+    const bool departures_due =
+        !departures.empty() && departures.top().first < t2.to_seconds();
+    if (newcomers.empty() && !departures_due && !dirty) {
+      // No membership change: the previous slice's decisions stand.
+      if (telemetry != nullptr) ++telemetry->skipped_slices;
+      continue;
+    }
+    dirty = false;
+    while (!departures.empty() && departures.top().first < t2.to_seconds()) {
+      departures.pop();
+    }
+
+    // Compact the active set in place. Only the removal of a member that
+    // holds bandwidth can change later decisions; rejected (dead) members
+    // never allocated anything, so sweeping them out is free.
+    std::size_t first_change = kNone;
+    std::size_t write = 0;
+    for (std::size_t read = 0; read < order.size(); ++read) {
+      const std::size_t k = order[read];
+      if (!s.alive[k] || !(requests[k].deadline >= t2)) {
+        if (book.is_admitted(k)) {
+          book.drop(k, requests[k].ingress, requests[k].egress);
+          if (first_change == kNone) first_change = write;
+        }
+        continue;
+      }
+      order[write++] = k;
+    }
+    order.resize(write);
+
+    if (!newcomers.empty()) {
+      for (std::size_t k : newcomers) {
+        departures.emplace(requests[k].deadline.to_seconds(), k);
+      }
+      if (cost_is_static) {
+        std::sort(newcomers.begin(), newcomers.end(), by_cost);
+        const auto insert_at = static_cast<std::size_t>(
+            std::lower_bound(order.begin(), order.end(), newcomers.front(), by_cost) -
+            order.begin());
+        first_change = std::min(first_change, insert_at);
+        const std::size_t merged_from = order.size();
+        order.insert(order.end(), newcomers.begin(), newcomers.end());
+        std::inplace_merge(order.begin(),
+                           order.begin() + static_cast<std::ptrdiff_t>(merged_from),
+                           order.end(), by_cost);
+      } else {
+        order.insert(order.end(), newcomers.begin(), newcomers.end());
+        first_change = 0;
+      }
+    }
+
+    if (!cost_is_static && first_change != kNone) {
+      // Slice-dependent cost: refresh and re-sort the whole active set.
+      for (std::size_t k : order) {
+        costs[k] = slot_cost(network, requests[k], cost, t1, t2);
+      }
+      std::sort(order.begin(), order.end(), by_cost);
+      first_change = 0;
+    }
+    if (first_change == kNone || first_change >= order.size()) continue;
+
+    // Replay the affected suffix: release its held allocations, then re-run
+    // greedy admission in cost order. The prefix's decisions are untouched
+    // (greedy admission depends only on the order prefix).
+    for (std::size_t idx = first_change; idx < order.size(); ++idx) {
+      const std::size_t k = order[idx];
+      book.drop(k, requests[k].ingress, requests[k].egress);
+    }
+    for (std::size_t idx = first_change; idx < order.size(); ++idx) {
+      const std::size_t k = order[idx];
+      const Request& r = requests[k];
+      if (telemetry != nullptr) ++telemetry->admission_checks;
+      if (feasible[k] && book.try_admit(k, r.ingress, r.egress, rates[k])) continue;
+      s.alive[k] = 0;  // retro-removal, permanent
+      dirty = true;
+    }
+  }
+  return assemble(requests, s.alive);
+}
+
+}  // namespace
 
 std::string to_string(SlotCost cost) {
   switch (cost) {
     case SlotCost::kCumulated: return "CUMULATED-SLOTS";
     case SlotCost::kMinBandwidth: return "MINBW-SLOTS";
     case SlotCost::kMinVolume: return "MINVOL-SLOTS";
+  }
+  return "unknown";
+}
+
+std::string to_string(SlotsEngine engine) {
+  switch (engine) {
+    case SlotsEngine::kRebuild: return "rebuild";
+    case SlotsEngine::kIncremental: return "incremental";
   }
   return "unknown";
 }
@@ -40,82 +302,20 @@ double slot_cost(const Network& network, const Request& r, SlotCost cost, TimePo
 
 ScheduleResult schedule_rigid_slots(const Network& network,
                                     std::span<const Request> requests, SlotCost cost) {
-  // Slice boundaries: every distinct start or finish time.
-  std::vector<TimePoint> boundaries;
-  boundaries.reserve(requests.size() * 2);
-  for (const Request& r : requests) {
-    boundaries.push_back(r.release);
-    boundaries.push_back(r.deadline);
+  return schedule_rigid_slots(network, requests, cost, SlotsEngine::kIncremental);
+}
+
+ScheduleResult schedule_rigid_slots(const Network& network,
+                                    std::span<const Request> requests, SlotCost cost,
+                                    SlotsEngine engine, SlotsTelemetry* telemetry) {
+  SweepSetup setup = prepare_sweep(requests);
+  switch (engine) {
+    case SlotsEngine::kRebuild:
+      return sweep_rebuild(network, requests, cost, setup, telemetry);
+    case SlotsEngine::kIncremental:
+      return sweep_incremental(network, requests, cost, setup, telemetry);
   }
-  std::sort(boundaries.begin(), boundaries.end());
-  boundaries.erase(std::unique(boundaries.begin(), boundaries.end()), boundaries.end());
-
-  // alive[k]: request k not yet rejected; admitted[k]: allocated in every
-  // slice of its window processed so far.
-  std::vector<char> alive(requests.size(), 1);
-
-  // Requests sorted by release to sweep the active set cheaply.
-  std::vector<std::size_t> by_release(requests.size());
-  for (std::size_t k = 0; k < requests.size(); ++k) by_release[k] = k;
-  std::sort(by_release.begin(), by_release.end(), [&](std::size_t a, std::size_t b) {
-    return requests[a].release < requests[b].release;
-  });
-
-  std::size_t next_release = 0;                 // cursor into by_release
-  std::vector<std::size_t> running;             // indices active in the current slice
-
-  CounterLedger counters{network};
-  for (std::size_t b = 0; b + 1 < boundaries.size(); ++b) {
-    const TimePoint t1 = boundaries[b];
-    const TimePoint t2 = boundaries[b + 1];
-
-    // Update the running set: drop finished/rejected, add newly released.
-    std::erase_if(running, [&](std::size_t k) {
-      return !alive[k] || !(requests[k].deadline >= t2);
-    });
-    while (next_release < by_release.size() &&
-           requests[by_release[next_release]].release <= t1) {
-      const std::size_t k = by_release[next_release++];
-      if (alive[k] && requests[k].deadline >= t2) running.push_back(k);
-    }
-    if (running.empty()) continue;
-
-    // Sort the slice's active requests by non-decreasing cost.
-    std::vector<std::size_t> order = running;
-    std::vector<double> costs(requests.size());
-    for (std::size_t k : order) costs[k] = slot_cost(network, requests[k], cost, t1, t2);
-    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b2) {
-      if (costs[a] != costs[b2]) return costs[a] < costs[b2];
-      return requests[a].id < requests[b2].id;
-    });
-
-    // Fresh per-slice counters (no request starts or stops inside a slice,
-    // so per-slice admission is exact).
-    counters = CounterLedger{network};
-    for (std::size_t k : order) {
-      const Request& r = requests[k];
-      const Bandwidth bw = r.min_rate();
-      if (approx_le(bw, r.max_rate) && counters.fits(r.ingress, r.egress, bw)) {
-        counters.allocate(r.ingress, r.egress, bw);
-      } else {
-        // Retro-removal: the request is discarded permanently. Earlier
-        // slices already processed keep their decisions (the paper frees
-        // the bookkeeping but does not revisit them).
-        alive[k] = 0;
-      }
-    }
-  }
-
-  ScheduleResult result;
-  for (std::size_t k = 0; k < requests.size(); ++k) {
-    const Request& r = requests[k];
-    if (alive[k] && approx_le(r.min_rate(), r.max_rate)) {
-      result.schedule.accept(r.id, r.release, r.min_rate());
-    } else {
-      result.rejected.push_back(r.id);
-    }
-  }
-  return result;
+  throw std::logic_error{"schedule_rigid_slots: bad engine"};
 }
 
 }  // namespace gridbw::heuristics

@@ -35,13 +35,41 @@ enum class SlotCost {
 
 [[nodiscard]] std::string to_string(SlotCost cost);
 
+/// Which admission engine drives the slice sweep. Both produce identical
+/// schedules (enforced by the differential tests in
+/// incremental_engine_test.cpp): kRebuild is the paper-literal reference
+/// that re-sorts the active set and rebuilds fresh counters every slice;
+/// kIncremental keeps the sorted active set and the per-port counters alive
+/// across slices, applies release/finish deltas at boundaries, and replays
+/// only the suffix of the order whose decisions can have changed.
+enum class SlotsEngine {
+  kRebuild,      // reference: fresh CounterLedger + full sort per slice
+  kIncremental,  // default: delta-maintained counters + suffix replay
+};
+
+[[nodiscard]] std::string to_string(SlotsEngine engine);
+
+/// Lightweight instrumentation of one sweep, surfaced by the benches'
+/// timing tables (slices/sec).
+struct SlotsTelemetry {
+  std::size_t slices{0};            ///< slice boundaries visited
+  std::size_t skipped_slices{0};    ///< slices with no admission-relevant change
+  std::size_t admission_checks{0};  ///< fits/allocate decisions evaluated
+};
+
 /// The cost factor of request `r` on slice [t1, t2] under `cost`.
 /// Exposed for tests and the microbenchmarks.
 [[nodiscard]] double slot_cost(const Network& network, const Request& r, SlotCost cost,
                                TimePoint t1, TimePoint t2);
 
+/// Runs the slice sweep with the default (incremental) engine.
 [[nodiscard]] ScheduleResult schedule_rigid_slots(const Network& network,
                                                   std::span<const Request> requests,
                                                   SlotCost cost);
+
+[[nodiscard]] ScheduleResult schedule_rigid_slots(const Network& network,
+                                                  std::span<const Request> requests,
+                                                  SlotCost cost, SlotsEngine engine,
+                                                  SlotsTelemetry* telemetry = nullptr);
 
 }  // namespace gridbw::heuristics

@@ -1,5 +1,6 @@
 #include "metrics/experiment.hpp"
 
+#include <chrono>
 #include <mutex>
 #include <stdexcept>
 #include <vector>
@@ -30,6 +31,45 @@ MetricStats run_replicated(const ExperimentConfig& config, const ReplicationFn& 
     for (const auto& [name, value] : bag) stats[name].add(value);
   }
   return stats;
+}
+
+TaskedStats run_replicated_tasks(const ExperimentConfig& config,
+                                 std::size_t task_count, const TaskFn& body) {
+  if (config.replications == 0) {
+    throw std::invalid_argument{"run_replicated_tasks: need at least one replication"};
+  }
+  if (task_count == 0) {
+    throw std::invalid_argument{"run_replicated_tasks: need at least one task"};
+  }
+
+  const std::size_t cells = config.replications * task_count;
+  std::vector<MetricBag> bags(cells);
+  std::vector<double> wall(cells, 0.0);
+  auto one = [&](std::size_t cell) {
+    const std::size_t rep = cell / task_count;
+    const std::size_t task = cell % task_count;
+    Rng rng{derive_stream(config.base_seed, rep)};
+    const auto t0 = std::chrono::steady_clock::now();
+    bags[cell] = body(rng, rep, task);
+    const auto t1 = std::chrono::steady_clock::now();
+    wall[cell] = std::chrono::duration<double>(t1 - t0).count();
+  };
+
+  if (config.threads == 1 || cells == 1) {
+    serial_for_index(cells, one);
+  } else {
+    ThreadPool pool{config.threads};
+    parallel_for_index(pool, cells, one);
+  }
+
+  // Merge in (replication, task) order so the aggregation is deterministic.
+  TaskedStats out;
+  out.task_wall_seconds.resize(task_count);
+  for (std::size_t cell = 0; cell < cells; ++cell) {
+    for (const auto& [name, value] : bags[cell]) out.metrics[name].add(value);
+    out.task_wall_seconds[cell % task_count].add(wall[cell]);
+  }
+  return out;
 }
 
 const RunningStats& metric(const MetricStats& stats, const std::string& name) {

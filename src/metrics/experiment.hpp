@@ -43,6 +43,29 @@ using MetricStats = std::map<std::string, RunningStats>;
 [[nodiscard]] MetricStats run_replicated(const ExperimentConfig& config,
                                          const ReplicationFn& body);
 
+/// Body of one (replication, task) cell of a tasked experiment. The Rng is
+/// seeded from the *replication* only, so every task of a replication sees
+/// the identical stream (a bench comparing heuristics regenerates the same
+/// workload in each task's cell).
+using TaskFn =
+    std::function<MetricBag(Rng& rng, std::size_t replication, std::size_t task)>;
+
+/// Result of `run_replicated_tasks`: merged metric statistics plus the
+/// wall-clock seconds each task's body took, aggregated across replications
+/// (the timing columns of the bench tables and the BENCH_*.json files).
+struct TaskedStats {
+  MetricStats metrics;
+  std::vector<RunningStats> task_wall_seconds;  // indexed by task
+};
+
+/// Fans the full (replication x task) grid out over the thread pool — one
+/// cell per work item, so independent heuristics of the same replication run
+/// concurrently — and merges results in (replication, task) order so the
+/// aggregation is bit-identical to a serial run.
+[[nodiscard]] TaskedStats run_replicated_tasks(const ExperimentConfig& config,
+                                               std::size_t task_count,
+                                               const TaskFn& body);
+
 /// Convenience accessor that throws if `name` is absent (typo guard in
 /// benches).
 [[nodiscard]] const RunningStats& metric(const MetricStats& stats,

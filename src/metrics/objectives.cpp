@@ -106,13 +106,16 @@ RunningStats start_delay_stats(std::span<const Request> requests,
 }
 
 double jain_fairness(std::span<const double> values) {
+  // No shares at all is vacuous, not perfectly fair: report 0 so an empty
+  // schedule cannot score better than a skewed one.
+  if (values.empty()) return 0.0;
   double sum = 0.0;
   double sum_sq = 0.0;
   for (double x : values) {
     sum += x;
     sum_sq += x * x;
   }
-  if (values.empty() || sum_sq == 0.0) return 1.0;
+  if (sum_sq == 0.0) return 1.0;  // all-zero shares are exactly equal
   return sum * sum / (static_cast<double>(values.size()) * sum_sq);
 }
 

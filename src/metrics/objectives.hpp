@@ -73,7 +73,8 @@ namespace gridbw::metrics {
 
 /// Jain's fairness index (sum x)^2 / (n * sum x^2) over non-negative
 /// values: 1 = perfectly even, 1/n = one value holds everything. Returns 1
-/// for empty or all-zero input.
+/// for all-zero input (exactly equal shares) and 0 for empty input (no
+/// shares to be fair about).
 [[nodiscard]] double jain_fairness(std::span<const double> values);
 
 /// Granted bytes carried by each ingress / egress port under the schedule

@@ -30,6 +30,11 @@ class Table {
   [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
   [[nodiscard]] std::size_t column_count() const { return header_.size(); }
 
+  [[nodiscard]] const std::vector<std::string>& header() const { return header_; }
+  [[nodiscard]] const std::vector<std::vector<std::string>>& rows() const {
+    return rows_;
+  }
+
   void print(std::ostream& os) const;
   [[nodiscard]] std::string to_string() const;
 

@@ -97,6 +97,43 @@ TEST(SchedulerDeterminism, RetryAndDistributedAreDeterministic) {
   EXPECT_EQ(d1.egress_conflicts, d2.egress_conflicts);
 }
 
+TEST(WindowTieBreak, NearEqualCostsBreakTiesByRequestId) {
+  // Two candidates whose costs differ only at the 1e-12 relative level
+  // contend for an egress that fits one of them. An exact `<` comparison
+  // would let the infinitesimally cheaper (higher-id) candidate win or lose
+  // depending on rounding; the epsilon-aware tie-break must deterministically
+  // pick the smaller request id — in both selection engines.
+  const Bandwidth out_cap = Bandwidth::megabytes_per_second(100);
+  const Bandwidth in_cap = Bandwidth::megabytes_per_second(99);
+  // Request 2's ingress is a hair *larger*, so its cost is a hair *smaller*:
+  // exact comparison would prefer id 2; the tie-break must prefer id 1.
+  const Bandwidth in_cap_eps =
+      Bandwidth::bytes_per_second(in_cap.to_bytes_per_second() * (1.0 + 1e-12));
+  const Network net{{in_cap, in_cap_eps}, {out_cap}};
+
+  std::vector<Request> rs;
+  for (RequestId id : {RequestId{1}, RequestId{2}}) {
+    rs.push_back(RequestBuilder{id}
+                     .from(IngressId{id - 1})
+                     .to(EgressId{0})
+                     .window(TimePoint::at_seconds(0), TimePoint::at_seconds(1000))
+                     .volume(Volume::megabytes(60))
+                     .max_rate(Bandwidth::megabytes_per_second(60))
+                     .build());
+  }
+
+  heuristics::WindowOptions opt;
+  opt.step = Duration::seconds(10);
+  opt.policy = heuristics::BandwidthPolicy::fraction_of_max(1.0);
+  for (const auto engine :
+       {heuristics::WindowEngine::kScan, heuristics::WindowEngine::kHeap}) {
+    opt.engine = engine;
+    const auto result = heuristics::schedule_flexible_window(net, rs, opt);
+    EXPECT_TRUE(result.schedule.is_accepted(1)) << to_string(engine);
+    EXPECT_FALSE(result.schedule.is_accepted(2)) << to_string(engine);
+  }
+}
+
 TEST(WindowOrders, AllOrdersProduceValidDistinctNames) {
   using heuristics::CandidateOrder;
   EXPECT_EQ(to_string(CandidateOrder::kMinCost), "mincost");

@@ -93,6 +93,69 @@ TEST(RunReplicated, RejectsZeroReplications) {
                std::invalid_argument);
 }
 
+TEST(RunReplicatedTasks, EveryTaskOfAReplicationSeesTheSameStream) {
+  ExperimentConfig cfg;
+  cfg.replications = 5;
+  cfg.threads = 1;
+  const auto out = run_replicated_tasks(cfg, 3, [](Rng& rng, std::size_t rep, std::size_t t) {
+    return MetricBag{{"t" + std::to_string(t) + "/r" + std::to_string(rep),
+                      rng.uniform01()}};
+  });
+  for (std::size_t rep = 0; rep < 5; ++rep) {
+    const double first =
+        metric(out.metrics, "t0/r" + std::to_string(rep)).mean();
+    for (std::size_t t = 1; t < 3; ++t) {
+      EXPECT_DOUBLE_EQ(
+          first, metric(out.metrics, "t" + std::to_string(t) + "/r" + std::to_string(rep)).mean());
+    }
+  }
+}
+
+TEST(RunReplicatedTasks, ParallelEqualsSerialBitForBit) {
+  auto body = [](Rng& rng, std::size_t, std::size_t t) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i <= t * 10; ++i) acc += rng.uniform01();
+    return MetricBag{{"acc" + std::to_string(t), acc}};
+  };
+  ExperimentConfig serial;
+  serial.replications = 8;
+  serial.threads = 1;
+  ExperimentConfig parallel = serial;
+  parallel.threads = 4;
+  const auto a = run_replicated_tasks(serial, 3, body);
+  const auto b = run_replicated_tasks(parallel, 3, body);
+  for (std::size_t t = 0; t < 3; ++t) {
+    const std::string name = "acc" + std::to_string(t);
+    EXPECT_DOUBLE_EQ(metric(a.metrics, name).mean(), metric(b.metrics, name).mean());
+    EXPECT_DOUBLE_EQ(metric(a.metrics, name).variance(),
+                     metric(b.metrics, name).variance());
+  }
+}
+
+TEST(RunReplicatedTasks, RecordsWallClockPerTask) {
+  ExperimentConfig cfg;
+  cfg.replications = 4;
+  cfg.threads = 2;
+  const auto out = run_replicated_tasks(cfg, 2, [](Rng&, std::size_t, std::size_t) {
+    return MetricBag{{"x", 1.0}};
+  });
+  ASSERT_EQ(out.task_wall_seconds.size(), 2u);
+  for (const auto& w : out.task_wall_seconds) {
+    EXPECT_EQ(w.count(), 4u);          // one sample per replication
+    EXPECT_GE(w.min(), 0.0);
+  }
+  EXPECT_EQ(metric(out.metrics, "x").count(), 8u);  // reps x tasks
+}
+
+TEST(RunReplicatedTasks, RejectsDegenerateGrids) {
+  ExperimentConfig cfg;
+  cfg.replications = 0;
+  auto body = [](Rng&, std::size_t, std::size_t) { return MetricBag{}; };
+  EXPECT_THROW((void)run_replicated_tasks(cfg, 2, body), std::invalid_argument);
+  cfg.replications = 2;
+  EXPECT_THROW((void)run_replicated_tasks(cfg, 0, body), std::invalid_argument);
+}
+
 TEST(Metric, ThrowsOnUnknownName) {
   MetricStats stats;
   stats["known"].add(1.0);

@@ -1,0 +1,162 @@
+// Differential proof that the fast admission engines are byte-identical to
+// their paper-literal references, on randomized workloads:
+//
+//   rigid *-SLOTS:  SlotsEngine::kIncremental vs kRebuild, all 3 SlotCosts
+//   WINDOW:         WindowEngine::kHeap vs kScan, all orders + hotspot
+//
+// (ISSUE acceptance criterion: schedules must match exactly, several seeds.)
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <tuple>
+#include <vector>
+
+#include "heuristics/flexible_window.hpp"
+#include "heuristics/rigid_slots.hpp"
+#include "workload/generator.hpp"
+#include "workload/scenario.hpp"
+
+namespace gridbw {
+namespace {
+
+/// Canonical fingerprint of a schedule result (same shape as
+/// determinism_test.cpp): accepted (id, start, bw) triples plus rejections.
+std::vector<std::tuple<RequestId, double, double>> fingerprint(
+    const ScheduleResult& result) {
+  std::vector<std::tuple<RequestId, double, double>> out;
+  for (const Assignment& a : result.schedule.assignments()) {
+    out.emplace_back(a.request, a.start.to_seconds(), a.bw.to_bytes_per_second());
+  }
+  std::sort(out.begin(), out.end());
+  auto rejected = result.rejected;
+  std::sort(rejected.begin(), rejected.end());
+  for (RequestId id : rejected) out.emplace_back(id, -1.0, -1.0);
+  return out;
+}
+
+constexpr std::uint64_t kSeeds[] = {11, 4242, 987654321};
+
+class SlotsEngineDifferential
+    : public ::testing::TestWithParam<heuristics::SlotCost> {};
+
+TEST_P(SlotsEngineDifferential, IncrementalMatchesRebuildOnRandomWorkloads) {
+  const auto cost = GetParam();
+  for (const std::uint64_t seed : kSeeds) {
+    const workload::Scenario scenario =
+        workload::paper_rigid(Duration::seconds(1), Duration::seconds(800));
+    Rng rng{seed};
+    const auto requests = workload::generate(scenario.spec, rng);
+    ASSERT_GT(requests.size(), 50u);
+
+    heuristics::SlotsTelemetry rebuild_tm, incremental_tm;
+    const auto reference = heuristics::schedule_rigid_slots(
+        scenario.network, requests, cost, heuristics::SlotsEngine::kRebuild,
+        &rebuild_tm);
+    const auto fast = heuristics::schedule_rigid_slots(
+        scenario.network, requests, cost, heuristics::SlotsEngine::kIncremental,
+        &incremental_tm);
+
+    EXPECT_EQ(fingerprint(reference), fingerprint(fast))
+        << to_string(cost) << " seed=" << seed;
+    // Same slice structure, strictly less admission work.
+    EXPECT_EQ(rebuild_tm.slices, incremental_tm.slices);
+    EXPECT_EQ(rebuild_tm.skipped_slices, 0u);
+    EXPECT_LE(incremental_tm.admission_checks, rebuild_tm.admission_checks);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSlotCosts, SlotsEngineDifferential,
+                         ::testing::Values(heuristics::SlotCost::kCumulated,
+                                           heuristics::SlotCost::kMinBandwidth,
+                                           heuristics::SlotCost::kMinVolume));
+
+TEST(SlotsEngineDifferential, DefaultOverloadIsTheIncrementalEngine) {
+  const workload::Scenario scenario =
+      workload::paper_rigid(Duration::seconds(1), Duration::seconds(400));
+  Rng rng{5};
+  const auto requests = workload::generate(scenario.spec, rng);
+  const auto a = heuristics::schedule_rigid_slots(
+      scenario.network, requests, heuristics::SlotCost::kMinBandwidth);
+  const auto b = heuristics::schedule_rigid_slots(
+      scenario.network, requests, heuristics::SlotCost::kMinBandwidth,
+      heuristics::SlotsEngine::kIncremental);
+  EXPECT_EQ(fingerprint(a), fingerprint(b));
+}
+
+TEST(SlotsEngineDifferential, IncrementalSkipsQuietSlices) {
+  // A sparse workload has long stretches with no arrivals/departures; the
+  // incremental engine must skip those slices entirely.
+  const workload::Scenario scenario =
+      workload::paper_rigid(Duration::seconds(20), Duration::seconds(4000));
+  Rng rng{77};
+  const auto requests = workload::generate(scenario.spec, rng);
+  heuristics::SlotsTelemetry tm;
+  (void)heuristics::schedule_rigid_slots(scenario.network, requests,
+                                         heuristics::SlotCost::kMinBandwidth,
+                                         heuristics::SlotsEngine::kIncremental, &tm);
+  EXPECT_GT(tm.slices, 0u);
+  EXPECT_LT(tm.admission_checks,
+            tm.slices * std::max<std::size_t>(requests.size(), 1));
+}
+
+struct WindowCase {
+  heuristics::CandidateOrder order;
+  double hotspot;
+};
+
+class WindowEngineDifferential : public ::testing::TestWithParam<WindowCase> {};
+
+TEST_P(WindowEngineDifferential, HeapMatchesScanOnRandomWorkloads) {
+  const auto param = GetParam();
+  for (const std::uint64_t seed : kSeeds) {
+    const workload::Scenario scenario = workload::paper_flexible(
+        Duration::seconds(0.5), Duration::seconds(600), 4.0);
+    Rng rng{seed};
+    const auto requests = workload::generate(scenario.spec, rng);
+    ASSERT_GT(requests.size(), 50u);
+
+    heuristics::WindowOptions opt;
+    opt.step = Duration::seconds(50);
+    opt.policy = heuristics::BandwidthPolicy::fraction_of_max(0.8);
+    opt.order = param.order;
+    opt.hotspot_weight = param.hotspot;
+
+    opt.engine = heuristics::WindowEngine::kScan;
+    const auto reference =
+        heuristics::schedule_flexible_window(scenario.network, requests, opt);
+    opt.engine = heuristics::WindowEngine::kHeap;
+    const auto fast =
+        heuristics::schedule_flexible_window(scenario.network, requests, opt);
+    EXPECT_EQ(fingerprint(reference), fingerprint(fast))
+        << to_string(param.order) << " hotspot=" << param.hotspot
+        << " seed=" << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOrders, WindowEngineDifferential,
+    ::testing::Values(WindowCase{heuristics::CandidateOrder::kMinCost, 0.0},
+                      WindowCase{heuristics::CandidateOrder::kMinCost, 0.5},
+                      WindowCase{heuristics::CandidateOrder::kEarliestDeadline, 0.0},
+                      WindowCase{heuristics::CandidateOrder::kShortestJob, 0.0}));
+
+TEST(WindowEngineDifferential, MinRatePolicyAlsoMatches) {
+  const workload::Scenario scenario =
+      workload::paper_flexible(Duration::seconds(1), Duration::seconds(400), 4.0);
+  Rng rng{31};
+  const auto requests = workload::generate(scenario.spec, rng);
+  heuristics::WindowOptions opt;
+  opt.step = Duration::seconds(100);
+  opt.policy = heuristics::BandwidthPolicy::min_rate();
+  opt.engine = heuristics::WindowEngine::kScan;
+  const auto reference =
+      heuristics::schedule_flexible_window(scenario.network, requests, opt);
+  opt.engine = heuristics::WindowEngine::kHeap;
+  const auto fast =
+      heuristics::schedule_flexible_window(scenario.network, requests, opt);
+  EXPECT_EQ(fingerprint(reference), fingerprint(fast));
+}
+
+}  // namespace
+}  // namespace gridbw

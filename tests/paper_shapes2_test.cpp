@@ -140,7 +140,8 @@ TEST(PaperShapes2, PolicedReplayKeepsPromisesWhereUnpolicedBreaksThem) {
 TEST(PaperShapes2, JainFairnessMetricBasics) {
   EXPECT_DOUBLE_EQ(metrics::jain_fairness(std::vector<double>{1, 1, 1, 1}), 1.0);
   EXPECT_NEAR(metrics::jain_fairness(std::vector<double>{1, 0, 0, 0}), 0.25, 1e-12);
-  EXPECT_DOUBLE_EQ(metrics::jain_fairness(std::vector<double>{}), 1.0);
+  // Empty input is vacuous, not perfectly fair.
+  EXPECT_DOUBLE_EQ(metrics::jain_fairness(std::vector<double>{}), 0.0);
   EXPECT_DOUBLE_EQ(metrics::jain_fairness(std::vector<double>{0, 0}), 1.0);
 }
 
