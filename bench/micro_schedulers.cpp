@@ -9,6 +9,7 @@
 
 #include "baseline/maxmin.hpp"
 #include "core/step_function.hpp"
+#include "core/timeline_profile.hpp"
 #include "heuristics/flexible_greedy.hpp"
 #include "heuristics/flexible_window.hpp"
 #include "heuristics/rigid_fcfs.hpp"
@@ -102,6 +103,27 @@ void BM_StepFunctionAddQuery(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(spans));
 }
 BENCHMARK(BM_StepFunctionAddQuery)->Arg(64)->Arg(512)->Arg(4096);
+
+void BM_TimelineProfileAddQuery(benchmark::State& state) {
+  const auto spans = static_cast<std::size_t>(state.range(0));
+  Rng rng{7};
+  std::vector<std::pair<double, double>> intervals;
+  for (std::size_t k = 0; k < spans; ++k) {
+    const double lo = rng.uniform(0, 1000);
+    intervals.emplace_back(lo, lo + rng.uniform(1, 50));
+  }
+  for (auto _ : state) {
+    TimelineProfile f;
+    f.reserve(spans);
+    for (const auto& [lo, hi] : intervals) {
+      f.add(TimePoint::at_seconds(lo), TimePoint::at_seconds(hi), 1.0);
+    }
+    benchmark::DoNotOptimize(
+        f.max_over(TimePoint::at_seconds(200), TimePoint::at_seconds(800)));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(spans));
+}
+BENCHMARK(BM_TimelineProfileAddQuery)->Arg(64)->Arg(512)->Arg(4096);
 
 void BM_MaxMinAllocation(benchmark::State& state) {
   const auto flows_count = static_cast<std::size_t>(state.range(0));

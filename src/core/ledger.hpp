@@ -2,11 +2,11 @@
 //
 // Two bandwidth-accounting books:
 //
-//  * NetworkLedger — the exact, time-aware book. Each port owns a
-//    StepFunction allocation profile; `fits` asks whether an extra `bw`
+//  * NetworkLedger — the exact, time-aware book. Each port owns a flat
+//    TimelineProfile allocation profile; `fits` asks whether an extra `bw`
 //    over [t0, t1) would exceed the port capacity anywhere. Used by the
-//    rigid heuristics (whose reservations span arbitrary future windows)
-//    and by the optimality solvers.
+//    rigid heuristics (whose reservations span arbitrary future windows),
+//    the BOOK-AHEAD feasibility probes, and the optimality solvers.
 //
 //  * CounterLedger — the paper's O(1) online book (`ali`/`ale` in
 //    Algorithms 2 and 3): one running counter per port, increased on accept
@@ -27,7 +27,7 @@
 
 #include "core/ids.hpp"
 #include "core/network.hpp"
-#include "core/step_function.hpp"
+#include "core/timeline_profile.hpp"
 #include "util/quantity.hpp"
 
 namespace gridbw {
@@ -52,18 +52,18 @@ class NetworkLedger {
   [[nodiscard]] Bandwidth headroom(IngressId i, EgressId e, TimePoint t0,
                                    TimePoint t1) const;
 
-  [[nodiscard]] const StepFunction& ingress_profile(IngressId i) const {
+  [[nodiscard]] const TimelineProfile& ingress_profile(IngressId i) const {
     return ingress_.at(i.value);
   }
-  [[nodiscard]] const StepFunction& egress_profile(EgressId e) const {
+  [[nodiscard]] const TimelineProfile& egress_profile(EgressId e) const {
     return egress_.at(e.value);
   }
   [[nodiscard]] const Network& network() const { return *network_; }
 
  private:
   const Network* network_;
-  std::vector<StepFunction> ingress_;
-  std::vector<StepFunction> egress_;
+  std::vector<TimelineProfile> ingress_;
+  std::vector<TimelineProfile> egress_;
 };
 
 /// The paper's online counters: ali(i), ale(e).

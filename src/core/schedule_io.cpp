@@ -8,7 +8,7 @@
 #include <stdexcept>
 #include <unordered_map>
 
-#include "core/step_function.hpp"
+#include "core/timeline_profile.hpp"
 
 namespace gridbw {
 namespace {
@@ -85,7 +85,7 @@ std::string render_ingress_gantt(const Network& network,
   if (!(t0 < t1)) throw std::invalid_argument{"render_ingress_gantt: empty window"};
   if (columns == 0) throw std::invalid_argument{"render_ingress_gantt: zero columns"};
 
-  std::vector<StepFunction> load(network.ingress_count());
+  std::vector<TimelineProfile> load(network.ingress_count());
   std::unordered_map<RequestId, const Request*> by_id;
   for (const Request& r : requests) by_id.emplace(r.id, &r);
   for (const Assignment& a : schedule.assignments()) {

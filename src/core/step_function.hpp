@@ -5,10 +5,11 @@
 // accepted request adds `bw` over [start, end), and feasibility means the
 // running sum never exceeds the port capacity.
 //
-// Complexity: add is O(log n); queries are O(n) scans over breakpoints,
-// which is ample for session-level simulation scales (thousands of requests
-// per port) and keeps the code obviously correct — the validator, not the
-// hot path, is the main client.
+// Complexity: add is O(log n); queries are O(n) scans over breakpoints.
+// This is the *reference* implementation: obviously correct, kept for
+// differential-testing the flat, cache-friendly TimelineProfile
+// (core/timeline_profile.hpp) that the hot paths — validator, ledgers,
+// dataplane replay, BOOK-AHEAD probes — now use.
 
 #pragma once
 

@@ -1,0 +1,169 @@
+#include "core/timeline_profile.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace gridbw {
+
+void TimelineProfile::add(TimePoint t0, TimePoint t1, double delta) {
+  if (!(t0 < t1) || delta == 0.0) return;
+  pending_.push_back(Event{t0.to_seconds(), delta});
+  pending_.push_back(Event{t1.to_seconds(), -delta});
+}
+
+void TimelineProfile::reserve(std::size_t interval_count) {
+  pending_.reserve(pending_.size() + 2 * interval_count);
+}
+
+void TimelineProfile::compile() const { merge_pending(); }
+
+void TimelineProfile::merge_pending() const {
+  if (pending_.empty()) return;
+  // Stable by time so that deltas landing on the same instant accumulate in
+  // call order — the exact floating-point sums the delta map would produce.
+  std::stable_sort(pending_.begin(), pending_.end(),
+                   [](const Event& a, const Event& b) { return a.time < b.time; });
+
+  std::vector<double> merged_times;
+  std::vector<double> merged_deltas;
+  merged_times.reserve(times_.size() + pending_.size());
+  merged_deltas.reserve(times_.size() + pending_.size());
+
+  // Two-pointer merge; at equal instants the existing combined delta comes
+  // first, then pending deltas fold onto it left-to-right.
+  std::size_t i = 0;  // over times_/deltas_
+  std::size_t j = 0;  // over pending_
+  while (i < times_.size() || j < pending_.size()) {
+    const bool take_existing =
+        j == pending_.size() ||
+        (i < times_.size() && times_[i] <= pending_[j].time);
+    double time, delta;
+    if (take_existing) {
+      time = times_[i];
+      delta = deltas_[i];
+      ++i;
+    } else {
+      time = pending_[j].time;
+      delta = pending_[j].delta;
+      ++j;
+    }
+    if (!merged_times.empty() && merged_times.back() == time) {
+      merged_deltas.back() += delta;
+    } else {
+      merged_times.push_back(time);
+      merged_deltas.push_back(delta);
+    }
+  }
+
+  times_ = std::move(merged_times);
+  deltas_ = std::move(merged_deltas);
+  pending_.clear();
+  rebuild_caches();
+}
+
+void TimelineProfile::rebuild_caches() const {
+  values_.resize(times_.size());
+  prefix_max_.resize(times_.size());
+  double acc = 0.0;
+  double best = -std::numeric_limits<double>::infinity();
+  for (std::size_t k = 0; k < times_.size(); ++k) {
+    acc += deltas_[k];
+    values_[k] = acc;
+    best = std::max(best, acc);
+    prefix_max_[k] = best;
+  }
+}
+
+std::size_t TimelineProfile::upper_index(double t) const {
+  return static_cast<std::size_t>(
+      std::upper_bound(times_.begin(), times_.end(), t) - times_.begin());
+}
+
+double TimelineProfile::value_at(TimePoint t) const {
+  merge_pending();
+  const std::size_t idx = upper_index(t.to_seconds());
+  return idx == 0 ? 0.0 : values_[idx - 1];
+}
+
+double TimelineProfile::max_over(TimePoint t0, TimePoint t1) const {
+  if (!(t0 < t1)) return 0.0;
+  merge_pending();
+  const double lo = t0.to_seconds();
+  const double hi = t1.to_seconds();
+  // Breakpoints strictly inside (lo, hi): indices [first, last).
+  const std::size_t first = upper_index(lo);
+  const std::size_t last =
+      static_cast<std::size_t>(std::lower_bound(times_.begin(), times_.end(), hi) -
+                               times_.begin());
+  double best = 0.0;
+  if (first < last) {
+    if (first == 0) {
+      best = std::max(best, prefix_max_[last - 1]);  // O(1) left-anchored window
+    } else {
+      for (std::size_t k = first; k < last; ++k) best = std::max(best, values_[k]);
+    }
+  }
+  // The value holding at the window's left edge counts too.
+  best = std::max(best, first == 0 ? 0.0 : values_[first - 1]);
+  return best;
+}
+
+double TimelineProfile::global_max() const {
+  merge_pending();
+  if (times_.empty()) return 0.0;
+  return std::max(0.0, prefix_max_.back());
+}
+
+double TimelineProfile::integral(TimePoint t0, TimePoint t1) const {
+  if (!(t0 < t1)) return 0.0;
+  merge_pending();
+  const double lo = t0.to_seconds();
+  const double hi = t1.to_seconds();
+  const std::size_t first = upper_index(lo);
+  double acc = first == 0 ? 0.0 : values_[first - 1];
+  double result = 0.0;
+  double prev = lo;
+  for (std::size_t k = first; k < times_.size(); ++k) {
+    const double upto = std::min(times_[k], hi);
+    if (upto > prev) {
+      result += acc * (upto - prev);
+      prev = upto;
+    }
+    if (times_[k] >= hi) return result;
+    acc = values_[k];
+  }
+  if (hi > prev) result += acc * (hi - prev);
+  return result;
+}
+
+std::vector<TimePoint> TimelineProfile::breakpoints() const {
+  merge_pending();
+  std::vector<TimePoint> points;
+  points.reserve(times_.size());
+  for (std::size_t k = 0; k < times_.size(); ++k) {
+    if (deltas_[k] != 0.0) points.push_back(TimePoint::at_seconds(times_[k]));
+  }
+  return points;
+}
+
+std::size_t TimelineProfile::breakpoint_count() const {
+  merge_pending();
+  return times_.size();
+}
+
+void TimelineProfile::compact(double tolerance) {
+  merge_pending();
+  std::size_t kept = 0;
+  for (std::size_t k = 0; k < times_.size(); ++k) {
+    if (std::fabs(deltas_[k]) <= tolerance) continue;
+    times_[kept] = times_[k];
+    deltas_[kept] = deltas_[k];
+    ++kept;
+  }
+  times_.resize(kept);
+  deltas_.resize(kept);
+  rebuild_caches();
+}
+
+}  // namespace gridbw

@@ -1,0 +1,102 @@
+// gridbw/core/timeline_profile.hpp
+//
+// Flat, cache-friendly drop-in for StepFunction: the same piecewise-constant
+// right-continuous port-load profile, stored as sorted breakpoint/delta
+// vectors (SoA) with lazily rebuilt prefix-sum and prefix-max caches instead
+// of a std::map of deltas.
+//
+//  * `add` is O(1): it appends to a pending buffer. The buffer is merged
+//    into the sorted arrays on the first query after a batch of adds
+//    (stable sort of the pending events + one linear merge), so bulk
+//    construction — the validator, dataplane replay, BOOK-AHEAD probes —
+//    costs O(n log n) once instead of O(n log n) map-node allocations.
+//  * `value_at` is O(log n): binary search into the prefix-sum cache.
+//  * `global_max` is O(1) off the prefix-max cache.
+//  * `max_over` / `integral` are O(log n + w) where w is the number of
+//    breakpoints inside the queried window (contiguous scans, no pointer
+//    chasing); left-anchored max windows resolve O(log n) off the cache.
+//
+// Numerical contract: every query returns the bit-identical double that
+// StepFunction would return for the same sequence of `add` calls. Deltas
+// landing on the same instant accumulate in call order (exactly like the
+// map's `operator+=`), prefix sums run left-to-right over the merged
+// deltas (exactly like the map scans), and `integral` accumulates the same
+// per-segment products in the same order. tests/timeline_profile_test.cpp
+// differential-tests this with EXPECT_EQ on raw doubles.
+//
+// Thread safety: queries may trigger the lazy merge and therefore mutate
+// internal caches. Call `compile()` before sharing one profile across
+// threads for read-only queries; distinct profiles are always independent
+// (the parallel validator gives each port its own).
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/quantity.hpp"
+
+namespace gridbw {
+
+class TimelineProfile {
+ public:
+  /// Adds `delta` to the function over [t0, t1). No-op when t0 >= t1.
+  /// O(1): buffered until the next query.
+  void add(TimePoint t0, TimePoint t1, double delta);
+
+  /// Pre-sizes the pending buffer for `interval_count` upcoming `add`s.
+  void reserve(std::size_t interval_count);
+
+  /// Merges the pending buffer into the sorted arrays now. Queries do this
+  /// implicitly; call it explicitly before concurrent read-only access.
+  void compile() const;
+
+  /// Value at time t (right-continuous: the value on [t, next breakpoint)).
+  [[nodiscard]] double value_at(TimePoint t) const;
+
+  /// Maximum over the half-open interval [t0, t1). Returns 0 for an empty
+  /// function or an empty interval.
+  [[nodiscard]] double max_over(TimePoint t0, TimePoint t1) const;
+
+  /// Maximum over the whole time axis.
+  [[nodiscard]] double global_max() const;
+
+  /// Integral over [t0, t1) (value x seconds).
+  [[nodiscard]] double integral(TimePoint t0, TimePoint t1) const;
+
+  /// Times at which the function changes value, in increasing order.
+  [[nodiscard]] std::vector<TimePoint> breakpoints() const;
+
+  [[nodiscard]] bool empty() const { return times_.empty() && pending_.empty(); }
+
+  /// Number of stored breakpoints (including delta-cancelled ones that
+  /// `compact` has not yet dropped). Merges pending first.
+  [[nodiscard]] std::size_t breakpoint_count() const;
+
+  /// Removes breakpoints whose accumulated delta has cancelled to ~0 (after
+  /// many add/release pairs). Values within `tolerance` of zero are dropped
+  /// and the caches are rebuilt.
+  void compact(double tolerance = 1e-9);
+
+ private:
+  struct Event {
+    double time;
+    double delta;
+  };
+
+  void merge_pending() const;
+  void rebuild_caches() const;
+
+  /// First index k with times_[k] > t, i.e. t's value is values_[k-1].
+  [[nodiscard]] std::size_t upper_index(double t) const;
+
+  // Unmerged add() events, in call order.
+  mutable std::vector<Event> pending_;
+  // SoA breakpoint storage, sorted by time, one entry per distinct instant.
+  mutable std::vector<double> times_;
+  mutable std::vector<double> deltas_;      // combined delta applied at times_[k]
+  mutable std::vector<double> values_;      // prefix sum: value on [times_[k], times_[k+1])
+  mutable std::vector<double> prefix_max_;  // running max of values_[0..k]
+};
+
+}  // namespace gridbw

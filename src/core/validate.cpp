@@ -1,17 +1,25 @@
 #include "core/validate.hpp"
 
+#include <algorithm>
 #include <array>
 #include <cstdio>
+#include <optional>
 #include <sstream>
+#include <thread>
+#include <type_traits>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "core/step_function.hpp"
+#include "core/timeline_profile.hpp"
+#include "util/thread_pool.hpp"
 
 namespace gridbw {
 
 std::string to_string(ViolationKind kind) {
   switch (kind) {
     case ViolationKind::kUnknownRequest: return "unknown-request";
+    case ViolationKind::kDuplicateAssignment: return "duplicate-assignment";
     case ViolationKind::kStartBeforeRelease: return "start-before-release";
     case ViolationKind::kEndAfterDeadline: return "end-after-deadline";
     case ViolationKind::kRateAboveMax: return "rate-above-max";
@@ -33,10 +41,40 @@ std::string ValidationReport::to_string() const {
   return oss.str();
 }
 
-ValidationReport validate_schedule(const Network& network,
-                                   std::span<const Request> requests,
-                                   const Schedule& schedule,
-                                   double min_rate_guarantee) {
+namespace {
+
+/// One accepted request's load contribution on a single port.
+struct LoadSegment {
+  TimePoint start;
+  TimePoint end;
+  double bw;
+};
+
+/// Capacity check for one port's segment list; every engine funnels through
+/// this so the violation text (and the peak double) is engine-independent.
+/// `Profile` is StepFunction (reference) or TimelineProfile (flat).
+template <typename Profile>
+std::optional<Violation> check_port(std::span<const LoadSegment> segments,
+                                    Bandwidth capacity, ViolationKind kind,
+                                    std::size_t port) {
+  Profile load;
+  if constexpr (std::is_same_v<Profile, TimelineProfile>) {
+    load.reserve(segments.size());
+  }
+  for (const LoadSegment& s : segments) load.add(s.start, s.end, s.bw);
+  const double peak = load.global_max();
+  if (approx_le(Bandwidth::bytes_per_second(peak), capacity)) return std::nullopt;
+  return Violation{kind, 0, port,
+                   "peak " + to_string(Bandwidth::bytes_per_second(peak)) +
+                       " > capacity " + to_string(capacity)};
+}
+
+}  // namespace
+
+ValidationReport validate_assignments(const Network& network,
+                                      std::span<const Request> requests,
+                                      std::span<const Assignment> assignments,
+                                      const ValidateOptions& options) {
   ValidationReport report;
   auto flag = [&](ViolationKind kind, RequestId id, std::size_t port,
                   std::string detail) {
@@ -47,10 +85,14 @@ ValidationReport validate_schedule(const Network& network,
   by_id.reserve(requests.size());
   for (const Request& r : requests) by_id.emplace(r.id, &r);
 
-  std::vector<StepFunction> ingress_load(network.ingress_count());
-  std::vector<StepFunction> egress_load(network.egress_count());
+  // Pass 1 (serial): per-request checks, plus bucketing every accepted
+  // load segment by port so the capacity sweeps touch contiguous data.
+  std::vector<std::vector<LoadSegment>> ingress_segs(network.ingress_count());
+  std::vector<std::vector<LoadSegment>> egress_segs(network.egress_count());
+  std::unordered_set<RequestId> seen;
+  seen.reserve(assignments.size());
 
-  for (const Assignment& a : schedule.assignments()) {
+  for (const Assignment& a : assignments) {
     const auto it = by_id.find(a.request);
     if (it == by_id.end()) {
       flag(ViolationKind::kUnknownRequest, a.request, 0, "no such request in the set");
@@ -58,6 +100,13 @@ ValidationReport validate_schedule(const Network& network,
     }
     const Request& r = *it->second;
 
+    if (!seen.insert(r.id).second) {
+      // The first copy already contributed its load; counting the duplicate
+      // too would double-book the port without naming the culprit.
+      flag(ViolationKind::kDuplicateAssignment, r.id, 0,
+           "request assigned more than once");
+      continue;
+    }
     if (!a.bw.is_positive()) {
       flag(ViolationKind::kRateNotPositive, r.id, 0,
            "assigned rate " + gridbw::to_string(a.bw));
@@ -77,8 +126,9 @@ ValidationReport validate_schedule(const Network& network,
       flag(ViolationKind::kEndAfterDeadline, r.id, 0, buf.data());
     }
     Bandwidth required_floor = Bandwidth::zero();
-    if (min_rate_guarantee > 0.0) {
-      required_floor = max(r.max_rate * min_rate_guarantee, r.min_rate_from(a.start));
+    if (options.min_rate_guarantee > 0.0) {
+      required_floor =
+          max(r.max_rate * options.min_rate_guarantee, r.min_rate_from(a.start));
       if (!approx_le(required_floor, a.bw)) {
         flag(ViolationKind::kRateNotPositive, r.id, 0,
              "guaranteed floor " + gridbw::to_string(required_floor) + " not met by " +
@@ -90,30 +140,70 @@ ValidationReport validate_schedule(const Network& network,
            gridbw::to_string(a.bw) + " > MaxRate " + gridbw::to_string(r.max_rate));
     }
 
-    ingress_load.at(r.ingress.value).add(a.start, end, a.bw.to_bytes_per_second());
-    egress_load.at(r.egress.value).add(a.start, end, a.bw.to_bytes_per_second());
+    const LoadSegment seg{a.start, end, a.bw.to_bytes_per_second()};
+    ingress_segs[r.ingress.value].push_back(seg);
+    egress_segs[r.egress.value].push_back(seg);
   }
 
-  for (std::size_t i = 0; i < ingress_load.size(); ++i) {
-    const double peak = ingress_load[i].global_max();
-    const Bandwidth cap = network.ingress_capacity(IngressId{i});
-    if (!approx_le(Bandwidth::bytes_per_second(peak), cap)) {
-      flag(ViolationKind::kIngressOverCapacity, 0, i,
-           "peak " + gridbw::to_string(Bandwidth::bytes_per_second(peak)) +
-               " > capacity " + gridbw::to_string(cap));
-    }
+  // Pass 2: per-port capacity checks. Ports are independent; the report
+  // always lists ingress ports in ascending order, then egress ports.
+  ValidateEngine engine = options.engine;
+  if (engine == ValidateEngine::kAuto) {
+    engine = assignments.size() >= options.parallel_threshold
+                 ? ValidateEngine::kParallel
+                 : ValidateEngine::kSerial;
   }
-  for (std::size_t e = 0; e < egress_load.size(); ++e) {
-    const double peak = egress_load[e].global_max();
-    const Bandwidth cap = network.egress_capacity(EgressId{e});
-    if (!approx_le(Bandwidth::bytes_per_second(peak), cap)) {
-      flag(ViolationKind::kEgressOverCapacity, 0, e,
-           "peak " + gridbw::to_string(Bandwidth::bytes_per_second(peak)) +
-               " > capacity " + gridbw::to_string(cap));
+
+  const std::size_t in_count = ingress_segs.size();
+  const std::size_t port_count = in_count + egress_segs.size();
+  auto check_one = [&](std::size_t p) -> std::optional<Violation> {
+    const bool is_ingress = p < in_count;
+    const std::size_t port = is_ingress ? p : p - in_count;
+    const auto& segs = is_ingress ? ingress_segs[port] : egress_segs[port];
+    const Bandwidth cap = is_ingress ? network.ingress_capacity(IngressId{port})
+                                     : network.egress_capacity(EgressId{port});
+    const ViolationKind kind = is_ingress ? ViolationKind::kIngressOverCapacity
+                                          : ViolationKind::kEgressOverCapacity;
+    if (engine == ValidateEngine::kReference) {
+      return check_port<StepFunction>(segs, cap, kind, port);
     }
+    return check_port<TimelineProfile>(segs, cap, kind, port);
+  };
+
+  std::vector<std::optional<Violation>> port_violations(port_count);
+  if (engine == ValidateEngine::kParallel && port_count > 1) {
+    std::size_t threads = options.threads != 0
+                              ? options.threads
+                              : std::max<std::size_t>(
+                                    1, std::thread::hardware_concurrency());
+    threads = std::min(threads, port_count);
+    ThreadPool pool{threads};
+    parallel_for_index(pool, port_count,
+                       [&](std::size_t p) { port_violations[p] = check_one(p); });
+  } else {
+    for (std::size_t p = 0; p < port_count; ++p) port_violations[p] = check_one(p);
+  }
+  for (auto& v : port_violations) {
+    if (v.has_value()) report.violations.push_back(std::move(*v));
   }
 
   return report;
+}
+
+ValidationReport validate_schedule(const Network& network,
+                                   std::span<const Request> requests,
+                                   const Schedule& schedule,
+                                   const ValidateOptions& options) {
+  return validate_assignments(network, requests, schedule.assignments(), options);
+}
+
+ValidationReport validate_schedule(const Network& network,
+                                   std::span<const Request> requests,
+                                   const Schedule& schedule,
+                                   double min_rate_guarantee) {
+  ValidateOptions options;
+  options.min_rate_guarantee = min_rate_guarantee;
+  return validate_schedule(network, requests, schedule, options);
 }
 
 }  // namespace gridbw

@@ -3,12 +3,25 @@
 // Independent feasibility checking. Every heuristic maintains its own
 // running book while scheduling; the validator ignores those books and
 // replays the finished schedule against the constraint set (1) of the paper
-// using exact StepFunction port profiles. Tests validate every schedule any
+// using exact port-load profiles. Tests validate every schedule any
 // algorithm produces, so allocation bugs cannot hide behind agreeing
 // bookkeeping.
+//
+// Three interchangeable engines produce identical ValidationReports:
+//
+//  * kReference — the original serial StepFunction (std::map) path, kept as
+//    the obviously-correct baseline the others are differential-tested
+//    against.
+//  * kSerial    — flat TimelineProfile port profiles, serial port sweep.
+//  * kParallel  — flat profiles with the per-port capacity checks fanned out
+//    across a thread pool (ports are independent); violations are merged in
+//    deterministic port order, so the report is byte-identical to kSerial.
+//  * kAuto (default) — kSerial below `parallel_threshold` assignments,
+//    kParallel at or above it.
 
 #pragma once
 
+#include <cstddef>
 #include <span>
 #include <string>
 #include <vector>
@@ -21,13 +34,14 @@
 namespace gridbw {
 
 enum class ViolationKind {
-  kUnknownRequest,       // assignment references an id not in the request set
-  kStartBeforeRelease,   // σ(r) < t_s(r)
-  kEndAfterDeadline,     // τ(r) > t_f(r)
-  kRateAboveMax,         // bw(r) > MaxRate(r)
-  kRateNotPositive,      // bw(r) <= 0
-  kIngressOverCapacity,  // sum of bw at an ingress exceeds B_in(i)
-  kEgressOverCapacity,   // sum of bw at an egress exceeds B_out(e)
+  kUnknownRequest,        // assignment references an id not in the request set
+  kDuplicateAssignment,   // a request id appears in more than one assignment
+  kStartBeforeRelease,    // σ(r) < t_s(r)
+  kEndAfterDeadline,      // τ(r) > t_f(r)
+  kRateAboveMax,          // bw(r) > MaxRate(r)
+  kRateNotPositive,       // bw(r) <= 0
+  kIngressOverCapacity,   // sum of bw at an ingress exceeds B_in(i)
+  kEgressOverCapacity,    // sum of bw at an egress exceeds B_out(e)
 };
 
 [[nodiscard]] std::string to_string(ViolationKind kind);
@@ -47,12 +61,37 @@ struct ValidationReport {
   [[nodiscard]] std::string to_string() const;
 };
 
+enum class ValidateEngine { kAuto, kReference, kSerial, kParallel };
+
+struct ValidateOptions {
+  /// The tuning factor f of §2.3: also check
+  /// bw(r) >= max(f * MaxRate(r), MinRate-from-start); 0 disables.
+  double min_rate_guarantee{0.0};
+  ValidateEngine engine{ValidateEngine::kAuto};
+  /// kAuto switches to the parallel port sweep at this many assignments.
+  std::size_t parallel_threshold{8192};
+  /// Worker threads for kParallel; 0 = hardware concurrency.
+  std::size_t threads{0};
+};
+
 /// Checks a schedule against the request set and network capacities.
-/// `min_rate_guarantee` (the tuning factor f of §2.3) optionally also checks
-/// bw(r) >= max(f * MaxRate(r), MinRate-from-start); pass 0 to disable.
+[[nodiscard]] ValidationReport validate_schedule(const Network& network,
+                                                 std::span<const Request> requests,
+                                                 const Schedule& schedule,
+                                                 const ValidateOptions& options);
+
+/// Back-compatible form: `min_rate_guarantee` only, default engine.
 [[nodiscard]] ValidationReport validate_schedule(const Network& network,
                                                  std::span<const Request> requests,
                                                  const Schedule& schedule,
                                                  double min_rate_guarantee = 0.0);
+
+/// Validates a raw assignment list that need not satisfy the Schedule
+/// class's uniqueness invariant — duplicate request ids are reported as
+/// kDuplicateAssignment (the duplicate's load is not double-counted).
+[[nodiscard]] ValidationReport validate_assignments(const Network& network,
+                                                    std::span<const Request> requests,
+                                                    std::span<const Assignment> assignments,
+                                                    const ValidateOptions& options = {});
 
 }  // namespace gridbw

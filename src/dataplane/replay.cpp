@@ -8,7 +8,7 @@
 #include <vector>
 
 #include "baseline/maxmin.hpp"
-#include "core/step_function.hpp"
+#include "core/timeline_profile.hpp"
 
 namespace gridbw::dataplane {
 namespace {
@@ -61,8 +61,8 @@ ReplayReport replay_policed(const Network& network, std::span<const Request> req
   const auto flows = collect_flows(requests, schedule, options);
 
   ReplayReport report;
-  std::vector<StepFunction> in_load(network.ingress_count());
-  std::vector<StepFunction> out_load(network.egress_count());
+  std::vector<TimelineProfile> in_load(network.ingress_count());
+  std::vector<TimelineProfile> out_load(network.egress_count());
 
   for (const Flow& flow : flows) {
     const Request& r = *flow.request;

@@ -40,6 +40,7 @@
 #include "core/schedule.hpp"
 #include "core/schedule_io.hpp"
 #include "core/step_function.hpp"
+#include "core/timeline_profile.hpp"
 #include "core/validate.hpp"
 
 #include "dataplane/replay.hpp"

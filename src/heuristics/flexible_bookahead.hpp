@@ -9,8 +9,9 @@
 // earliest boundary where it fits, up to `max_book_ahead` intervals out,
 // as long as it still meets its deadline.
 //
-// This requires the exact time-aware ledger (StepFunction profiles) instead
-// of the paper's O(1) counters, since reservations now live in the future.
+// This requires the exact time-aware ledger (TimelineProfile port loads)
+// instead of the paper's O(1) counters, since reservations now live in the
+// future; the flat profile keeps the repeated feasibility probes cheap.
 
 #pragma once
 

@@ -4,6 +4,10 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
+#include "util/random.hpp"
+
 namespace gridbw {
 namespace {
 
@@ -139,6 +143,56 @@ TEST(SortFcfs, TieBreaksById) {
   EXPECT_EQ(rs[0].id, 4u);
   EXPECT_EQ(rs[1].id, 6u);
   EXPECT_EQ(rs[2].id, 9u);
+}
+
+TEST(SortFcfs, CollidingArrivalsAreDeterministicAcrossInputPermutations) {
+  // Regression: a whole batch arriving at the same instant with identical
+  // MinRates must sort into the same (id-ascending) order no matter how the
+  // input was permuted — trace replays and batch arrivals depend on it.
+  auto make = [](RequestId id) {
+    return RequestBuilder{id}
+        .from(IngressId{0})
+        .to(EgressId{0})
+        .rigid(TimePoint::at_seconds(42), Duration::seconds(10),
+               Bandwidth::megabytes_per_second(100))
+        .build();
+  };
+  std::vector<Request> forward, backward, shuffled;
+  for (RequestId id = 1; id <= 32; ++id) forward.push_back(make(id));
+  for (RequestId id = 32; id >= 1; --id) backward.push_back(make(id));
+  Rng rng{7};
+  shuffled = forward;
+  rng.shuffle(shuffled);
+
+  sort_fcfs(forward);
+  sort_fcfs(backward);
+  sort_fcfs(shuffled);
+  for (std::size_t k = 0; k < forward.size(); ++k) {
+    EXPECT_EQ(forward[k].id, k + 1);
+    EXPECT_EQ(backward[k].id, forward[k].id);
+    EXPECT_EQ(shuffled[k].id, forward[k].id);
+  }
+}
+
+TEST(SortFcfs, CollidingArrivalsStillOrderByMinRateFirst) {
+  // Same release, different MinRates: the §4.1 small-demands-first order
+  // must win over the id tie-break.
+  std::vector<Request> rs;
+  rs.push_back(RequestBuilder{1}
+                   .from(IngressId{0})
+                   .to(EgressId{0})
+                   .rigid(TimePoint::at_seconds(5), Duration::seconds(10),
+                          Bandwidth::megabytes_per_second(300))
+                   .build());
+  rs.push_back(RequestBuilder{2}
+                   .from(IngressId{0})
+                   .to(EgressId{0})
+                   .rigid(TimePoint::at_seconds(5), Duration::seconds(10),
+                          Bandwidth::megabytes_per_second(100))
+                   .build());
+  sort_fcfs(rs);
+  EXPECT_EQ(rs[0].id, 2u);
+  EXPECT_EQ(rs[1].id, 1u);
 }
 
 TEST(TotalDemand, SumsMinRates) {

@@ -170,5 +170,53 @@ TEST_P(StepFunctionProperty, AgreesWithBruteForceOnRandomStacks) {
 INSTANTIATE_TEST_SUITE_P(RandomSeeds, StepFunctionProperty,
                          ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
 
+// ---------------------------------------------------------------------------
+// Property test: compaction never changes observable values beyond its
+// tolerance, and is idempotent.
+// ---------------------------------------------------------------------------
+
+class StepFunctionCompactProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(StepFunctionCompactProperty, CompactPreservesValuesAndIsIdempotent) {
+  Rng rng{GetParam()};
+  StepFunction f;
+  std::vector<std::pair<double, double>> windows;
+  for (int k = 0; k < 120; ++k) {
+    const double lo = rng.uniform(0, 500);
+    const double hi = lo + rng.uniform(0.5, 50);
+    const double delta = rng.uniform(0.1, 5.0);
+    f.add(at(lo), at(hi), delta);
+    // Half the adds are reversed, leaving ~0 deltas for compact to drop.
+    if (rng.uniform01() < 0.5) f.add(at(lo), at(hi), -delta);
+    windows.emplace_back(lo, hi);
+  }
+  std::vector<double> values, integrals;
+  for (const auto& [lo, hi] : windows) {
+    values.push_back(f.value_at(at(lo)));
+    integrals.push_back(f.integral(at(lo), at(hi)));
+  }
+  const double before_max = f.global_max();
+
+  f.compact(1e-9);
+  for (std::size_t k = 0; k < windows.size(); ++k) {
+    const auto& [lo, hi] = windows[k];
+    EXPECT_NEAR(f.value_at(at(lo)), values[k], 1e-6);
+    EXPECT_NEAR(f.integral(at(lo), at(hi)), integrals[k], 1e-4);
+  }
+  EXPECT_NEAR(f.global_max(), before_max, 1e-6);
+
+  // Idempotent: compacting again is a no-op on every observable.
+  const auto bp_once = f.breakpoints();
+  const double max_once = f.global_max();
+  f.compact(1e-9);
+  const auto bp_twice = f.breakpoints();
+  ASSERT_EQ(bp_once.size(), bp_twice.size());
+  for (std::size_t k = 0; k < bp_once.size(); ++k) EXPECT_EQ(bp_once[k], bp_twice[k]);
+  EXPECT_EQ(f.global_max(), max_once);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, StepFunctionCompactProperty,
+                         ::testing::Values(21, 42, 63, 84));
+
 }  // namespace
 }  // namespace gridbw

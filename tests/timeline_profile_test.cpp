@@ -1,0 +1,253 @@
+// TimelineProfile: unit tests for the flat port-load profile, plus the
+// differential proof that it is bit-identical to the StepFunction reference
+// (same breakpoints, value_at, max_over, global_max, integral) across
+// randomized interval stacks, interleaved add/query patterns, and compact.
+// Comparisons use EXPECT_EQ on raw doubles on purpose: the flat profile
+// reproduces the exact floating-point operation order of the map scans.
+
+#include "core/timeline_profile.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/step_function.hpp"
+#include "util/random.hpp"
+
+namespace gridbw {
+namespace {
+
+TimePoint at(double s) { return TimePoint::at_seconds(s); }
+
+TEST(TimelineProfile, EmptyIsZeroEverywhere) {
+  TimelineProfile f;
+  EXPECT_TRUE(f.empty());
+  EXPECT_EQ(f.value_at(at(0)), 0.0);
+  EXPECT_EQ(f.max_over(at(0), at(100)), 0.0);
+  EXPECT_EQ(f.global_max(), 0.0);
+  EXPECT_EQ(f.integral(at(0), at(100)), 0.0);
+  EXPECT_TRUE(f.breakpoints().empty());
+}
+
+TEST(TimelineProfile, SingleInterval) {
+  TimelineProfile f;
+  f.add(at(10), at(20), 5.0);
+  EXPECT_FALSE(f.empty());
+  EXPECT_EQ(f.value_at(at(9.99)), 0.0);
+  EXPECT_EQ(f.value_at(at(10)), 5.0);  // right-continuous
+  EXPECT_EQ(f.value_at(at(15)), 5.0);
+  EXPECT_EQ(f.value_at(at(20)), 0.0);  // half-open
+}
+
+TEST(TimelineProfile, OverlappingIntervalsStack) {
+  TimelineProfile f;
+  f.add(at(0), at(10), 1.0);
+  f.add(at(5), at(15), 2.0);
+  EXPECT_EQ(f.value_at(at(2)), 1.0);
+  EXPECT_EQ(f.value_at(at(7)), 3.0);
+  EXPECT_EQ(f.value_at(at(12)), 2.0);
+  EXPECT_EQ(f.global_max(), 3.0);
+}
+
+TEST(TimelineProfile, EmptyOrInvertedIntervalIsNoop) {
+  TimelineProfile f;
+  f.add(at(5), at(5), 3.0);
+  f.add(at(6), at(2), 3.0);
+  f.add(at(1), at(9), 0.0);
+  EXPECT_TRUE(f.empty());
+}
+
+TEST(TimelineProfile, MaxOverWindows) {
+  TimelineProfile f;
+  f.add(at(0), at(10), 1.0);
+  f.add(at(4), at(6), 2.0);
+  EXPECT_EQ(f.max_over(at(0), at(4)), 1.0);
+  EXPECT_EQ(f.max_over(at(0), at(10)), 3.0);
+  EXPECT_EQ(f.max_over(at(6), at(10)), 1.0);
+  EXPECT_EQ(f.max_over(at(10), at(20)), 0.0);
+  // Value holding at the window's left edge counts.
+  EXPECT_EQ(f.max_over(at(5), at(5.5)), 3.0);
+  // Empty window.
+  EXPECT_EQ(f.max_over(at(5), at(5)), 0.0);
+}
+
+TEST(TimelineProfile, IntegralOfRectangles) {
+  TimelineProfile f;
+  f.add(at(0), at(10), 2.0);
+  f.add(at(5), at(10), 3.0);
+  EXPECT_EQ(f.integral(at(0), at(10)), 35.0);
+  EXPECT_EQ(f.integral(at(0), at(5)), 10.0);
+  EXPECT_EQ(f.integral(at(-10), at(0)), 0.0);
+  EXPECT_EQ(f.integral(at(20), at(30)), 0.0);
+}
+
+TEST(TimelineProfile, PendingBufferMergesAcrossBatches) {
+  // Query between batches of adds: each query must see everything added so
+  // far, and later batches must merge into the already-compiled arrays.
+  TimelineProfile f;
+  f.add(at(0), at(10), 1.0);
+  EXPECT_EQ(f.value_at(at(5)), 1.0);  // forces the first merge
+  f.add(at(5), at(15), 2.0);          // lands inside existing breakpoints
+  f.add(at(0), at(10), 4.0);          // duplicates existing instants
+  EXPECT_EQ(f.value_at(at(7)), 7.0);
+  EXPECT_EQ(f.value_at(at(12)), 2.0);
+  EXPECT_EQ(f.global_max(), 7.0);
+  EXPECT_EQ(f.breakpoint_count(), 4u);  // 0, 5, 10, 15
+}
+
+TEST(TimelineProfile, CompileAllowsConstSharedQueries) {
+  TimelineProfile f;
+  f.add(at(1), at(9), 2.5);
+  f.compile();
+  const TimelineProfile& view = f;
+  EXPECT_EQ(view.value_at(at(4)), 2.5);
+}
+
+TEST(TimelineProfile, CompactRemovesCancelledBreakpoints) {
+  TimelineProfile f;
+  f.add(at(1), at(2), 3.0);
+  f.add(at(1), at(2), -3.0);
+  f.add(at(5), at(6), 1.0);
+  f.compact();
+  const auto pts = f.breakpoints();
+  ASSERT_EQ(pts.size(), 2u);
+  EXPECT_EQ(pts[0], at(5));
+  EXPECT_EQ(f.breakpoint_count(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Differential property: bit-identical to the StepFunction reference.
+// ---------------------------------------------------------------------------
+
+/// Applies the same randomized add/query interleaving to both structures and
+/// asserts raw-double equality on every query kind.
+void expect_identical(const StepFunction& ref, const TimelineProfile& flat,
+                      const std::vector<double>& probes, std::uint64_t seed) {
+  const auto ref_bp = ref.breakpoints();
+  const auto flat_bp = flat.breakpoints();
+  ASSERT_EQ(ref_bp.size(), flat_bp.size()) << "seed=" << seed;
+  for (std::size_t k = 0; k < ref_bp.size(); ++k) {
+    EXPECT_EQ(ref_bp[k].to_seconds(), flat_bp[k].to_seconds()) << "seed=" << seed;
+  }
+  EXPECT_EQ(ref.global_max(), flat.global_max()) << "seed=" << seed;
+  for (const double t : probes) {
+    EXPECT_EQ(ref.value_at(at(t)), flat.value_at(at(t))) << "t=" << t << " seed=" << seed;
+  }
+  for (std::size_t k = 0; k + 1 < probes.size(); ++k) {
+    const double lo = std::min(probes[k], probes[k + 1]);
+    const double hi = std::max(probes[k], probes[k + 1]);
+    EXPECT_EQ(ref.max_over(at(lo), at(hi)), flat.max_over(at(lo), at(hi)))
+        << "[" << lo << "," << hi << ") seed=" << seed;
+    EXPECT_EQ(ref.integral(at(lo), at(hi)), flat.integral(at(lo), at(hi)))
+        << "[" << lo << "," << hi << ") seed=" << seed;
+  }
+}
+
+class TimelineProfileDifferential : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TimelineProfileDifferential, BitIdenticalToStepFunctionOnRandomStacks) {
+  const std::uint64_t seed = GetParam();
+  Rng rng{seed};
+  StepFunction ref;
+  TimelineProfile flat;
+  std::vector<double> probes;
+  // Several batches with queries in between, so the pending-buffer merge
+  // path (not just the build-once path) is exercised; include negative
+  // deltas (releases) and exact duplicates of earlier instants.
+  for (int batch = 0; batch < 5; ++batch) {
+    for (int k = 0; k < 60; ++k) {
+      const double lo = rng.uniform(0, 900);
+      const double hi = lo + rng.uniform(0.25, 80);
+      const double delta =
+          rng.uniform01() < 0.2 ? -rng.uniform(0.1, 2.0) : rng.uniform(0.1, 4.0);
+      ref.add(at(lo), at(hi), delta);
+      flat.add(at(lo), at(hi), delta);
+    }
+    // Mid-stream probe forces a merge of this batch before the next one.
+    const double t = rng.uniform(-10, 1010);
+    probes.push_back(t);
+    EXPECT_EQ(ref.value_at(at(t)), flat.value_at(at(t))) << "seed=" << seed;
+  }
+  for (int k = 0; k < 50; ++k) probes.push_back(rng.uniform(-20, 1020));
+  expect_identical(ref, flat, probes, seed);
+}
+
+TEST_P(TimelineProfileDifferential, CompactMatchesStepFunctionCompact) {
+  const std::uint64_t seed = GetParam();
+  Rng rng{seed};
+  StepFunction ref;
+  TimelineProfile flat;
+  // Add/cancel pairs so that compaction has real work to do.
+  for (int k = 0; k < 80; ++k) {
+    const double lo = rng.uniform(0, 400);
+    const double hi = lo + rng.uniform(1, 40);
+    const double delta = rng.uniform(0.5, 3.0);
+    ref.add(at(lo), at(hi), delta);
+    flat.add(at(lo), at(hi), delta);
+    if (rng.uniform01() < 0.6) {
+      ref.add(at(lo), at(hi), -delta);
+      flat.add(at(lo), at(hi), -delta);
+    }
+  }
+  ref.compact();
+  flat.compact();
+  std::vector<double> probes;
+  for (int k = 0; k < 40; ++k) probes.push_back(rng.uniform(-10, 460));
+  expect_identical(ref, flat, probes, seed);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, TimelineProfileDifferential,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 42, 1234));
+
+// ---------------------------------------------------------------------------
+// Satellite: cache-rebuild property — recompiling (merging more batches,
+// compacting) never changes observable values beyond the compact tolerance,
+// and compact is idempotent.
+// ---------------------------------------------------------------------------
+
+class TimelineProfileRebuild : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TimelineProfileRebuild, CompactPreservesValuesAndIsIdempotent) {
+  Rng rng{GetParam()};
+  TimelineProfile f;
+  std::vector<std::pair<double, double>> windows;
+  for (int k = 0; k < 100; ++k) {
+    const double lo = rng.uniform(0, 500);
+    const double hi = lo + rng.uniform(0.5, 50);
+    const double delta = rng.uniform(0.1, 5.0);
+    f.add(at(lo), at(hi), delta);
+    if (rng.uniform01() < 0.5) f.add(at(lo), at(hi), -delta);
+    windows.emplace_back(lo, hi);
+  }
+  std::vector<double> before_values;
+  std::vector<double> before_integrals;
+  for (const auto& [lo, hi] : windows) {
+    before_values.push_back(f.value_at(at(lo)));
+    before_integrals.push_back(f.integral(at(lo), at(hi)));
+  }
+  const double before_max = f.global_max();
+
+  f.compact(1e-9);
+  for (std::size_t k = 0; k < windows.size(); ++k) {
+    const auto& [lo, hi] = windows[k];
+    EXPECT_NEAR(f.value_at(at(lo)), before_values[k], 1e-6);
+    EXPECT_NEAR(f.integral(at(lo), at(hi)), before_integrals[k], 1e-4);
+  }
+  EXPECT_NEAR(f.global_max(), before_max, 1e-6);
+
+  // Idempotent: a second compact changes nothing at all.
+  const auto bp_once = f.breakpoints();
+  const double max_once = f.global_max();
+  f.compact(1e-9);
+  const auto bp_twice = f.breakpoints();
+  ASSERT_EQ(bp_once.size(), bp_twice.size());
+  for (std::size_t k = 0; k < bp_once.size(); ++k) EXPECT_EQ(bp_once[k], bp_twice[k]);
+  EXPECT_EQ(f.global_max(), max_once);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, TimelineProfileRebuild,
+                         ::testing::Values(11, 22, 33, 44));
+
+}  // namespace
+}  // namespace gridbw

@@ -1,0 +1,159 @@
+// Differential proof that the three validator engines — kReference
+// (StepFunction, serial), kSerial (flat TimelineProfile), and kParallel
+// (flat profiles, per-port thread-pool sweep) — emit identical
+// ValidationReports, on randomized 10k-request workloads across several
+// seeds, both for clean schedules and for schedules with injected
+// violations of every kind (ISSUE acceptance criterion).
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/validate.hpp"
+#include "workload/generator.hpp"
+#include "workload/load.hpp"
+#include "workload/scenario.hpp"
+
+namespace gridbw {
+namespace {
+
+constexpr std::uint64_t kSeeds[] = {11, 4242, 987654321};
+
+struct BigWorkload {
+  workload::Scenario scenario;
+  std::vector<Request> requests;
+};
+
+BigWorkload big_workload(std::uint64_t seed, std::size_t count) {
+  workload::Scenario scenario =
+      workload::paper_flexible(Duration::seconds(1), Duration::seconds(1), 4.0);
+  scenario.spec.mean_interarrival =
+      workload::interarrival_for_load(scenario.spec, scenario.network, 3.0);
+  scenario.spec.horizon =
+      scenario.spec.mean_interarrival * static_cast<double>(count);
+  Rng rng{seed};
+  auto requests = workload::generate(scenario.spec, rng);
+  if (requests.size() > count) requests.resize(count);
+  return BigWorkload{std::move(scenario), std::move(requests)};
+}
+
+/// Accept-all schedule at MinRate, with a sprinkling of deliberate
+/// per-request violations so the reports are non-trivial.
+std::vector<Assignment> assignments_with_faults(std::span<const Request> requests) {
+  std::vector<Assignment> assignments;
+  assignments.reserve(requests.size());
+  for (std::size_t k = 0; k < requests.size(); ++k) {
+    const Request& r = requests[k];
+    Assignment a{r.id, r.release, r.min_rate()};
+    if (k % 97 == 13) a.start = r.release - Duration::seconds(5);   // too early
+    if (k % 131 == 7) a.bw = r.max_rate * 1.5;                      // above MaxRate
+    if (k % 173 == 11) a.bw = Bandwidth::zero();                    // non-positive
+    assignments.push_back(a);
+  }
+  return assignments;
+}
+
+void expect_same_report(const ValidationReport& a, const ValidationReport& b,
+                        const std::string& label) {
+  ASSERT_EQ(a.violations.size(), b.violations.size()) << label;
+  for (std::size_t k = 0; k < a.violations.size(); ++k) {
+    EXPECT_EQ(a.violations[k].kind, b.violations[k].kind) << label << " #" << k;
+    EXPECT_EQ(a.violations[k].request, b.violations[k].request) << label << " #" << k;
+    EXPECT_EQ(a.violations[k].port, b.violations[k].port) << label << " #" << k;
+    EXPECT_EQ(a.violations[k].detail, b.violations[k].detail) << label << " #" << k;
+  }
+}
+
+ValidateOptions with_engine(ValidateEngine engine, double f = 0.0) {
+  ValidateOptions options;
+  options.min_rate_guarantee = f;
+  options.engine = engine;
+  options.threads = 4;
+  return options;
+}
+
+TEST(ValidateEngines, IdenticalReportsOnRandomized10kWorkloads) {
+  for (const std::uint64_t seed : kSeeds) {
+    const auto [scenario, requests] = big_workload(seed, 10000);
+    ASSERT_GT(requests.size(), 5000u);
+    const auto assignments = assignments_with_faults(requests);
+
+    const auto reference = validate_assignments(
+        scenario.network, requests, assignments, with_engine(ValidateEngine::kReference));
+    const auto serial = validate_assignments(
+        scenario.network, requests, assignments, with_engine(ValidateEngine::kSerial));
+    const auto parallel = validate_assignments(
+        scenario.network, requests, assignments, with_engine(ValidateEngine::kParallel));
+
+    // The overloaded accept-all schedule must actually trip port capacity.
+    EXPECT_FALSE(reference.ok()) << "seed=" << seed;
+    expect_same_report(reference, serial, "serial seed=" + std::to_string(seed));
+    expect_same_report(reference, parallel, "parallel seed=" + std::to_string(seed));
+  }
+}
+
+TEST(ValidateEngines, IdenticalReportsWithGuaranteeFloor) {
+  const auto [scenario, requests] = big_workload(kSeeds[0], 10000);
+  const auto assignments = assignments_with_faults(requests);
+  const auto reference =
+      validate_assignments(scenario.network, requests, assignments,
+                           with_engine(ValidateEngine::kReference, 0.5));
+  const auto parallel =
+      validate_assignments(scenario.network, requests, assignments,
+                           with_engine(ValidateEngine::kParallel, 0.5));
+  expect_same_report(reference, parallel, "guarantee-floor");
+}
+
+TEST(ValidateEngines, AutoMatchesForcedEnginesEitherSideOfThreshold) {
+  const auto [scenario, requests] = big_workload(kSeeds[1], 10000);
+  const auto assignments = assignments_with_faults(requests);
+  for (const std::size_t threshold : {std::size_t{0}, std::size_t{1u << 20}}) {
+    ValidateOptions options;
+    options.engine = ValidateEngine::kAuto;
+    options.parallel_threshold = threshold;  // force parallel / force serial
+    options.threads = 4;
+    const auto auto_report =
+        validate_assignments(scenario.network, requests, assignments, options);
+    const auto reference = validate_assignments(
+        scenario.network, requests, assignments, with_engine(ValidateEngine::kReference));
+    expect_same_report(reference, auto_report,
+                       "auto threshold=" + std::to_string(threshold));
+  }
+}
+
+TEST(ValidateEngines, ScheduleOverloadAgreesWithAssignmentSpan) {
+  const auto [scenario, requests] = big_workload(kSeeds[2], 2000);
+  Schedule schedule;
+  for (const Request& r : requests) schedule.accept(r.id, r.release, r.min_rate());
+  const auto via_schedule =
+      validate_schedule(scenario.network, requests, schedule, ValidateOptions{});
+  const auto via_span = validate_assignments(scenario.network, requests,
+                                             schedule.assignments(), ValidateOptions{});
+  expect_same_report(via_schedule, via_span, "schedule-vs-span");
+}
+
+TEST(ValidateEngines, DuplicateAssignmentsFlaggedIdenticallyByAllEngines) {
+  const auto [scenario, requests] = big_workload(kSeeds[0], 2000);
+  auto assignments = assignments_with_faults(requests);
+  // Duplicate every 211th assignment (same id, different placement).
+  const std::size_t original = assignments.size();
+  for (std::size_t k = 0; k < original; k += 211) {
+    Assignment copy = assignments[k];
+    copy.start += Duration::seconds(1);
+    assignments.push_back(copy);
+  }
+  const auto reference = validate_assignments(
+      scenario.network, requests, assignments, with_engine(ValidateEngine::kReference));
+  const auto parallel = validate_assignments(
+      scenario.network, requests, assignments, with_engine(ValidateEngine::kParallel));
+  std::size_t duplicates = 0;
+  for (const auto& v : reference.violations) {
+    duplicates += v.kind == ViolationKind::kDuplicateAssignment ? 1 : 0;
+  }
+  EXPECT_EQ(duplicates, (original + 210) / 211);
+  expect_same_report(reference, parallel, "duplicates");
+}
+
+}  // namespace
+}  // namespace gridbw

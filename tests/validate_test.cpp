@@ -139,6 +139,56 @@ TEST_F(ValidateTest, GuaranteeFloorSatisfied) {
   EXPECT_TRUE(validate_schedule(net_, rs, s, 0.8).ok());
 }
 
+TEST_F(ValidateTest, DuplicateAssignmentFlagged) {
+  // Schedule's accept() forbids duplicates, so feed a raw assignment list:
+  // the validator must not trust the container's invariant. Without the
+  // check, both copies double-count port load while no per-request
+  // violation names the culprit.
+  const std::vector<Request> rs{make(1, 0, 100, 1, 100)};
+  const std::vector<Assignment> as{
+      Assignment{1, at(0), mbps(20)},
+      Assignment{1, at(10), mbps(20)},
+      Assignment{1, at(20), mbps(20)},
+  };
+  const auto report = validate_assignments(net_, rs, as);
+  std::size_t duplicates = 0;
+  for (const auto& v : report.violations) {
+    if (v.kind == ViolationKind::kDuplicateAssignment) {
+      ++duplicates;
+      EXPECT_EQ(v.request, 1u);
+    }
+  }
+  EXPECT_EQ(duplicates, 2u);  // first copy is legitimate, the other two flagged
+  EXPECT_NE(report.to_string().find("duplicate-assignment"), std::string::npos);
+}
+
+TEST_F(ValidateTest, DuplicateLoadIsNotDoubleCounted) {
+  // Two copies of a 60 MB/s assignment on a 100 MB/s port: the duplicate is
+  // flagged but its load is ignored, so no phantom capacity violation.
+  const std::vector<Request> rs{make(1, 0, 100, 6, 100)};
+  const std::vector<Assignment> as{Assignment{1, at(0), mbps(60)},
+                                   Assignment{1, at(0), mbps(60)}};
+  const auto report = validate_assignments(net_, rs, as);
+  EXPECT_TRUE(has_violation(report, ViolationKind::kDuplicateAssignment));
+  EXPECT_FALSE(has_violation(report, ViolationKind::kIngressOverCapacity));
+}
+
+TEST_F(ValidateTest, EngineOptionsAgreeOnSmallSchedules) {
+  const std::vector<Request> rs{make(1, 0, 100, 6, 100, 0, 0),
+                                make(2, 0, 100, 6, 100, 0, 1)};
+  Schedule s;
+  s.accept(1, at(0), mbps(60));
+  s.accept(2, at(0), mbps(60));
+  for (const auto engine : {ValidateEngine::kReference, ValidateEngine::kSerial,
+                            ValidateEngine::kParallel}) {
+    ValidateOptions options;
+    options.engine = engine;
+    const auto report = validate_schedule(net_, rs, s, options);
+    EXPECT_TRUE(has_violation(report, ViolationKind::kIngressOverCapacity));
+    EXPECT_FALSE(has_violation(report, ViolationKind::kEgressOverCapacity));
+  }
+}
+
 TEST_F(ValidateTest, ReportRendering) {
   const std::vector<Request> rs{make(1, 10, 100, 1, 100)};
   Schedule s;
