@@ -70,7 +70,7 @@ ProfileTiming run_profile(const std::vector<Interval>& intervals,
     // into build so the query timing below is pure query work — the same
     // accounting the map gets (its sorting happens inside add).
     if constexpr (std::is_same_v<Profile, TimelineProfile>) {
-      profile.compile();
+      profile.ensure_merged();
     }
   });
   out.query_s = time_once([&] {

@@ -1,19 +1,60 @@
 #!/usr/bin/env bash
-# Full verification pass: configure, build, run the test suite, and smoke
-# every bench in --quick mode. Exits non-zero on the first failure.
+# Verification passes. Default: configure, build, run the test suite, and
+# smoke every bench in --quick mode. Exits non-zero on the first failure.
+#
+#   scripts/check.sh            full pass (build + ctest + bench smoke)
+#   scripts/check.sh --quick    same as the default pass
+#   scripts/check.sh --tidy     clang-tidy wall (scripts/tidy.sh, compile-db)
+#   scripts/check.sh --tsan     build with GRIDBW_SANITIZE=thread and run the
+#                               whole suite + TSan stress tests under
+#                               TSAN_OPTIONS=halt_on_error=1
+#   scripts/check.sh --asan     build with GRIDBW_SANITIZE=address, run suite
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-# Respect an already-configured build tree (whatever its generator);
-# otherwise prefer Ninja when available.
-if [ -f build/CMakeCache.txt ]; then
-  cmake -B build
-elif command -v ninja > /dev/null; then
-  cmake -B build -G Ninja
-else
-  cmake -B build
-fi
-cmake --build build -j "$(nproc)"
+MODE="${1:-full}"
+
+configure_build() {
+  # Respect an already-configured build tree (whatever its generator);
+  # otherwise prefer Ninja when available.
+  local dir="$1"; shift
+  if [ -f "$dir/CMakeCache.txt" ]; then
+    cmake -B "$dir" "$@"
+  elif command -v ninja > /dev/null; then
+    cmake -B "$dir" -G Ninja "$@"
+  else
+    cmake -B "$dir" "$@"
+  fi
+  cmake --build "$dir" -j "$(nproc)"
+}
+
+case "$MODE" in
+  --tidy)
+    exec scripts/tidy.sh
+    ;;
+  --tsan)
+    configure_build build-tsan -DCMAKE_BUILD_TYPE=RelWithDebInfo -DGRIDBW_SANITIZE=thread
+    TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1" \
+      ctest --test-dir build-tsan --output-on-failure -j "$(nproc)"
+    echo "tsan pass clean"
+    exit 0
+    ;;
+  --asan)
+    configure_build build-asan -DCMAKE_BUILD_TYPE=RelWithDebInfo -DGRIDBW_SANITIZE=address
+    ASAN_OPTIONS="detect_leaks=1" UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1" \
+      ctest --test-dir build-asan --output-on-failure -j "$(nproc)"
+    echo "asan pass clean"
+    exit 0
+    ;;
+  full|--quick)
+    ;;
+  *)
+    echo "check.sh: unknown mode '$MODE' (expected --quick, --tidy, --tsan, or --asan)" >&2
+    exit 2
+    ;;
+esac
+
+configure_build build
 ctest --test-dir build --output-on-failure
 
 for b in build/bench/*; do

@@ -1,0 +1,215 @@
+#!/usr/bin/env python3
+"""gridbw-lint: domain rules the C++ compiler cannot enforce.
+
+Run as a ctest (`ctest -R gridbw_lint`) or directly:
+
+    python3 scripts/gridbw_lint.py --root .
+
+Rules (suppress a single line with a trailing `NOLINT(gridbw-<rule>)`):
+
+  gridbw-quantity-api
+      Public APIs under src/ must not take raw `double` parameters (or
+      declare struct members) whose names denote a dimensioned quantity —
+      bandwidth/rate, volume, capacity. Use the strong types from
+      util/quantity.hpp (Bandwidth, Volume, Duration, TimePoint) so unit
+      mistakes stay compile errors. Dimensionless scalars (fractions,
+      weights, factors, utilizations, tolerances) are fine as double.
+
+  gridbw-rng-locality
+      Random engines are constructed only inside src/util/random.* so every
+      stream is seeded and derived through the one deterministic facility.
+      No std::mt19937 / std::random_device / rand() elsewhere in src/.
+
+  gridbw-stepfunction-hot-path
+      The std::map-backed StepFunction is the reference implementation kept
+      for differential testing. Hot paths use the flat TimelineProfile;
+      StepFunction may appear only in src/core/step_function.* and the
+      reference validator engine (src/core/validate.cpp).
+
+  gridbw-wall-clock
+      Deterministic code (everything under src/ except the experiment
+      harness's wall-clock timing tables) must not read real time:
+      no std::chrono::{system,steady,high_resolution}_clock, ::time,
+      clock(), or gettimeofday. Simulated time flows through TimePoint.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import re
+import sys
+
+# ---------------------------------------------------------------------------
+# Rule tables
+# ---------------------------------------------------------------------------
+
+# Parameter / member names that denote a dimensioned quantity when typed as
+# raw double. Word-boundary match on identifier fragments.
+DIMENSIONED_NAME = re.compile(
+    r"(?:^|_)(?:bw|bandwidth|rate|vol|volume|bytes|bps|capacity|cap)(?:_|$)",
+    re.IGNORECASE,
+)
+# Names that look dimensioned but are genuinely scalar ratios/knobs.
+DIMENSIONLESS_NAME = re.compile(
+    r"(?:^|_)(?:fraction|factor|weight|cost|util|ratio|eps|epsilon|tol|"
+    r"tolerance|share|scale|f|accept|success|guarantee|prob)(?:_|$)",
+    re.IGNORECASE,
+)
+# `double <name>` in a declaration context (parameter list or member).
+DOUBLE_DECL = re.compile(r"\bdouble\s+(?:&\s*)?([A-Za-z_]\w*)")
+
+RNG_TOKEN = re.compile(
+    r"std::mt19937|std::minstd_rand|std::random_device|\bs?rand\s*\("
+)
+
+STEPFN_TOKEN = re.compile(r"\bStepFunction\b")
+
+WALLCLOCK_TOKEN = re.compile(
+    r"std::chrono::(?:system_clock|steady_clock|high_resolution_clock)"
+    r"|\bgettimeofday\s*\(|\bclock\s*\(\s*\)|std::time\s*\(|\btime\s*\(\s*(?:nullptr|NULL|0)\s*\)"
+)
+
+# Files allowed to break a given rule.
+ALLOW = {
+    "gridbw-rng-locality": ("src/util/random.hpp", "src/util/random.cpp"),
+    "gridbw-stepfunction-hot-path": (
+        "src/core/step_function.hpp",
+        "src/core/step_function.cpp",
+        "src/core/validate.cpp",  # kReference differential engine
+    ),
+    # The replication harness reports wall-clock per-heuristic tables; that
+    # is measurement of the machine, not simulated time.
+    "gridbw-wall-clock": ("src/metrics/experiment.cpp",),
+    # The quantity header defines the strong types and their double escape
+    # hatches (to_bytes() etc.) — it is the one place raw doubles belong.
+    "gridbw-quantity-api": ("src/util/quantity.hpp",),
+}
+
+NOLINT = re.compile(r"NOLINT\((gridbw-[a-z-]+)\)")
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blank out comments and string/char literals, preserving line count."""
+    out: list[str] = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        two = text[i : i + 2]
+        if two == "//":
+            j = text.find("\n", i)
+            j = n if j < 0 else j
+            out.append(" " * (j - i))
+            i = j
+        elif two == "/*":
+            j = text.find("*/", i + 2)
+            j = n if j < 0 else j + 2
+            out.append("".join(ch if ch == "\n" else " " for ch in text[i:j]))
+            i = j
+        elif c in "\"'":
+            quote, j = c, i + 1
+            while j < n and text[j] != quote:
+                j += 2 if text[j] == "\\" else 1
+            j = min(j + 1, n)
+            out.append(c + " " * (j - i - 2) + (quote if j - i >= 2 else ""))
+            i = j
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+class Finding:
+    def __init__(self, path: str, line: int, rule: str, message: str):
+        self.path, self.line, self.rule, self.message = path, line, rule, message
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def check_file(root: pathlib.Path, path: pathlib.Path) -> list[Finding]:
+    rel = path.relative_to(root).as_posix()
+    raw = path.read_text(encoding="utf-8", errors="replace")
+    raw_lines = raw.splitlines()
+    code_lines = strip_comments_and_strings(raw).splitlines()
+    findings: list[Finding] = []
+
+    def suppressed(lineno: int, rule: str) -> bool:
+        if lineno - 1 >= len(raw_lines):
+            return False
+        return rule in NOLINT.findall(raw_lines[lineno - 1])
+
+    def scan(rule: str, token: re.Pattern, message: str) -> None:
+        if rel in ALLOW.get(rule, ()):
+            return
+        for lineno, line in enumerate(code_lines, 1):
+            if token.search(line) and not suppressed(lineno, rule):
+                findings.append(Finding(rel, lineno, rule, message))
+
+    scan(
+        "gridbw-rng-locality",
+        RNG_TOKEN,
+        "random engine constructed outside util/random — derive a stream "
+        "from gridbw::Rng instead",
+    )
+    scan(
+        "gridbw-stepfunction-hot-path",
+        STEPFN_TOKEN,
+        "std::map-backed StepFunction outside the reference implementation — "
+        "hot paths use core/timeline_profile.hpp",
+    )
+    scan(
+        "gridbw-wall-clock",
+        WALLCLOCK_TOKEN,
+        "wall-clock read in deterministic code — simulated time flows "
+        "through TimePoint",
+    )
+
+    # gridbw-quantity-api applies to public headers only: a raw double in a
+    # .cpp is an implementation detail (often a profile-internal bps value).
+    if path.suffix == ".hpp" and rel not in ALLOW["gridbw-quantity-api"]:
+        for lineno, line in enumerate(code_lines, 1):
+            for match in DOUBLE_DECL.finditer(line):
+                name = match.group(1)
+                if DIMENSIONED_NAME.search(name) and not DIMENSIONLESS_NAME.search(name):
+                    if not suppressed(lineno, "gridbw-quantity-api"):
+                        findings.append(
+                            Finding(
+                                rel,
+                                lineno,
+                                "gridbw-quantity-api",
+                                f"raw double '{name}' denotes a dimensioned "
+                                "quantity — use Bandwidth/Volume/Duration/"
+                                "TimePoint from util/quantity.hpp",
+                            )
+                        )
+    return findings
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", default=".", help="repository root")
+    args = parser.parse_args()
+    root = pathlib.Path(args.root).resolve()
+
+    src = root / "src"
+    if not src.is_dir():
+        print(f"gridbw-lint: no src/ under {root}", file=sys.stderr)
+        return 2
+
+    findings: list[Finding] = []
+    for path in sorted(src.rglob("*")):
+        if path.suffix in (".hpp", ".cpp"):
+            findings.extend(check_file(root, path))
+
+    for finding in findings:
+        print(finding)
+    if findings:
+        print(f"gridbw-lint: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    print("gridbw-lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# clang-tidy over the whole library, driven by the compile database.
+#
+#   scripts/tidy.sh [--build-dir DIR] [--jobs N] [paths...]
+#
+# Uses the repo .clang-tidy profile with WarningsAsErrors='*', so any
+# finding fails the run (CI treats this as a gate). With no paths given,
+# checks every .cpp under src/. Configures a compile database on the fly
+# when the build dir has none.
+#
+# Degrades gracefully: when no clang-tidy binary exists on PATH (this
+# container ships GCC + LLVM libs but not the clang tools), prints a notice
+# and exits 0 so the wall doesn't hard-fail on machines without the tool;
+# CI installs clang-tidy explicitly and does enforce it.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=build
+JOBS="$(nproc 2> /dev/null || echo 4)"
+PATHS=()
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --build-dir) BUILD_DIR="$2"; shift 2 ;;
+    --jobs) JOBS="$2"; shift 2 ;;
+    -h|--help) sed -n '2,15p' "$0"; exit 0 ;;
+    *) PATHS+=("$1"); shift ;;
+  esac
+done
+
+TIDY=""
+for candidate in clang-tidy clang-tidy-19 clang-tidy-18 clang-tidy-17 \
+                 clang-tidy-16 clang-tidy-15 clang-tidy-14; do
+  if command -v "$candidate" > /dev/null 2>&1; then
+    TIDY="$candidate"
+    break
+  fi
+done
+if [ -z "$TIDY" ]; then
+  echo "tidy.sh: clang-tidy not found on PATH; skipping (install clang-tidy to enforce locally)" >&2
+  exit 0
+fi
+
+if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
+  echo "tidy.sh: generating compile database in $BUILD_DIR"
+  cmake -B "$BUILD_DIR" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON > /dev/null
+fi
+
+if [ ${#PATHS[@]} -eq 0 ]; then
+  mapfile -t PATHS < <(find src -name '*.cpp' | sort)
+fi
+
+echo "tidy.sh: $TIDY ($("$TIDY" --version | grep -o 'version [0-9.]*')) over ${#PATHS[@]} file(s), $JOBS job(s)"
+printf '%s\n' "${PATHS[@]}" \
+  | xargs -P "$JOBS" -n 1 "$TIDY" -p "$BUILD_DIR" --quiet
+echo "tidy.sh: clean"

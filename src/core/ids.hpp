@@ -32,14 +32,14 @@ using RequestId = std::uint64_t;
 
 template <>
 struct std::hash<gridbw::IngressId> {
-  std::size_t operator()(gridbw::IngressId id) const noexcept {
+  [[nodiscard]] std::size_t operator()(gridbw::IngressId id) const noexcept {
     return std::hash<std::size_t>{}(id.value);
   }
 };
 
 template <>
 struct std::hash<gridbw::EgressId> {
-  std::size_t operator()(gridbw::EgressId id) const noexcept {
+  [[nodiscard]] std::size_t operator()(gridbw::EgressId id) const noexcept {
     return std::hash<std::size_t>{}(id.value);
   }
 };

@@ -16,7 +16,7 @@ void TimelineProfile::reserve(std::size_t interval_count) {
   pending_.reserve(pending_.size() + 2 * interval_count);
 }
 
-void TimelineProfile::compile() const { merge_pending(); }
+void TimelineProfile::ensure_merged() const { merge_pending(); }
 
 void TimelineProfile::merge_pending() const {
   if (pending_.empty()) return;

@@ -25,9 +25,14 @@
 // differential-tests this with EXPECT_EQ on raw doubles.
 //
 // Thread safety: queries may trigger the lazy merge and therefore mutate
-// internal caches. Call `compile()` before sharing one profile across
-// threads for read-only queries; distinct profiles are always independent
-// (the parallel validator gives each port its own).
+// internal caches even though they are declared `const`. A profile is safe
+// to share across threads for read-only queries only once `ensure_merged()`
+// (alias: `compile()`) has run and no further `add`/`compact` happens; two
+// threads racing the first query on an unmerged profile is a data race that
+// ThreadSanitizer reports (tests/tsan_stress_test.cpp exercises the merged
+// path). The parallel validator materializes every port profile in a
+// dedicated pre-pass before its query sweep shares them; distinct profiles
+// are always independent.
 
 #pragma once
 
@@ -48,8 +53,16 @@ class TimelineProfile {
   void reserve(std::size_t interval_count);
 
   /// Merges the pending buffer into the sorted arrays now. Queries do this
-  /// implicitly; call it explicitly before concurrent read-only access.
-  void compile() const;
+  /// implicitly; call it explicitly before concurrent read-only access —
+  /// after this returns (and until the next `add`/`compact`), every query is
+  /// a pure read and any number of threads may query concurrently.
+  void ensure_merged() const;
+
+  /// Back-compatible alias for `ensure_merged()`.
+  void compile() const { ensure_merged(); }
+
+  /// True when no pending adds are buffered, i.e. queries are pure reads.
+  [[nodiscard]] bool merged() const { return pending_.empty(); }
 
   /// Value at time t (right-continuous: the value on [t, next breakpoint)).
   [[nodiscard]] double value_at(TimePoint t) const;

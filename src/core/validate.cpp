@@ -6,7 +6,6 @@
 #include <optional>
 #include <sstream>
 #include <thread>
-#include <type_traits>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -43,26 +42,18 @@ std::string ValidationReport::to_string() const {
 
 namespace {
 
-/// One accepted request's load contribution on a single port.
+/// One accepted request's load contribution on a single port (reference
+/// engine only; the flat engines build their port profiles during pass 1).
 struct LoadSegment {
   TimePoint start;
   TimePoint end;
   double bw;
 };
 
-/// Capacity check for one port's segment list; every engine funnels through
+/// Capacity verdict from a port's peak load; every engine funnels through
 /// this so the violation text (and the peak double) is engine-independent.
-/// `Profile` is StepFunction (reference) or TimelineProfile (flat).
-template <typename Profile>
-std::optional<Violation> check_port(std::span<const LoadSegment> segments,
-                                    Bandwidth capacity, ViolationKind kind,
-                                    std::size_t port) {
-  Profile load;
-  if constexpr (std::is_same_v<Profile, TimelineProfile>) {
-    load.reserve(segments.size());
-  }
-  for (const LoadSegment& s : segments) load.add(s.start, s.end, s.bw);
-  const double peak = load.global_max();
+std::optional<Violation> peak_violation(double peak, Bandwidth capacity,
+                                        ViolationKind kind, std::size_t port) {
   if (approx_le(Bandwidth::bytes_per_second(peak), capacity)) return std::nullopt;
   return Violation{kind, 0, port,
                    "peak " + to_string(Bandwidth::bytes_per_second(peak)) +
@@ -85,10 +76,30 @@ ValidationReport validate_assignments(const Network& network,
   by_id.reserve(requests.size());
   for (const Request& r : requests) by_id.emplace(r.id, &r);
 
-  // Pass 1 (serial): per-request checks, plus bucketing every accepted
-  // load segment by port so the capacity sweeps touch contiguous data.
-  std::vector<std::vector<LoadSegment>> ingress_segs(network.ingress_count());
-  std::vector<std::vector<LoadSegment>> egress_segs(network.egress_count());
+  ValidateEngine engine = options.engine;
+  if (engine == ValidateEngine::kAuto) {
+    engine = assignments.size() >= options.parallel_threshold
+                 ? ValidateEngine::kParallel
+                 : ValidateEngine::kSerial;
+  }
+
+  const std::size_t in_count = network.ingress_count();
+  const std::size_t port_count = in_count + network.egress_count();
+
+  // Pass 1 (serial): per-request checks, plus accumulating every accepted
+  // load by port. The reference engine keeps raw segment lists (it rebuilds
+  // a StepFunction per port); the flat engines add straight into per-port
+  // TimelineProfiles, ingress ports first then egress ports, in assignment
+  // order — the same add sequence as before, so peaks stay bit-identical.
+  std::vector<std::vector<LoadSegment>> ingress_segs;
+  std::vector<std::vector<LoadSegment>> egress_segs;
+  std::vector<TimelineProfile> profiles;
+  if (engine == ValidateEngine::kReference) {
+    ingress_segs.resize(in_count);
+    egress_segs.resize(port_count - in_count);
+  } else {
+    profiles.resize(port_count);
+  }
   std::unordered_set<RequestId> seen;
   seen.reserve(assignments.size());
 
@@ -140,48 +151,62 @@ ValidationReport validate_assignments(const Network& network,
            gridbw::to_string(a.bw) + " > MaxRate " + gridbw::to_string(r.max_rate));
     }
 
-    const LoadSegment seg{a.start, end, a.bw.to_bytes_per_second()};
-    ingress_segs[r.ingress.value].push_back(seg);
-    egress_segs[r.egress.value].push_back(seg);
+    if (engine == ValidateEngine::kReference) {
+      const LoadSegment seg{a.start, end, a.bw.to_bytes_per_second()};
+      ingress_segs[r.ingress.value].push_back(seg);
+      egress_segs[r.egress.value].push_back(seg);
+    } else {
+      const double bw = a.bw.to_bytes_per_second();
+      profiles[r.ingress.value].add(a.start, end, bw);
+      profiles[in_count + r.egress.value].add(a.start, end, bw);
+    }
   }
 
   // Pass 2: per-port capacity checks. Ports are independent; the report
   // always lists ingress ports in ascending order, then egress ports.
-  ValidateEngine engine = options.engine;
-  if (engine == ValidateEngine::kAuto) {
-    engine = assignments.size() >= options.parallel_threshold
-                 ? ValidateEngine::kParallel
-                 : ValidateEngine::kSerial;
-  }
-
-  const std::size_t in_count = ingress_segs.size();
-  const std::size_t port_count = in_count + egress_segs.size();
-  auto check_one = [&](std::size_t p) -> std::optional<Violation> {
-    const bool is_ingress = p < in_count;
-    const std::size_t port = is_ingress ? p : p - in_count;
-    const auto& segs = is_ingress ? ingress_segs[port] : egress_segs[port];
-    const Bandwidth cap = is_ingress ? network.ingress_capacity(IngressId{port})
-                                     : network.egress_capacity(EgressId{port});
-    const ViolationKind kind = is_ingress ? ViolationKind::kIngressOverCapacity
-                                          : ViolationKind::kEgressOverCapacity;
-    if (engine == ValidateEngine::kReference) {
-      return check_port<StepFunction>(segs, cap, kind, port);
-    }
-    return check_port<TimelineProfile>(segs, cap, kind, port);
+  auto port_capacity = [&](std::size_t p) {
+    return p < in_count ? network.ingress_capacity(IngressId{p})
+                        : network.egress_capacity(EgressId{p - in_count});
   };
+  auto port_kind = [&](std::size_t p) {
+    return p < in_count ? ViolationKind::kIngressOverCapacity
+                        : ViolationKind::kEgressOverCapacity;
+  };
+  auto port_index = [&](std::size_t p) { return p < in_count ? p : p - in_count; };
 
   std::vector<std::optional<Violation>> port_violations(port_count);
-  if (engine == ValidateEngine::kParallel && port_count > 1) {
+  if (engine == ValidateEngine::kReference) {
+    for (std::size_t p = 0; p < port_count; ++p) {
+      const auto& segs = p < in_count ? ingress_segs[p] : egress_segs[p - in_count];
+      StepFunction load;
+      for (const LoadSegment& s : segs) load.add(s.start, s.end, s.bw);
+      port_violations[p] =
+          peak_violation(load.global_max(), port_capacity(p), port_kind(p), port_index(p));
+    }
+  } else if (engine == ValidateEngine::kParallel && port_count > 1) {
     std::size_t threads = options.threads != 0
                               ? options.threads
                               : std::max<std::size_t>(
                                     1, std::thread::hardware_concurrency());
     threads = std::min(threads, port_count);
     ThreadPool pool{threads};
+    // Materialization pre-pass: merging the pending buffer mutates the lazy
+    // `mutable` caches, so each profile is merged by exactly one task. After
+    // this barrier every query below is a pure read, and the sweep may share
+    // profiles across threads freely (tests/tsan_stress_test.cpp runs this
+    // path under TSan; dropping the pre-pass makes the first queries race).
     parallel_for_index(pool, port_count,
-                       [&](std::size_t p) { port_violations[p] = check_one(p); });
+                       [&](std::size_t p) { profiles[p].ensure_merged(); });
+    parallel_for_index(pool, port_count, [&](std::size_t p) {
+      const TimelineProfile& load = profiles[p];
+      port_violations[p] =
+          peak_violation(load.global_max(), port_capacity(p), port_kind(p), port_index(p));
+    });
   } else {
-    for (std::size_t p = 0; p < port_count; ++p) port_violations[p] = check_one(p);
+    for (std::size_t p = 0; p < port_count; ++p) {
+      port_violations[p] = peak_violation(profiles[p].global_max(), port_capacity(p),
+                                          port_kind(p), port_index(p));
+    }
   }
   for (auto& v : port_violations) {
     if (v.has_value()) report.violations.push_back(std::move(*v));

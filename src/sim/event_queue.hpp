@@ -51,7 +51,7 @@ class EventQueue {
     EventId id;
   };
   struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
+    [[nodiscard]] bool operator()(const Entry& a, const Entry& b) const {
       if (a.time != b.time) return a.time > b.time;
       return a.id > b.id;  // FIFO among equal times (ids are monotonic)
     }

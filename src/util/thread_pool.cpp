@@ -1,7 +1,6 @@
 #include "util/thread_pool.hpp"
 
 #include <algorithm>
-#include <stdexcept>
 
 namespace gridbw {
 
@@ -9,19 +8,24 @@ ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
     threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
   }
+  thread_count_ = threads;
   workers_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { shutdown(); }
+
+void ThreadPool::shutdown() {
+  std::vector<std::thread> to_join;
   {
     std::lock_guard lock{mutex_};
     stopping_ = true;
+    to_join.swap(workers_);  // exactly one caller wins the join
   }
   cv_.notify_all();
-  for (auto& worker : workers_) worker.join();
+  for (auto& worker : to_join) worker.join();
 }
 
 void ThreadPool::worker_loop() {
@@ -45,6 +49,9 @@ void parallel_for_index(ThreadPool& pool, std::size_t count,
   for (std::size_t i = 0; i < count; ++i) {
     futures.push_back(pool.submit([&body, i] { body(i); }));
   }
+  // Futures are collected in index order, so the first exception seen here
+  // is the lowest failing index's — independent of thread scheduling. Every
+  // future is drained before rethrowing so no iteration outlives the call.
   std::exception_ptr first_error;
   for (auto& future : futures) {
     try {

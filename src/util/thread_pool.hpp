@@ -6,6 +6,15 @@
 // (they are online schedulers); parallelism lives at the replication level,
 // where streams are pre-derived per index so that parallel and serial
 // execution give identical results.
+//
+// Shutdown contract: `shutdown()` (or the destructor, which calls it) marks
+// the pool stopping, drains every task already queued, and joins the
+// workers. It is idempotent. Once a thread has observed the pool stopping,
+// `submit` refuses new work by throwing std::runtime_error — the throw
+// happens after the queue lock is released, so a racing worker can never
+// block behind an unwinding submitter. Submitting concurrently with
+// `shutdown()` either enqueues (and the task runs before join) or throws;
+// no task is silently dropped.
 
 #pragma once
 
@@ -16,6 +25,7 @@
 #include <future>
 #include <mutex>
 #include <queue>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -28,25 +38,44 @@ class ThreadPool {
   /// (at least 1).
   explicit ThreadPool(std::size_t threads = 0);
 
-  /// Drains outstanding tasks, then joins the workers.
+  /// Equivalent to shutdown().
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  [[nodiscard]] std::size_t thread_count() const { return workers_.size(); }
+  /// Number of workers the pool was created with (stable across shutdown).
+  [[nodiscard]] std::size_t thread_count() const { return thread_count_; }
+
+  /// Drains outstanding tasks, joins the workers, and rejects subsequent
+  /// submits. Idempotent and safe to race with other shutdown() calls;
+  /// must not be called from a worker thread (it would self-join).
+  void shutdown();
+
+  /// True once shutdown has begun; submits are guaranteed to throw after
+  /// this returns true.
+  [[nodiscard]] bool stopping() const {
+    std::lock_guard lock{mutex_};
+    return stopping_;
+  }
 
   /// Enqueues a task; the returned future rethrows any task exception.
+  /// Throws std::runtime_error (outside the queue lock) after shutdown.
   template <typename F>
   [[nodiscard]] std::future<std::invoke_result_t<F>> submit(F&& fn) {
     using R = std::invoke_result_t<F>;
     auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
     auto future = task->get_future();
+    bool rejected = false;
     {
       std::lock_guard lock{mutex_};
-      if (stopping_) throw std::runtime_error{"ThreadPool: submit after shutdown"};
-      queue_.emplace([task] { (*task)(); });
+      if (stopping_) {
+        rejected = true;  // throw below, after the lock is released
+      } else {
+        queue_.emplace([task] { (*task)(); });
+      }
     }
+    if (rejected) throw std::runtime_error{"ThreadPool: submit after shutdown"};
     cv_.notify_one();
     return future;
   }
@@ -54,20 +83,26 @@ class ThreadPool {
  private:
   void worker_loop();
 
+  std::size_t thread_count_{0};
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> queue_;
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable cv_;
   bool stopping_{false};
 };
 
 /// Runs body(i) for i in [0, count) on `pool`, blocking until all complete.
-/// Exceptions from any iteration are rethrown (the first one encountered in
-/// index order). Iterations must not depend on execution order.
+/// Exception propagation is deterministic: every iteration runs to
+/// completion (or failure), then the exception thrown by the *lowest*
+/// failing index is rethrown regardless of thread scheduling; exceptions
+/// from higher indices are discarded. Iterations must not depend on
+/// execution order.
 void parallel_for_index(ThreadPool& pool, std::size_t count,
                         const std::function<void(std::size_t)>& body);
 
 /// Serial fallback with the same signature, for --threads=1 paths and tests.
+/// Matches parallel_for_index's exception contract trivially (the lowest
+/// failing index throws first and stops the loop).
 void serial_for_index(std::size_t count, const std::function<void(std::size_t)>& body);
 
 }  // namespace gridbw

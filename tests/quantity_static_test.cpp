@@ -1,0 +1,144 @@
+// Compile-time proof that the strong quantity types are actually strong:
+// no implicit conversions to or from raw double, none between distinct
+// units, and dimensional arithmetic yields exactly the right unit type.
+// Every claim is a static_assert (or a `requires`-based negative check,
+// the C++20 equivalent of a compile-fail test: the assert fails to compile
+// the moment someone adds the forbidden overload), so this file passing
+// the *compiler* is the test — the runtime bodies only anchor it in ctest.
+
+#include "util/quantity.hpp"
+
+#include <gtest/gtest.h>
+
+#include <type_traits>
+
+namespace gridbw {
+namespace {
+
+// ---------------------------------------------------------------------------
+// No implicit conversions to/from double: constructors are private and there
+// is no conversion operator. Explicit factories / accessors are the only
+// doors in and out.
+// ---------------------------------------------------------------------------
+
+template <typename Q>
+constexpr bool double_tight =
+    !std::is_convertible_v<double, Q> && !std::is_convertible_v<Q, double> &&
+    !std::is_constructible_v<Q, double> && !std::is_assignable_v<Q&, double>;
+
+static_assert(double_tight<Duration>);
+static_assert(double_tight<TimePoint>);
+static_assert(double_tight<Volume>);
+static_assert(double_tight<Bandwidth>);
+
+// ---------------------------------------------------------------------------
+// No conversions between distinct units (a Bandwidth is not a Volume, even
+// though both wrap a double).
+// ---------------------------------------------------------------------------
+
+template <typename A, typename B>
+constexpr bool unrelated =
+    !std::is_convertible_v<A, B> && !std::is_convertible_v<B, A> &&
+    !std::is_constructible_v<A, B> && !std::is_constructible_v<B, A>;
+
+static_assert(unrelated<Duration, TimePoint>);
+static_assert(unrelated<Duration, Volume>);
+static_assert(unrelated<Duration, Bandwidth>);
+static_assert(unrelated<TimePoint, Volume>);
+static_assert(unrelated<TimePoint, Bandwidth>);
+static_assert(unrelated<Volume, Bandwidth>);
+
+// ---------------------------------------------------------------------------
+// Dimensional arithmetic yields exactly the right type.
+// ---------------------------------------------------------------------------
+
+static_assert(std::is_same_v<decltype(Volume::gigabytes(1) / Duration::seconds(1)),
+                             Bandwidth>);
+static_assert(std::is_same_v<decltype(Volume::gigabytes(1) /
+                                      Bandwidth::megabytes_per_second(1)),
+                             Duration>);
+static_assert(std::is_same_v<decltype(Bandwidth::megabytes_per_second(1) *
+                                      Duration::seconds(1)),
+                             Volume>);
+static_assert(std::is_same_v<decltype(Duration::seconds(1) *
+                                      Bandwidth::megabytes_per_second(1)),
+                             Volume>);
+static_assert(std::is_same_v<decltype(TimePoint::origin() + Duration::seconds(1)),
+                             TimePoint>);
+static_assert(std::is_same_v<decltype(TimePoint::origin() - TimePoint::origin()),
+                             Duration>);
+// Same-unit ratios are dimensionless scalars.
+static_assert(std::is_same_v<decltype(Duration::seconds(2) / Duration::seconds(1)),
+                             double>);
+static_assert(std::is_same_v<decltype(Volume::bytes(2) / Volume::bytes(1)), double>);
+static_assert(std::is_same_v<decltype(Bandwidth::bytes_per_second(2) /
+                                      Bandwidth::bytes_per_second(1)),
+                             double>);
+
+// ---------------------------------------------------------------------------
+// Forbidden expressions do not compile (requires-based compile-fail checks).
+// ---------------------------------------------------------------------------
+
+// A requires-expression only has a SFINAE context inside a template, so the
+// "does not compile" probes are variable templates: an invalid expression
+// makes the trait false instead of a hard error, and the static_asserts
+// below turn each forbidden overload into a pinned contract.
+template <typename A, typename B>
+constexpr bool can_add = requires(A a, B b) { a + b; };
+template <typename A, typename B>
+constexpr bool can_mul = requires(A a, B b) { a * b; };
+template <typename A, typename B>
+constexpr bool can_div = requires(A a, B b) { a / b; };
+template <typename A, typename B>
+constexpr bool can_compare = requires(A a, B b) { a < b; };
+template <typename A, typename B>
+constexpr bool can_equate = requires(A a, B b) { a == b; };
+
+static_assert(!can_add<Volume, Bandwidth>, "volume + rate must not compile");
+static_assert(!can_add<Volume, Duration>, "volume + duration must not compile");
+static_assert(!can_add<TimePoint, TimePoint>, "instant + instant must not compile");
+static_assert(!can_mul<Bandwidth, Bandwidth>, "rate * rate must not compile");
+static_assert(!can_mul<Volume, Volume>, "volume * volume must not compile");
+static_assert(!can_mul<TimePoint, double>, "instant * scalar must not compile");
+static_assert(!can_div<Bandwidth, Duration>, "rate / time has no unit in this model");
+static_assert(!can_div<Duration, Volume>, "time / volume has no unit in this model");
+static_assert(!can_add<Bandwidth, double>, "rate + raw double must not compile");
+static_assert(!can_compare<Duration, Bandwidth>, "cross-unit comparison must not compile");
+static_assert(!can_equate<Volume, TimePoint>, "cross-unit equality must not compile");
+
+// Scalar scaling IS allowed (bandwidth * 0.5 etc.), in both orders.
+static_assert(can_mul<Bandwidth, double>);
+static_assert(can_mul<double, Bandwidth>);
+static_assert(can_div<Duration, double>);
+static_assert(can_mul<Volume, double>);
+
+// ---------------------------------------------------------------------------
+// The wrappers stay free abstractions.
+// ---------------------------------------------------------------------------
+
+static_assert(std::is_trivially_copyable_v<Duration>);
+static_assert(std::is_trivially_copyable_v<TimePoint>);
+static_assert(std::is_trivially_copyable_v<Volume>);
+static_assert(std::is_trivially_copyable_v<Bandwidth>);
+static_assert(sizeof(Duration) == sizeof(double));
+static_assert(sizeof(TimePoint) == sizeof(double));
+static_assert(sizeof(Volume) == sizeof(double));
+static_assert(sizeof(Bandwidth) == sizeof(double));
+
+// Anchor the translation unit in ctest so the suite is visibly green.
+TEST(QuantityStatic, CompileTimeContractsHold) { SUCCEED(); }
+
+// A couple of constexpr identities, evaluated at compile time too.
+static_assert(Duration::minutes(1).to_seconds() == 60.0);
+static_assert((Volume::gigabytes(1) / Duration::seconds(1)).to_bytes_per_second() ==
+              1e9);
+static_assert((Bandwidth::bytes_per_second(8) * Duration::seconds(2)).to_bytes() ==
+              16.0);
+
+TEST(QuantityStatic, ConstexprArithmeticAgreesAtRuntime) {
+  EXPECT_EQ((Volume::megabytes(10) / Bandwidth::megabytes_per_second(2)).to_seconds(),
+            5.0);
+}
+
+}  // namespace
+}  // namespace gridbw

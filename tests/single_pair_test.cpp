@@ -42,8 +42,12 @@ TEST(SinglePairEdf, EarliestDeadlineWinsContention) {
   const auto out = schedule_single_pair_edf(jobs, 1);
   ASSERT_EQ(out.accepted_count(), 2u);
   for (const auto& [id, slot] : out.assigned) {
-    if (id == 2) EXPECT_EQ(slot, 0);
-    if (id == 1) EXPECT_EQ(slot, 1);
+    if (id == 2) {
+      EXPECT_EQ(slot, 0);
+    }
+    if (id == 1) {
+      EXPECT_EQ(slot, 1);
+    }
   }
 }
 

@@ -6,6 +6,8 @@
 
 #include <atomic>
 #include <numeric>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 namespace gridbw {
@@ -50,6 +52,34 @@ TEST(ThreadPool, DrainsQueueOnDestruction) {
   EXPECT_EQ(counter.load(), 50);
 }
 
+TEST(ThreadPool, SubmitAfterShutdownThrows) {
+  ThreadPool pool{2};
+  pool.shutdown();
+  EXPECT_TRUE(pool.stopping());
+  EXPECT_THROW((void)pool.submit([] { return 1; }), std::runtime_error);
+  // The pool stays in a valid (rejecting) state after the refused submit.
+  EXPECT_THROW((void)pool.submit([] {}), std::runtime_error);
+}
+
+TEST(ThreadPool, ShutdownIsIdempotent) {
+  ThreadPool pool{2};
+  auto f = pool.submit([] { return 3; });
+  pool.shutdown();
+  pool.shutdown();  // second call is a no-op, not a double-join
+  EXPECT_EQ(f.get(), 3);
+  EXPECT_EQ(pool.thread_count(), 2u);  // creation-time count is stable
+}
+
+TEST(ThreadPool, ShutdownDrainsQueuedTasks) {
+  ThreadPool pool{1};
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 50; ++i) {
+    (void)pool.submit([&counter] { ++counter; });
+  }
+  pool.shutdown();  // must run all 50 before joining
+  EXPECT_EQ(counter.load(), 50);
+}
+
 TEST(ParallelForIndex, CoversEveryIndexExactlyOnce) {
   ThreadPool pool{4};
   std::vector<std::atomic<int>> hits(257);
@@ -69,6 +99,52 @@ TEST(ParallelForIndex, RethrowsBodyException) {
                                     if (i == 3) throw std::logic_error{"bad index"};
                                   }),
                std::logic_error);
+}
+
+TEST(ParallelForIndex, LowestFailingIndexWinsDeterministically) {
+  ThreadPool pool{4};
+  // Several indices throw; regardless of which thread finishes first, the
+  // caller must always observe the exception from the lowest index.
+  for (int round = 0; round < 25; ++round) {
+    try {
+      parallel_for_index(pool, 64, [](std::size_t i) {
+        if (i == 7 || i == 23 || i == 55) {
+          throw std::runtime_error{std::to_string(i)};
+        }
+      });
+      FAIL() << "expected an exception";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "7") << "round " << round;
+    }
+  }
+}
+
+TEST(ParallelForIndex, AllIterationsCompleteEvenWhenOneThrows) {
+  ThreadPool pool{4};
+  std::vector<std::atomic<int>> hits(64);
+  EXPECT_THROW(parallel_for_index(pool, hits.size(),
+                                  [&](std::size_t i) {
+                                    ++hits[i];
+                                    if (i == 0) throw std::logic_error{"early"};
+                                  }),
+               std::logic_error);
+  // The early failure must not cancel the remaining iterations.
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(SerialForIndex, ThrowsLowestFailingIndexLikeParallel) {
+  EXPECT_THROW(serial_for_index(16,
+                                [](std::size_t i) {
+                                  if (i >= 4) throw std::runtime_error{std::to_string(i)};
+                                }),
+               std::runtime_error);
+  try {
+    serial_for_index(16, [](std::size_t i) {
+      if (i >= 4) throw std::runtime_error{std::to_string(i)};
+    });
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "4");
+  }
 }
 
 TEST(SerialForIndex, MatchesParallelResults) {

@@ -104,6 +104,27 @@ TEST(TimelineProfile, CompileAllowsConstSharedQueries) {
   EXPECT_EQ(view.value_at(at(4)), 2.5);
 }
 
+TEST(TimelineProfile, MergedReflectsPendingStateAcrossTheLifecycle) {
+  // The sharing contract of the parallel validator: a profile may only be
+  // handed to concurrent readers while merged() holds; any add() revokes it
+  // until the next ensure_merged()/query. (tests/tsan_stress_test.cpp
+  // exercises the actual concurrent reads under ThreadSanitizer.)
+  TimelineProfile f;
+  EXPECT_TRUE(f.merged());  // empty profile has nothing pending
+  f.add(at(0), at(4), 1.0);
+  EXPECT_FALSE(f.merged());
+  f.ensure_merged();
+  EXPECT_TRUE(f.merged());
+  EXPECT_EQ(f.value_at(at(2)), 1.0);
+  EXPECT_TRUE(f.merged()) << "queries on a merged profile are pure reads";
+  f.add(at(2), at(6), 1.0);
+  EXPECT_FALSE(f.merged()) << "new adds revoke shared-read safety";
+  EXPECT_EQ(f.global_max(), 2.0);  // implicit merge via query
+  EXPECT_TRUE(f.merged());
+  f.compact();
+  EXPECT_TRUE(f.merged());
+}
+
 TEST(TimelineProfile, CompactRemovesCancelledBreakpoints) {
   TimelineProfile f;
   f.add(at(1), at(2), 3.0);

@@ -1,0 +1,163 @@
+// Concurrency stress tests, written to run under ThreadSanitizer
+// (GRIDBW_SANITIZE=thread / scripts/check.sh --tsan) as the race-detection
+// wall for the parallel surfaces. They also run in every plain build as
+// functional tests; only under TSan do they additionally prove the absence
+// of data races.
+//
+// The shared-profile tests are the regression for the lazy-merge hazard:
+// TimelineProfile queries mutate `mutable` caches on the first query after
+// a batch of adds, so sharing an *unmerged* profile across threads is a
+// data race. The validator's parallel engine materializes every port
+// profile in a dedicated pre-pass (validate.cpp) before its query sweep;
+// these tests pin both that path and the direct shared-query contract.
+// Dropping `ensure_merged()` below (or the validator's pre-pass) makes TSan
+// halt with a report.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/timeline_profile.hpp"
+#include "core/validate.hpp"
+#include "util/thread_pool.hpp"
+#include "workload/generator.hpp"
+#include "workload/load.hpp"
+#include "workload/scenario.hpp"
+
+namespace gridbw {
+namespace {
+
+constexpr std::uint64_t kSeeds[] = {7, 1234, 99999};
+
+struct BigWorkload {
+  workload::Scenario scenario;
+  std::vector<Request> requests;
+};
+
+BigWorkload big_workload(std::uint64_t seed, std::size_t count) {
+  workload::Scenario scenario =
+      workload::paper_flexible(Duration::seconds(1), Duration::seconds(1), 4.0);
+  scenario.spec.mean_interarrival =
+      workload::interarrival_for_load(scenario.spec, scenario.network, 3.0);
+  scenario.spec.horizon =
+      scenario.spec.mean_interarrival * static_cast<double>(count);
+  Rng rng{seed};
+  auto requests = workload::generate(scenario.spec, rng);
+  if (requests.size() > count) requests.resize(count);
+  return BigWorkload{std::move(scenario), std::move(requests)};
+}
+
+TEST(TsanStress, ParallelValidation10kRequestsAcrossSeeds) {
+  for (const std::uint64_t seed : kSeeds) {
+    const auto [scenario, requests] = big_workload(seed, 10000);
+    ASSERT_GT(requests.size(), 5000u);
+
+    // Accept-all at MinRate overloads the ports, so the parallel sweep has
+    // real capacity violations to find and merge deterministically.
+    std::vector<Assignment> assignments;
+    assignments.reserve(requests.size());
+    for (const Request& r : requests) {
+      assignments.push_back(Assignment{r.id, r.release, r.min_rate()});
+    }
+
+    ValidateOptions parallel_opts;
+    parallel_opts.engine = ValidateEngine::kParallel;
+    parallel_opts.threads = 8;
+    const auto parallel =
+        validate_assignments(scenario.network, requests, assignments, parallel_opts);
+
+    ValidateOptions serial_opts;
+    serial_opts.engine = ValidateEngine::kSerial;
+    const auto serial =
+        validate_assignments(scenario.network, requests, assignments, serial_opts);
+
+    EXPECT_FALSE(parallel.ok()) << "seed=" << seed;
+    ASSERT_EQ(parallel.violations.size(), serial.violations.size()) << "seed=" << seed;
+    for (std::size_t k = 0; k < parallel.violations.size(); ++k) {
+      EXPECT_EQ(parallel.violations[k].detail, serial.violations[k].detail)
+          << "seed=" << seed << " #" << k;
+    }
+  }
+}
+
+TEST(TsanStress, SharedMergedProfileSurvivesConcurrentQueries) {
+  TimelineProfile profile;
+  for (int k = 0; k < 5000; ++k) {
+    const double t0 = static_cast<double>((k * 37) % 1000);
+    profile.add(TimePoint::at_seconds(t0),
+                TimePoint::at_seconds(t0 + 5.0 + static_cast<double>(k % 7)), 1.0);
+  }
+  // THE FIX UNDER TEST: materialize the lazy caches before sharing. Remove
+  // this line and the first concurrent queries below race on the merge.
+  profile.ensure_merged();
+  ASSERT_TRUE(profile.merged());
+
+  const double expected_peak = profile.global_max();
+  const double expected_integral =
+      profile.integral(TimePoint::origin(), TimePoint::at_seconds(1100.0));
+
+  ThreadPool pool{8};
+  std::atomic<int> mismatches{0};
+  parallel_for_index(pool, 64, [&](std::size_t i) {
+    const auto t = TimePoint::at_seconds(static_cast<double>(i % 1000));
+    if (profile.value_at(t) < 0.0) ++mismatches;
+    if (profile.global_max() != expected_peak) ++mismatches;
+    if (profile.max_over(t, t + Duration::seconds(50)) > expected_peak) ++mismatches;
+    if (profile.integral(TimePoint::origin(), TimePoint::at_seconds(1100.0)) !=
+        expected_integral) {
+      ++mismatches;
+    }
+  });
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_TRUE(profile.merged()) << "concurrent queries must not unmerge";
+}
+
+TEST(TsanStress, ParallelForIndexExceptionPropagationUnderLoad) {
+  ThreadPool pool{8};
+  for (int round = 0; round < 20; ++round) {
+    try {
+      parallel_for_index(pool, 256, [&](std::size_t i) {
+        if (i % 50 == 3) {  // fails at 3, 53, 103, ... — 3 must win
+          throw std::runtime_error{std::to_string(i)};
+        }
+      });
+      FAIL() << "expected an exception";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "3") << "round " << round;
+    }
+  }
+}
+
+TEST(TsanStress, SubmitRacingShutdownNeverDropsOrDeadlocks) {
+  for (int round = 0; round < 10; ++round) {
+    std::atomic<int> ran{0};
+    std::atomic<int> rejected{0};
+    auto pool = std::make_unique<ThreadPool>(4);
+    ThreadPool submitters{4};
+    std::vector<std::future<void>> feeds;
+    for (int s = 0; s < 4; ++s) {
+      feeds.push_back(submitters.submit([&] {
+        for (int k = 0; k < 200; ++k) {
+          try {
+            (void)pool->submit([&ran] { ++ran; });
+          } catch (const std::runtime_error&) {
+            ++rejected;
+          }
+        }
+      }));
+    }
+    pool->shutdown();  // races against the feeders
+    for (auto& f : feeds) f.get();
+    pool.reset();
+    // Every submit either executed (shutdown drains the queue) or threw.
+    EXPECT_EQ(ran.load() + rejected.load(), 800) << "round " << round;
+  }
+}
+
+}  // namespace
+}  // namespace gridbw

@@ -109,7 +109,9 @@ TEST(Generator, ArrivalsOrderedWithinHorizon) {
   for (std::size_t k = 0; k < rs.size(); ++k) {
     EXPECT_GE(rs[k].release.to_seconds(), 0.0);
     EXPECT_LT(rs[k].release.to_seconds(), spec.horizon.to_seconds());
-    if (k > 0) EXPECT_GE(rs[k].release, rs[k - 1].release);
+    if (k > 0) {
+      EXPECT_GE(rs[k].release, rs[k - 1].release);
+    }
     EXPECT_EQ(rs[k].id, spec.first_id + k);
   }
 }
