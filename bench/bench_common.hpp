@@ -8,6 +8,10 @@
 //   --quick         cut workloads down for smoke runs
 //   --csv=PATH      also write the table as CSV
 //   --json=PATH     also write the table + timing as a BENCH_*.json
+//   --trace=PATH    dump a JSONL admission trace of one representative
+//                   workload (base seed) through every heuristic
+//   --util-out=PATH dump per-port utilization for the same replay
+//                   (CSV, or JSONL objects when PATH ends in .json)
 //
 // and prints the same series the corresponding paper figure plots, followed
 // by a per-heuristic wall-clock timing table.
@@ -17,10 +21,18 @@
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <optional>
+#include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "heuristics/registry.hpp"
 #include "metrics/experiment.hpp"
+#include "obs/counters.hpp"
+#include "obs/observer.hpp"
+#include "obs/trace_sink.hpp"
+#include "obs/utilization.hpp"
 #include "util/flags.hpp"
 #include "util/table.hpp"
 
@@ -31,6 +43,13 @@ struct BenchArgs {
   bool quick{false};
   std::string csv_path;
   std::string json_path;
+  std::string trace_path;
+  std::string util_path;
+
+  /// True when `--trace` or `--util-out` asks for an observability replay.
+  [[nodiscard]] bool wants_observability() const {
+    return !trace_path.empty() || !util_path.empty();
+  }
 
   static BenchArgs parse(int argc, const char* const* argv) {
     const Flags flags{argc, argv};
@@ -42,10 +61,72 @@ struct BenchArgs {
     args.quick = flags.get_bool("quick", false);
     args.csv_path = flags.get_string("csv", "");
     args.json_path = flags.get_string("json", "");
+    args.trace_path = flags.get_string("trace", "");
+    args.util_path = flags.get_string("util-out", "");
     if (args.quick && !flags.has("reps")) args.config.replications = 3;
     return args;
   }
 };
+
+/// Replays `requests` through every scheduler in `lineup` with an attached
+/// observer and writes the artifacts the `--trace` / `--util-out` flags ask
+/// for. The caller generates `requests` deterministically from the base
+/// seed; the JSONL sink never stamps wall-clock time by default, so two
+/// same-seed runs produce byte-identical traces. Each scheduler's run is
+/// bracketed by meta lines (`scheduler`, then `accepted`/`rejected` totals
+/// taken from its ScheduleResult) so the trace is self-reconciling.
+inline void dump_observability(const BenchArgs& args, const Network& network,
+                               std::span<const Request> requests,
+                               std::span<const heuristics::NamedScheduler> lineup,
+                               std::string_view workload_label) {
+  if (!args.wants_observability()) return;
+
+  std::optional<obs::JsonlSink> sink;
+  if (!args.trace_path.empty()) {
+    sink.emplace(args.trace_path);
+    sink->annotate("workload", workload_label);
+    sink->annotate("seed", std::to_string(args.config.base_seed));
+  }
+  std::ofstream util_out;
+  const bool util_json =
+      args.util_path.size() >= 5 &&
+      args.util_path.compare(args.util_path.size() - 5, 5, ".json") == 0;
+  if (!args.util_path.empty()) {
+    util_out.open(args.util_path);
+    if (!util_json) obs::UtilizationReport::write_csv_header(util_out);
+  }
+
+  TimePoint window_end = TimePoint::origin();
+  for (const Request& r : requests) window_end = max(window_end, r.deadline);
+
+  obs::CounterRegistry counters;
+  for (const auto& h : lineup) {
+    if (sink) sink->annotate("scheduler", h.name);
+    obs::Observer observer{sink ? &*sink : nullptr, &counters};
+    const ScheduleResult result = h.run(network, requests, &observer);
+    if (sink) {
+      sink->annotate("accepted", std::to_string(result.accepted_count()));
+      sink->annotate("rejected", std::to_string(result.rejected.size()));
+    }
+    if (util_out.is_open()) {
+      const obs::UtilizationReport report = obs::utilization_report(
+          network, requests, result.schedule, TimePoint::origin(), window_end);
+      if (util_json) {
+        report.write_json(util_out, h.name);
+      } else {
+        report.write_csv(util_out, h.name);
+      }
+    }
+  }
+  if (sink) {
+    sink->flush();
+    std::cout << "(trace written to " << args.trace_path << ")\n";
+  }
+  if (util_out.is_open()) {
+    std::cout << "(utilization written to " << args.util_path << ")\n";
+  }
+  std::cout.flush();
+}
 
 /// Prints the banner, the table, and (optionally) the CSV file.
 inline void emit(const std::string& title, const Table& table,

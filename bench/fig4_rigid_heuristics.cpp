@@ -72,6 +72,17 @@ int run(int argc, const char* const* argv) {
   const std::string title = "Fig. 4 — rigid heuristics vs load (accept rate, utilization)";
   bench::emit(title, table, args);
   bench::emit_timing("fig4_rigid_heuristics", title, table, names, wall, args);
+
+  if (args.wants_observability()) {
+    // Representative replay at the base seed: the sweep's heaviest load.
+    workload::Scenario scenario = workload::paper_rigid(Duration::seconds(1), horizon);
+    scenario.spec.mean_interarrival =
+        workload::interarrival_for_load(scenario.spec, scenario.network, loads.back());
+    Rng rng{args.config.base_seed};
+    const auto requests = workload::generate(scenario.spec, rng);
+    bench::dump_observability(args, scenario.network, requests, lineup,
+                              "fig4_rigid_heuristics");
+  }
   return 0;
 }
 

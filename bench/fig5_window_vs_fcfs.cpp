@@ -67,6 +67,16 @@ int run(int argc, const char* const* argv) {
   const std::string title = "Fig. 5 — FCFS vs WINDOW(100/200/400), heavy load, f = 1";
   bench::emit(title, table, args);
   bench::emit_timing("fig5_window_vs_fcfs", title, table, names, wall, args);
+
+  if (args.wants_observability()) {
+    // Representative replay at the base seed: the heaviest inter-arrival.
+    const workload::Scenario scenario =
+        workload::paper_flexible(Duration::seconds(interarrivals.front()), horizon, 4.0);
+    Rng rng{args.config.base_seed};
+    const auto requests = workload::generate(scenario.spec, rng);
+    bench::dump_observability(args, scenario.network, requests, lineup,
+                              "fig5_window_vs_fcfs");
+  }
   return 0;
 }
 

@@ -89,6 +89,17 @@ int run(int argc, const char* const* argv) {
         args.quick ? std::vector<double>{5.0, 20.0}
                    : std::vector<double>{3.0, 5.0, 8.0, 12.0, 16.0, 20.0},
         Duration::seconds(args.quick ? 2000 : 8000));
+
+  if (args.wants_observability()) {
+    // Representative replay at the base seed: heavy-panel conditions.
+    const auto schedulers = lineup();
+    const workload::Scenario scenario = workload::paper_flexible(
+        Duration::seconds(0.5), Duration::seconds(args.quick ? 300 : 1000), 4.0);
+    Rng rng{args.config.base_seed};
+    const auto requests = workload::generate(scenario.spec, rng);
+    bench::dump_observability(args, scenario.network, requests, schedulers,
+                              "fig7_window_f");
+  }
   return 0;
 }
 

@@ -70,7 +70,8 @@ WALLCLOCK_TOKEN = re.compile(
     r"|\bgettimeofday\s*\(|\bclock\s*\(\s*\)|std::time\s*\(|\btime\s*\(\s*(?:nullptr|NULL|0)\s*\)"
 )
 
-# Files allowed to break a given rule.
+# Files allowed to break a given rule. Entries ending in "/" are directory
+# prefixes; anything else must match the relative path exactly.
 ALLOW = {
     "gridbw-rng-locality": ("src/util/random.hpp", "src/util/random.cpp"),
     "gridbw-stepfunction-hot-path": (
@@ -78,13 +79,27 @@ ALLOW = {
         "src/core/step_function.cpp",
         "src/core/validate.cpp",  # kReference differential engine
     ),
-    # The replication harness reports wall-clock per-heuristic tables; that
-    # is measurement of the machine, not simulated time.
-    "gridbw-wall-clock": ("src/metrics/experiment.cpp",),
+    # The replication harness reports wall-clock per-heuristic tables, and
+    # the observability sinks may stamp an opt-in wall-clock meta line
+    # (JsonlSinkOptions::stamp_wallclock) — both are measurement of the
+    # machine, not simulated time. src/obs/ is the only *module* allowed to
+    # format wall-clock timestamps; event payloads stay on TimePoint.
+    "gridbw-wall-clock": ("src/metrics/experiment.cpp", "src/obs/"),
     # The quantity header defines the strong types and their double escape
     # hatches (to_bytes() etc.) — it is the one place raw doubles belong.
     "gridbw-quantity-api": ("src/util/quantity.hpp",),
 }
+
+
+def allowed(rel: str, rule: str) -> bool:
+    """True when `rel` is allowlisted for `rule` (exact path or dir prefix)."""
+    for entry in ALLOW.get(rule, ()):
+        if entry.endswith("/"):
+            if rel.startswith(entry):
+                return True
+        elif rel == entry:
+            return True
+    return False
 
 NOLINT = re.compile(r"NOLINT\((gridbw-[a-z-]+)\)")
 
@@ -140,7 +155,7 @@ def check_file(root: pathlib.Path, path: pathlib.Path) -> list[Finding]:
         return rule in NOLINT.findall(raw_lines[lineno - 1])
 
     def scan(rule: str, token: re.Pattern, message: str) -> None:
-        if rel in ALLOW.get(rule, ()):
+        if allowed(rel, rule):
             return
         for lineno, line in enumerate(code_lines, 1):
             if token.search(line) and not suppressed(lineno, rule):
@@ -167,7 +182,7 @@ def check_file(root: pathlib.Path, path: pathlib.Path) -> list[Finding]:
 
     # gridbw-quantity-api applies to public headers only: a raw double in a
     # .cpp is an implementation detail (often a profile-internal bps value).
-    if path.suffix == ".hpp" and rel not in ALLOW["gridbw-quantity-api"]:
+    if path.suffix == ".hpp" and not allowed(rel, "gridbw-quantity-api"):
         for lineno, line in enumerate(code_lines, 1):
             for match in DOUBLE_DECL.finditer(line):
                 name = match.group(1)

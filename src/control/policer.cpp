@@ -1,5 +1,6 @@
 #include "control/policer.hpp"
 
+#include <cmath>
 #include <stdexcept>
 
 namespace gridbw::control {
@@ -18,11 +19,16 @@ Volume PolicingReport::total_dropped() const {
 
 PolicingReport police_flows(std::span<const PolicedFlow> flows, Duration duration,
                             const PolicerOptions& options) {
-  if (!options.quantum.is_positive()) {
-    throw std::invalid_argument{"police_flows: quantum must be positive"};
+  // Gates are written in negated >= form so NaN fails them: `x < 1.0` is
+  // false for NaN and used to let non-finite options through.
+  if (!options.quantum.is_positive() || !std::isfinite(options.quantum.to_seconds())) {
+    throw std::invalid_argument{"police_flows: quantum must be positive and finite"};
   }
-  if (options.burst_quanta < 1.0) {
-    throw std::invalid_argument{"police_flows: burst must be >= 1 quantum"};
+  if (!(options.burst_quanta >= 1.0) || !std::isfinite(options.burst_quanta)) {
+    throw std::invalid_argument{"police_flows: burst must be >= 1 quantum and finite"};
+  }
+  if (!(duration.to_seconds() >= 0.0) || !std::isfinite(duration.to_seconds())) {
+    throw std::invalid_argument{"police_flows: duration must be >= 0 and finite"};
   }
 
   PolicingReport report;
@@ -39,20 +45,33 @@ PolicingReport police_flows(std::span<const PolicedFlow> flows, Duration duratio
                                              Volume::zero()});
   }
 
-  const auto steps = static_cast<std::size_t>(duration / options.quantum);
-  for (std::size_t s = 1; s <= steps; ++s) {
-    const TimePoint now = TimePoint::origin() + options.quantum * static_cast<double>(s);
+  auto run_tick = [&](TimePoint now, Duration tick) {
     Volume tick_delivered = Volume::zero();
     for (std::size_t f = 0; f < flows.size(); ++f) {
-      const Volume offered = flows[f].offered * options.quantum;
+      const Volume offered = flows[f].offered * tick;
       const Volume granted = buckets[f].consume_up_to(now, offered);
       report.flows[f].offered += offered;
       report.flows[f].delivered += granted;
       report.flows[f].dropped += offered - granted;
       tick_delivered += granted;
     }
-    report.peak_aggregate =
-        max(report.peak_aggregate, tick_delivered / options.quantum);
+    report.peak_aggregate = max(report.peak_aggregate, tick_delivered / tick);
+  };
+
+  const auto steps = static_cast<std::size_t>(duration / options.quantum);
+  for (std::size_t s = 1; s <= steps; ++s) {
+    run_tick(TimePoint::origin() + options.quantum * static_cast<double>(s),
+             options.quantum);
+  }
+  // The horizon rarely divides evenly into quanta; the leftover is simulated
+  // as one shortened final tick so the report covers the whole duration
+  // (previously the tail — the entire run when duration < quantum — was
+  // silently dropped). The relative guard skips only floating-point dust
+  // from the division above, not a genuine sub-quantum remainder.
+  const Duration remainder =
+      duration - options.quantum * static_cast<double>(steps);
+  if (remainder.to_seconds() > options.quantum.to_seconds() * 1e-9) {
+    run_tick(TimePoint::origin() + duration, remainder);
   }
   return report;
 }

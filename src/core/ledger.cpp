@@ -12,12 +12,35 @@ NetworkLedger::NetworkLedger(const Network& network)
 
 bool NetworkLedger::fits(IngressId i, EgressId e, TimePoint t0, TimePoint t1,
                          Bandwidth bw) const {
+  // Body kept flat (not delegated to the per-port halves): this is the
+  // hottest admission query, and the extra calls cost real time in
+  // unoptimized builds. fits_ingress/fits_egress exist for rejection-reason
+  // classification on the (cold, observer-only) rejection path.
   const double in_peak = ingress_.at(i.value).max_over(t0, t1);
   const double out_peak = egress_.at(e.value).max_over(t0, t1);
   const double add = bw.to_bytes_per_second();
-  return approx_le(Bandwidth::bytes_per_second(in_peak + add),
-                   network_->ingress_capacity(i)) &&
-         approx_le(Bandwidth::bytes_per_second(out_peak + add),
+  const bool ok = approx_le(Bandwidth::bytes_per_second(in_peak + add),
+                            network_->ingress_capacity(i)) &&
+                  approx_le(Bandwidth::bytes_per_second(out_peak + add),
+                            network_->egress_capacity(e));
+  if (observer_ != nullptr) {
+    observer_->count(obs::Counter::kLedgerFitsChecks);
+    if (!ok) observer_->count(obs::Counter::kLedgerFitsRejected);
+  }
+  return ok;
+}
+
+bool NetworkLedger::fits_ingress(IngressId i, TimePoint t0, TimePoint t1,
+                                 Bandwidth bw) const {
+  const double peak = ingress_.at(i.value).max_over(t0, t1);
+  return approx_le(Bandwidth::bytes_per_second(peak + bw.to_bytes_per_second()),
+                   network_->ingress_capacity(i));
+}
+
+bool NetworkLedger::fits_egress(EgressId e, TimePoint t0, TimePoint t1,
+                                Bandwidth bw) const {
+  const double peak = egress_.at(e.value).max_over(t0, t1);
+  return approx_le(Bandwidth::bytes_per_second(peak + bw.to_bytes_per_second()),
                    network_->egress_capacity(e));
 }
 
@@ -25,12 +48,14 @@ void NetworkLedger::reserve(IngressId i, EgressId e, TimePoint t0, TimePoint t1,
                             Bandwidth bw) {
   ingress_.at(i.value).add(t0, t1, bw.to_bytes_per_second());
   egress_.at(e.value).add(t0, t1, bw.to_bytes_per_second());
+  if (observer_ != nullptr) observer_->count(obs::Counter::kLedgerReservations);
 }
 
 void NetworkLedger::release(IngressId i, EgressId e, TimePoint t0, TimePoint t1,
                             Bandwidth bw) {
   ingress_.at(i.value).add(t0, t1, -bw.to_bytes_per_second());
   egress_.at(e.value).add(t0, t1, -bw.to_bytes_per_second());
+  if (observer_ != nullptr) observer_->count(obs::Counter::kLedgerReleases);
 }
 
 Bandwidth NetworkLedger::headroom(IngressId i, EgressId e, TimePoint t0,
@@ -48,6 +73,10 @@ CounterLedger::CounterLedger(const Network& network)
       egress_(network.egress_count(), Bandwidth::zero()) {}
 
 bool CounterLedger::fits(IngressId i, EgressId e, Bandwidth bw) const {
+  // Deliberately uninstrumented: each call is a handful of instructions and
+  // the slice sweeps issue millions of them, so even a disabled-observer
+  // pointer test shows up in unoptimized builds. Engine-level note_* events
+  // carry the admission story for CounterLedger users.
   return approx_le(ingress_.at(i.value) + bw, network_->ingress_capacity(i)) &&
          approx_le(egress_.at(e.value) + bw, network_->egress_capacity(e));
 }

@@ -28,6 +28,7 @@
 #include "core/ids.hpp"
 #include "core/network.hpp"
 #include "core/timeline_profile.hpp"
+#include "obs/observer.hpp"
 #include "util/quantity.hpp"
 
 namespace gridbw {
@@ -41,6 +42,13 @@ class NetworkLedger {
   /// capacity everywhere? (Uses the approx_le tolerance.)
   [[nodiscard]] bool fits(IngressId i, EgressId e, TimePoint t0, TimePoint t1,
                           Bandwidth bw) const;
+
+  /// Per-port halves of `fits`, for rejection-reason classification. Pure
+  /// queries: they bump no observer counters.
+  [[nodiscard]] bool fits_ingress(IngressId i, TimePoint t0, TimePoint t1,
+                                  Bandwidth bw) const;
+  [[nodiscard]] bool fits_egress(EgressId e, TimePoint t0, TimePoint t1,
+                                 Bandwidth bw) const;
 
   /// Commits `bw` on (i, e) over [t0, t1). Does not re-check `fits`.
   void reserve(IngressId i, EgressId e, TimePoint t0, TimePoint t1, Bandwidth bw);
@@ -60,13 +68,24 @@ class NetworkLedger {
   }
   [[nodiscard]] const Network& network() const { return *network_; }
 
+  /// Mirrors fits/reserve/release into the observer's ledger counters
+  /// (kLedgerFitsChecks, ...). Null detaches; the disabled path is one
+  /// branch per call.
+  void attach_observer(obs::Observer* observer) { observer_ = observer; }
+
  private:
   const Network* network_;
   std::vector<TimelineProfile> ingress_;
   std::vector<TimelineProfile> egress_;
+  obs::Observer* observer_{nullptr};
 };
 
 /// The paper's online counters: ali(i), ale(e).
+///
+/// Unlike NetworkLedger, this book carries no observer hook: its methods are
+/// O(1) and sit inside slice-sweep loops that call them millions of times,
+/// where even a disabled-observer branch is measurable in unoptimized
+/// builds. Engines narrate admissions via the note_* helpers instead.
 class CounterLedger {
  public:
   explicit CounterLedger(const Network& network);
@@ -93,6 +112,14 @@ class CounterLedger {
   /// (ali(i) + bw) / B_in(i) and (ale(e) + bw) / B_out(e).
   [[nodiscard]] double ingress_util_with(IngressId i, Bandwidth bw) const;
   [[nodiscard]] double egress_util_with(EgressId e, Bandwidth bw) const;
+
+  /// Per-port halves of `fits`, for rejection-reason classification.
+  [[nodiscard]] bool fits_ingress(IngressId i, Bandwidth bw) const {
+    return approx_le(ingress_.at(i.value) + bw, network_->ingress_capacity(i));
+  }
+  [[nodiscard]] bool fits_egress(EgressId e, Bandwidth bw) const {
+    return approx_le(egress_.at(e.value) + bw, network_->egress_capacity(e));
+  }
 
   [[nodiscard]] const Network& network() const { return *network_; }
 

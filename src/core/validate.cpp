@@ -212,6 +212,12 @@ ValidationReport validate_assignments(const Network& network,
     if (v.has_value()) report.violations.push_back(std::move(*v));
   }
 
+  if (options.observer != nullptr) {
+    options.observer->count(obs::Counter::kValidatorRuns);
+    options.observer->count(obs::Counter::kValidatorAssignments, assignments.size());
+    options.observer->count(obs::Counter::kValidatorViolations,
+                            report.violations.size());
+  }
   return report;
 }
 

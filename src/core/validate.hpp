@@ -30,6 +30,7 @@
 #include "core/network.hpp"
 #include "core/request.hpp"
 #include "core/schedule.hpp"
+#include "obs/observer.hpp"
 
 namespace gridbw {
 
@@ -72,6 +73,10 @@ struct ValidateOptions {
   std::size_t parallel_threshold{8192};
   /// Worker threads for kParallel; 0 = hardware concurrency.
   std::size_t threads{0};
+  /// Optional observability hook: bumps kValidatorRuns / kValidatorAssignments
+  /// / kValidatorViolations. Counters only — no events are emitted, so serial
+  /// and parallel engines stay byte-identical in any attached trace.
+  obs::Observer* observer{nullptr};
 };
 
 /// Checks a schedule against the request set and network capacities.

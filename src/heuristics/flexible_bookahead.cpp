@@ -1,6 +1,7 @@
 #include "heuristics/flexible_bookahead.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <stdexcept>
 #include <vector>
@@ -11,18 +12,24 @@ namespace gridbw::heuristics {
 
 ScheduleResult schedule_flexible_bookahead(const Network& network,
                                            std::span<const Request> requests,
-                                           const BookAheadOptions& options) {
-  if (!options.step.is_positive()) {
-    throw std::invalid_argument{"schedule_flexible_bookahead: step must be positive"};
+                                           const BookAheadOptions& options,
+                                           obs::Observer* observer) {
+  // Negated form so a NaN step fails the gate too.
+  if (!options.step.is_positive() || !std::isfinite(options.step.to_seconds())) {
+    throw std::invalid_argument{
+        "schedule_flexible_bookahead: step must be positive and finite"};
   }
 
   ScheduleResult result;
   std::vector<Request> order;
   order.reserve(requests.size());
   for (const Request& r : requests) {
+    obs::note_submitted(observer, r.id, r.release);
     // A non-positive window has an infinite MinRate; reject it up front.
     if (!(r.deadline > r.release)) {
       result.rejected.push_back(r.id);
+      obs::note_rejected(observer, r.id, r.release,
+                         obs::RejectReason::kDegenerateWindow);
       continue;
     }
     order.push_back(r);
@@ -31,6 +38,7 @@ ScheduleResult schedule_flexible_bookahead(const Network& network,
   if (order.empty()) return result;
 
   NetworkLedger ledger{network};
+  ledger.attach_observer(observer);
   std::size_t next_arrival = 0;
   TimePoint interval_start = order.front().release;
 
@@ -53,18 +61,26 @@ ScheduleResult schedule_flexible_bookahead(const Network& network,
     for (const Request* rp : candidates) {
       const Request& r = *rp;
       bool placed = false;
+      bool any_rate = false;  // some start in the horizon had a feasible rate
       for (std::size_t k = 0; k <= options.max_book_ahead && !placed; ++k) {
         const TimePoint start = decision + options.step * static_cast<double>(k);
         const auto bw = options.policy.assign(r, start);
         if (!bw.has_value()) break;  // later starts are only worse
+        any_rate = true;
         const TimePoint end = start + r.volume / *bw;
         if (ledger.fits(r.ingress, r.egress, start, end, *bw)) {
           ledger.reserve(r.ingress, r.egress, start, end, *bw);
           result.schedule.accept(r.id, start, *bw);
+          obs::note_accepted(observer, r.id, decision, start, *bw);
           placed = true;
         }
       }
-      if (!placed) result.rejected.push_back(r.id);
+      if (!placed) {
+        result.rejected.push_back(r.id);
+        obs::note_rejected(observer, r.id, decision,
+                           any_rate ? obs::RejectReason::kNoFeasibleStart
+                                    : obs::RejectReason::kInfeasibleRate);
+      }
     }
 
     if (next_arrival < order.size()) {

@@ -21,6 +21,7 @@
 #include "core/request.hpp"
 #include "core/schedule.hpp"
 #include "heuristics/bandwidth_policy.hpp"
+#include "obs/observer.hpp"
 
 namespace gridbw::heuristics {
 
@@ -33,8 +34,8 @@ struct BookAheadOptions {
   std::size_t max_book_ahead{4};
 };
 
-[[nodiscard]] ScheduleResult schedule_flexible_bookahead(const Network& network,
-                                                         std::span<const Request> requests,
-                                                         const BookAheadOptions& options);
+[[nodiscard]] ScheduleResult schedule_flexible_bookahead(
+    const Network& network, std::span<const Request> requests,
+    const BookAheadOptions& options, obs::Observer* observer = nullptr);
 
 }  // namespace gridbw::heuristics

@@ -11,6 +11,7 @@ namespace {
 /// A committed transfer awaiting completion (for bandwidth reclaim).
 struct Completion {
   TimePoint finish;
+  RequestId request;
   IngressId ingress;
   EgressId egress;
   Bandwidth bw;
@@ -26,14 +27,18 @@ struct LaterFinish {
 
 ScheduleResult schedule_flexible_greedy(const Network& network,
                                         std::span<const Request> requests,
-                                        BandwidthPolicy policy) {
+                                        BandwidthPolicy policy,
+                                        obs::Observer* observer) {
   ScheduleResult result;
   std::vector<Request> order;
   order.reserve(requests.size());
   for (const Request& r : requests) {
+    obs::note_submitted(observer, r.id, r.release);
     // A non-positive window has an infinite MinRate; reject it up front.
     if (!(r.deadline > r.release)) {
       result.rejected.push_back(r.id);
+      obs::note_rejected(observer, r.id, r.release,
+                         obs::RejectReason::kDegenerateWindow);
       continue;
     }
     order.push_back(r);
@@ -49,15 +54,38 @@ ScheduleResult schedule_flexible_greedy(const Network& network,
       const Completion done = completions.top();
       completions.pop();
       counters.reclaim(done.ingress, done.egress, done.bw);
+      obs::note_reclaimed(observer, done.request, done.finish, done.bw);
     }
 
     const auto bw = policy.assign(r, r.release);
     if (bw.has_value() && counters.fits(r.ingress, r.egress, *bw)) {
       counters.allocate(r.ingress, r.egress, *bw);
       result.schedule.accept(r.id, r.release, *bw);
-      completions.push(Completion{r.release + r.volume / *bw, r.ingress, r.egress, *bw});
+      obs::note_accepted(observer, r.id, r.release, r.release, *bw);
+      completions.push(
+          Completion{r.release + r.volume / *bw, r.id, r.ingress, r.egress, *bw});
     } else {
       result.rejected.push_back(r.id);
+      if (observer != nullptr) {
+        const obs::RejectReason reason =
+            bw.has_value() ? obs::classify_saturation(
+                                 counters.fits_ingress(r.ingress, *bw),
+                                 counters.fits_egress(r.egress, *bw))
+                           : obs::RejectReason::kInfeasibleRate;
+        obs::note_rejected(observer, r.id, r.release, reason);
+      }
+    }
+  }
+
+  // Drain the outstanding completions so the trace closes every accepted
+  // transfer's lifecycle. Observability only: without an observer the ledger
+  // is torn down with the function and the drain would be dead work.
+  if (observer != nullptr) {
+    while (!completions.empty()) {
+      const Completion done = completions.top();
+      completions.pop();
+      counters.reclaim(done.ingress, done.egress, done.bw);
+      obs::note_reclaimed(observer, done.request, done.finish, done.bw);
     }
   }
   return result;

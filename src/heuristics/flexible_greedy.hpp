@@ -15,11 +15,13 @@
 #include "core/request.hpp"
 #include "core/schedule.hpp"
 #include "heuristics/bandwidth_policy.hpp"
+#include "obs/observer.hpp"
 
 namespace gridbw::heuristics {
 
 [[nodiscard]] ScheduleResult schedule_flexible_greedy(const Network& network,
                                                       std::span<const Request> requests,
-                                                      BandwidthPolicy policy);
+                                                      BandwidthPolicy policy,
+                                                      obs::Observer* observer = nullptr);
 
 }  // namespace gridbw::heuristics

@@ -1,6 +1,7 @@
 #include "heuristics/flexible_window.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <queue>
 #include <stdexcept>
@@ -15,6 +16,7 @@ constexpr std::size_t kInvalid = static_cast<std::size_t>(-1);
 
 struct Completion {
   TimePoint finish;
+  RequestId request;
   IngressId ingress;
   EgressId egress;
   Bandwidth bw;
@@ -68,7 +70,7 @@ bool cost_tied(double cost, double min_cost) { return approx_le(cost, min_cost);
 void decide(const Candidate& chosen, TimePoint decision, CounterLedger& counters,
             std::priority_queue<Completion, std::vector<Completion>, LaterFinish>&
                 completions,
-            ScheduleResult& result) {
+            ScheduleResult& result, obs::Observer* observer) {
   // The admission test is the pure capacity ratio even when the hot-spot
   // penalty inflates the selection cost. With the penalty disabled the two
   // coincide, and "minimum cost > 1" means no candidate fits — matching the
@@ -76,12 +78,20 @@ void decide(const Candidate& chosen, TimePoint decision, CounterLedger& counters
   const Request& r = *chosen.request;
   if (candidate_cost(counters, chosen, 0.0) > 1.0 + 1e-12) {
     result.rejected.push_back(r.id);
+    if (observer != nullptr) {
+      obs::note_rejected(
+          observer, r.id, decision,
+          obs::classify_saturation(
+              counters.ingress_util_with(r.ingress, chosen.bw) <= 1.0 + 1e-12,
+              counters.egress_util_with(r.egress, chosen.bw) <= 1.0 + 1e-12));
+    }
     return;
   }
   counters.allocate(r.ingress, r.egress, chosen.bw);
   result.schedule.accept(r.id, decision, chosen.bw);
-  completions.push(
-      Completion{decision + r.volume / chosen.bw, r.ingress, r.egress, chosen.bw});
+  obs::note_accepted(observer, r.id, decision, decision, chosen.bw);
+  completions.push(Completion{decision + r.volume / chosen.bw, r.id, r.ingress,
+                              r.egress, chosen.bw});
 }
 
 /// Reference engine: re-evaluate every remaining candidate per admission.
@@ -89,7 +99,8 @@ void drain_by_scan(std::vector<Candidate>& candidates, const WindowOptions& opti
                    TimePoint decision, CounterLedger& counters,
                    std::priority_queue<Completion, std::vector<Completion>, LaterFinish>&
                        completions,
-                   ScheduleResult& result, std::vector<double>& cost_scratch) {
+                   ScheduleResult& result, std::vector<double>& cost_scratch,
+                   obs::Observer* observer) {
   while (!candidates.empty()) {
     cost_scratch.resize(candidates.size());
     double min_cost = std::numeric_limits<double>::infinity();
@@ -107,7 +118,7 @@ void drain_by_scan(std::vector<Candidate>& candidates, const WindowOptions& opti
     const Candidate chosen = candidates[best];
     candidates[best] = candidates.back();
     candidates.pop_back();
-    decide(chosen, decision, counters, completions, result);
+    decide(chosen, decision, counters, completions, result, observer);
   }
 }
 
@@ -132,7 +143,8 @@ void drain_by_heap(std::vector<Candidate>& candidates, const WindowOptions& opti
                    TimePoint decision, CounterLedger& counters,
                    std::priority_queue<Completion, std::vector<Completion>, LaterFinish>&
                        completions,
-                   ScheduleResult& result, std::vector<HeapEntry>& tie_scratch) {
+                   ScheduleResult& result, std::vector<HeapEntry>& tie_scratch,
+                   obs::Observer* observer) {
   std::priority_queue<HeapEntry, std::vector<HeapEntry>, WorseEntry> heap;
   for (std::size_t k = 0; k < candidates.size(); ++k) {
     heap.push(HeapEntry{selection_cost(counters, candidates[k], options),
@@ -170,7 +182,7 @@ void drain_by_heap(std::vector<Candidate>& candidates, const WindowOptions& opti
     for (std::size_t k = 0; k < tie_scratch.size(); ++k) {
       if (k != chosen_at) heap.push(tie_scratch[k]);
     }
-    decide(candidates[slot], decision, counters, completions, result);
+    decide(candidates[slot], decision, counters, completions, result, observer);
   }
   candidates.clear();
 }
@@ -196,19 +208,30 @@ std::string to_string(WindowEngine engine) {
 
 ScheduleResult schedule_flexible_window(const Network& network,
                                         std::span<const Request> requests,
-                                        const WindowOptions& options) {
-  if (!options.step.is_positive()) {
-    throw std::invalid_argument{"schedule_flexible_window: step must be positive"};
+                                        const WindowOptions& options,
+                                        obs::Observer* observer) {
+  // Written as negated >= / <= so NaN fails every gate (NaN comparisons are
+  // false, so `step < x` style checks would wave NaN straight through).
+  if (!options.step.is_positive() || !std::isfinite(options.step.to_seconds())) {
+    throw std::invalid_argument{
+        "schedule_flexible_window: step must be positive and finite"};
+  }
+  if (!(options.hotspot_weight >= 0.0) || !std::isfinite(options.hotspot_weight)) {
+    throw std::invalid_argument{
+        "schedule_flexible_window: hotspot_weight must be finite and >= 0"};
   }
 
   ScheduleResult result;
   std::vector<Request> order;
   order.reserve(requests.size());
   for (const Request& r : requests) {
+    obs::note_submitted(observer, r.id, r.release);
     // Degenerate windows cannot carry any volume; reject them up front so
     // their infinite MinRate never reaches the cost computations.
     if (!(r.deadline > r.release)) {
       result.rejected.push_back(r.id);
+      obs::note_rejected(observer, r.id, r.release,
+                         obs::RejectReason::kDegenerateWindow);
       continue;
     }
     order.push_back(r);
@@ -238,6 +261,8 @@ ScheduleResult schedule_flexible_window(const Network& network,
       } else {
         // Even MaxRate cannot finish the transfer from the decision instant.
         result.rejected.push_back(r.id);
+        obs::note_rejected(observer, r.id, decision,
+                           obs::RejectReason::kInfeasibleRate);
       }
     }
 
@@ -246,6 +271,7 @@ ScheduleResult schedule_flexible_window(const Network& network,
       const Completion done = completions.top();
       completions.pop();
       counters.reclaim(done.ingress, done.egress, done.bw);
+      obs::note_reclaimed(observer, done.request, done.finish, done.bw);
     }
 
     // Repeatedly admit the best candidate (by the configured order) while
@@ -253,11 +279,11 @@ ScheduleResult schedule_flexible_window(const Network& network,
     switch (options.engine) {
       case WindowEngine::kScan:
         drain_by_scan(candidates, options, decision, counters, completions, result,
-                      cost_scratch);
+                      cost_scratch, observer);
         break;
       case WindowEngine::kHeap:
         drain_by_heap(candidates, options, decision, counters, completions, result,
-                      tie_scratch);
+                      tie_scratch, observer);
         break;
     }
 
@@ -265,6 +291,17 @@ ScheduleResult schedule_flexible_window(const Network& network,
     // workloads do not spin through empty intervals.
     if (next_arrival < order.size()) {
       interval_start = gridbw::max(decision, order[next_arrival].release);
+    }
+  }
+
+  // Close every accepted transfer's lifecycle in the trace (observability
+  // only; without an observer the ledger dies with the function).
+  if (observer != nullptr) {
+    while (!completions.empty()) {
+      const Completion done = completions.top();
+      completions.pop();
+      counters.reclaim(done.ingress, done.egress, done.bw);
+      obs::note_reclaimed(observer, done.request, done.finish, done.bw);
     }
   }
   return result;

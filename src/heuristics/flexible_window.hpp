@@ -26,6 +26,7 @@
 #include "core/request.hpp"
 #include "core/schedule.hpp"
 #include "heuristics/bandwidth_policy.hpp"
+#include "obs/observer.hpp"
 
 namespace gridbw::heuristics {
 
@@ -71,6 +72,7 @@ struct WindowOptions {
 
 [[nodiscard]] ScheduleResult schedule_flexible_window(const Network& network,
                                                       std::span<const Request> requests,
-                                                      const WindowOptions& options);
+                                                      const WindowOptions& options,
+                                                      obs::Observer* observer = nullptr);
 
 }  // namespace gridbw::heuristics

@@ -1,5 +1,6 @@
 #include "heuristics/parse.hpp"
 
+#include <cmath>
 #include <map>
 #include <sstream>
 #include <stdexcept>
@@ -79,19 +80,22 @@ NamedScheduler parse_scheduler(const std::string& spec) {
 
   if (kind == "fcfs") {
     if (!rest.empty()) fail(spec, "fcfs takes no options");
-    return NamedScheduler{"FCFS", [](const Network& n, std::span<const Request> r) {
-                            return schedule_rigid_fcfs(n, r);
-                          }};
+    return NamedScheduler{
+        "FCFS",
+        [](const Network& n, std::span<const Request> r, obs::Observer* observer) {
+          return schedule_rigid_fcfs(n, r, observer);
+        }};
   }
   if (kind == "cumulated" || kind == "minbw" || kind == "minvol") {
     if (!rest.empty()) fail(spec, kind + " takes no options");
     const SlotCost cost = kind == "cumulated" ? SlotCost::kCumulated
                           : kind == "minbw"   ? SlotCost::kMinBandwidth
                                               : SlotCost::kMinVolume;
-    return NamedScheduler{to_string(cost),
-                          [cost](const Network& n, std::span<const Request> r) {
-                            return schedule_rigid_slots(n, r, cost);
-                          }};
+    return NamedScheduler{
+        to_string(cost),
+        [cost](const Network& n, std::span<const Request> r, obs::Observer* observer) {
+          return schedule_rigid_slots(n, r, cost, observer);
+        }};
   }
   if (kind == "greedy") {
     Options opts = Options::parse(spec, rest);
@@ -104,10 +108,12 @@ NamedScheduler parse_scheduler(const std::string& spec) {
     WindowOptions w;
     w.policy = take_policy(spec, opts);
     const double step = opts.number(spec, "step", 400.0);
-    if (step <= 0.0) fail(spec, "step must be positive");
+    if (!(step > 0.0) || !std::isfinite(step)) fail(spec, "step must be positive");
     w.step = Duration::seconds(step);
     w.hotspot_weight = opts.number(spec, "hotspot", 0.0);
-    if (w.hotspot_weight < 0.0) fail(spec, "hotspot weight must be >= 0");
+    if (!(w.hotspot_weight >= 0.0) || !std::isfinite(w.hotspot_weight)) {
+      fail(spec, "hotspot weight must be >= 0");
+    }
     opts.expect_empty(spec);
     return make_window(w);
   }
@@ -116,18 +122,19 @@ NamedScheduler parse_scheduler(const std::string& spec) {
     BookAheadOptions b;
     b.policy = take_policy(spec, opts);
     const double step = opts.number(spec, "step", 400.0);
-    if (step <= 0.0) fail(spec, "step must be positive");
+    if (!(step > 0.0) || !std::isfinite(step)) fail(spec, "step must be positive");
     b.step = Duration::seconds(step);
     const double ahead = opts.number(spec, "ahead", 4.0);
-    if (ahead < 0.0) fail(spec, "ahead must be >= 0");
+    if (!(ahead >= 0.0) || !std::isfinite(ahead)) fail(spec, "ahead must be >= 0");
     b.max_book_ahead = static_cast<std::size_t>(ahead);
     opts.expect_empty(spec);
     std::string name = "bookahead" + std::to_string(static_cast<int>(step)) + "x" +
                        std::to_string(b.max_book_ahead) + "/" + b.policy.name();
-    return NamedScheduler{std::move(name),
-                          [b](const Network& n, std::span<const Request> r) {
-                            return schedule_flexible_bookahead(n, r, b);
-                          }};
+    return NamedScheduler{
+        std::move(name),
+        [b](const Network& n, std::span<const Request> r, obs::Observer* observer) {
+          return schedule_flexible_bookahead(n, r, b, observer);
+        }};
   }
   fail(spec, "unknown scheduler kind '" + kind + "'");
 }

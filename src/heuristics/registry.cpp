@@ -11,33 +11,37 @@ namespace gridbw::heuristics {
 std::vector<NamedScheduler> rigid_schedulers() {
   std::vector<NamedScheduler> all;
   all.push_back(NamedScheduler{
-      "FCFS", [](const Network& n, std::span<const Request> r) {
-        return schedule_rigid_fcfs(n, r);
+      "FCFS",
+      [](const Network& n, std::span<const Request> r, obs::Observer* observer) {
+        return schedule_rigid_fcfs(n, r, observer);
       }});
   for (SlotCost cost :
        {SlotCost::kCumulated, SlotCost::kMinBandwidth, SlotCost::kMinVolume}) {
     all.push_back(NamedScheduler{
-        to_string(cost), [cost](const Network& n, std::span<const Request> r) {
-          return schedule_rigid_slots(n, r, cost);
+        to_string(cost),
+        [cost](const Network& n, std::span<const Request> r, obs::Observer* observer) {
+          return schedule_rigid_slots(n, r, cost, observer);
         }});
   }
   return all;
 }
 
 NamedScheduler make_greedy(BandwidthPolicy policy) {
-  return NamedScheduler{"greedy/" + policy.name(),
-                        [policy](const Network& n, std::span<const Request> r) {
-                          return schedule_flexible_greedy(n, r, policy);
-                        }};
+  return NamedScheduler{
+      "greedy/" + policy.name(),
+      [policy](const Network& n, std::span<const Request> r, obs::Observer* observer) {
+        return schedule_flexible_greedy(n, r, policy, observer);
+      }};
 }
 
 NamedScheduler make_window(WindowOptions options) {
   std::array<char, 64> buf{};
   std::snprintf(buf.data(), buf.size(), "window%.0f/", options.step.to_seconds());
-  return NamedScheduler{std::string{buf.data()} + options.policy.name(),
-                        [options](const Network& n, std::span<const Request> r) {
-                          return schedule_flexible_window(n, r, options);
-                        }};
+  return NamedScheduler{
+      std::string{buf.data()} + options.policy.name(),
+      [options](const Network& n, std::span<const Request> r, obs::Observer* observer) {
+        return schedule_flexible_window(n, r, options, observer);
+      }};
 }
 
 }  // namespace gridbw::heuristics

@@ -9,6 +9,8 @@
 #include <functional>
 #include <span>
 #include <string>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "core/network.hpp"
@@ -17,12 +19,38 @@
 #include "heuristics/bandwidth_policy.hpp"
 #include "heuristics/flexible_window.hpp"
 #include "heuristics/rigid_slots.hpp"
+#include "obs/observer.hpp"
 
 namespace gridbw::heuristics {
 
 struct NamedScheduler {
+  using Run = std::function<ScheduleResult(const Network&, std::span<const Request>,
+                                           obs::Observer*)>;
+
+  NamedScheduler() = default;
+
+  /// Accepts both observer-aware callables (3 args) and legacy 2-arg ones;
+  /// the latter are adapted by dropping the observer, so pre-observability
+  /// construction sites keep compiling unchanged.
+  template <typename F>
+  NamedScheduler(std::string scheduler_name, F fn) : name{std::move(scheduler_name)} {
+    if constexpr (std::is_invocable_r_v<ScheduleResult, F&, const Network&,
+                                        std::span<const Request>, obs::Observer*>) {
+      run_fn = std::move(fn);
+    } else {
+      run_fn = [f = std::move(fn)](const Network& n, std::span<const Request> r,
+                                   obs::Observer*) { return f(n, r); };
+    }
+  }
+
+  [[nodiscard]] ScheduleResult run(const Network& network,
+                                   std::span<const Request> requests,
+                                   obs::Observer* observer = nullptr) const {
+    return run_fn(network, requests, observer);
+  }
+
   std::string name;
-  std::function<ScheduleResult(const Network&, std::span<const Request>)> run;
+  Run run_fn;
 };
 
 /// FCFS + the three *-SLOTS variants (the Fig. 4 line-up).

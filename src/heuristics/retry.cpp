@@ -26,6 +26,7 @@ struct LaterSubmission {
 
 struct Completion {
   TimePoint finish;
+  RequestId request;
   IngressId ingress;
   EgressId egress;
   Bandwidth bw;
@@ -42,15 +43,21 @@ struct LaterFinish {
 RetryResult schedule_greedy_with_retries(const Network& network,
                                          std::span<const Request> requests,
                                          BandwidthPolicy policy,
-                                         const RetryPolicy& retry) {
+                                         const RetryPolicy& retry,
+                                         obs::Observer* observer) {
   if (retry.max_attempts == 0) {
     throw std::invalid_argument{"schedule_greedy_with_retries: need >= 1 attempt"};
   }
-  if (retry.backoff_factor < 1.0) {
-    throw std::invalid_argument{"schedule_greedy_with_retries: backoff factor < 1"};
+  // Negated >= so NaN fails the gate (`x < 1.0` is false for NaN and used to
+  // wave NaN factors straight into the pow() below).
+  if (!(retry.backoff_factor >= 1.0) || !std::isfinite(retry.backoff_factor)) {
+    throw std::invalid_argument{
+        "schedule_greedy_with_retries: backoff factor must be finite and >= 1"};
   }
-  if (retry.initial_backoff.is_negative()) {
-    throw std::invalid_argument{"schedule_greedy_with_retries: negative backoff"};
+  if (!(retry.initial_backoff.to_seconds() >= 0.0) ||
+      !std::isfinite(retry.initial_backoff.to_seconds())) {
+    throw std::invalid_argument{
+        "schedule_greedy_with_retries: initial backoff must be finite and >= 0"};
   }
 
   std::priority_queue<Submission, std::vector<Submission>, LaterSubmission> queue;
@@ -67,14 +74,18 @@ RetryResult schedule_greedy_with_retries(const Network& network,
       const Completion done = completions.top();
       completions.pop();
       counters.reclaim(done.ingress, done.egress, done.bw);
+      obs::note_reclaimed(observer, done.request, done.finish, done.bw);
     }
 
     const Request& r = sub.request;
+    if (sub.attempt == 1) obs::note_submitted(observer, r.id, sub.when);
     const auto bw = policy.assign(r, sub.when);
     if (bw.has_value() && counters.fits(r.ingress, r.egress, *bw)) {
       counters.allocate(r.ingress, r.egress, *bw);
       out.result.schedule.accept(r.id, sub.when, *bw);
-      completions.push(Completion{sub.when + r.volume / *bw, r.ingress, r.egress, *bw});
+      obs::note_accepted(observer, r.id, sub.when, sub.when, *bw, sub.attempt);
+      completions.push(
+          Completion{sub.when + r.volume / *bw, r.id, r.ingress, r.egress, *bw});
       if (sub.attempt > 1) ++out.accepted_on_retry;
       out.effective_requests.push_back(r);
       continue;
@@ -92,10 +103,44 @@ RetryResult schedule_greedy_with_retries(const Network& network,
       shifted.deadline = shifted.release + window;
       queue.push(Submission{shifted.release, shifted, sub.attempt + 1});
       ++out.retries_issued;
+      obs::note_retried(observer, r.id, sub.when, sub.attempt + 1, backoff);
     } else {
       out.result.rejected.push_back(r.id);
       out.effective_requests.push_back(r);
+      if (observer != nullptr) {
+        obs::RejectReason reason = obs::RejectReason::kRetriesExhausted;
+        if (retry.max_attempts == 1) {
+          reason = bw.has_value()
+                       ? obs::classify_saturation(counters.fits_ingress(r.ingress, *bw),
+                                                  counters.fits_egress(r.egress, *bw))
+                       : obs::RejectReason::kInfeasibleRate;
+        }
+        obs::note_rejected(observer, r.id, sub.when, reason, sub.attempt);
+      }
     }
+  }
+
+  // Drain the completions left after the last submission: the transfers
+  // still in flight return their bandwidth, so the ledger ends empty. The
+  // residual gauge records whatever occupancy survives the drain — zero by
+  // construction, and asserted by the regression tests (the drain used to be
+  // skipped entirely, leaving the final occupancy stuck at its peak).
+  while (!completions.empty()) {
+    const Completion done = completions.top();
+    completions.pop();
+    counters.reclaim(done.ingress, done.egress, done.bw);
+    obs::note_reclaimed(observer, done.request, done.finish, done.bw);
+  }
+  if (observer != nullptr) {
+    double residual = 0.0;
+    for (std::size_t p = 0; p < network.ingress_count(); ++p) {
+      residual += counters.allocated_ingress(IngressId{p}).to_bytes_per_second();
+    }
+    for (std::size_t p = 0; p < network.egress_count(); ++p) {
+      residual += counters.allocated_egress(EgressId{p}).to_bytes_per_second();
+    }
+    observer->gauge(obs::Counter::kRetryResidualBps,
+                    static_cast<std::uint64_t>(residual));
   }
   return out;
 }

@@ -19,15 +19,17 @@
 #include "core/request.hpp"
 #include "core/schedule.hpp"
 #include "heuristics/bandwidth_policy.hpp"
+#include "obs/observer.hpp"
 
 namespace gridbw::heuristics {
 
 struct RetryPolicy {
   /// Total submission attempts per request (1 = no retries).
   std::size_t max_attempts{3};
-  /// Delay before the first retry.
+  /// Delay before the first retry. Must be finite and non-negative.
   Duration initial_backoff{Duration::seconds(60)};
-  /// Each further retry multiplies the backoff by this factor (>= 1).
+  /// Each further retry multiplies the backoff by this factor. Must be
+  /// finite and >= 1.
   double backoff_factor{2.0};
 };
 
@@ -46,6 +48,7 @@ struct RetryResult {
 [[nodiscard]] RetryResult schedule_greedy_with_retries(const Network& network,
                                                        std::span<const Request> requests,
                                                        BandwidthPolicy policy,
-                                                       const RetryPolicy& retry);
+                                                       const RetryPolicy& retry,
+                                                       obs::Observer* observer = nullptr);
 
 }  // namespace gridbw::heuristics

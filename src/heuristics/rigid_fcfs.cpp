@@ -7,14 +7,18 @@
 namespace gridbw::heuristics {
 
 ScheduleResult schedule_rigid_fcfs(const Network& network,
-                                   std::span<const Request> requests) {
+                                   std::span<const Request> requests,
+                                   obs::Observer* observer) {
   ScheduleResult result;
   std::vector<Request> order;
   order.reserve(requests.size());
   for (const Request& r : requests) {
+    obs::note_submitted(observer, r.id, r.release);
     // A non-positive window has an infinite MinRate; reject it up front.
     if (!(r.deadline > r.release)) {
       result.rejected.push_back(r.id);
+      obs::note_rejected(observer, r.id, r.release,
+                         obs::RejectReason::kDegenerateWindow);
       continue;
     }
     order.push_back(r);
@@ -22,14 +26,25 @@ ScheduleResult schedule_rigid_fcfs(const Network& network,
   sort_fcfs(order);
 
   NetworkLedger ledger{network};
+  ledger.attach_observer(observer);
   for (const Request& r : order) {
     const Bandwidth bw = r.min_rate();  // rigid: the one admissible rate
     if (approx_le(bw, r.max_rate) &&
         ledger.fits(r.ingress, r.egress, r.release, r.deadline, bw)) {
       ledger.reserve(r.ingress, r.egress, r.release, r.deadline, bw);
       result.schedule.accept(r.id, r.release, bw);
+      obs::note_accepted(observer, r.id, r.release, r.release, bw);
     } else {
       result.rejected.push_back(r.id);
+      if (observer != nullptr) {
+        obs::RejectReason reason = obs::RejectReason::kInfeasibleRate;
+        if (approx_le(bw, r.max_rate)) {
+          reason = obs::classify_saturation(
+              ledger.fits_ingress(r.ingress, r.release, r.deadline, bw),
+              ledger.fits_egress(r.egress, r.release, r.deadline, bw));
+        }
+        obs::note_rejected(observer, r.id, r.release, reason);
+      }
     }
   }
   return result;

@@ -14,10 +14,12 @@
 #include "core/network.hpp"
 #include "core/request.hpp"
 #include "core/schedule.hpp"
+#include "obs/observer.hpp"
 
 namespace gridbw::heuristics {
 
 [[nodiscard]] ScheduleResult schedule_rigid_fcfs(const Network& network,
-                                                 std::span<const Request> requests);
+                                                 std::span<const Request> requests,
+                                                 obs::Observer* observer = nullptr);
 
 }  // namespace gridbw::heuristics

@@ -57,25 +57,67 @@ SweepSetup prepare_sweep(std::span<const Request> requests) {
 
 /// Final accept/reject assembly, identical for both engines.
 ScheduleResult assemble(std::span<const Request> requests,
-                        const std::vector<char>& alive) {
+                        const std::vector<char>& alive, obs::Observer* observer) {
   ScheduleResult result;
   for (std::size_t k = 0; k < requests.size(); ++k) {
     const Request& r = requests[k];
     if (alive[k] && approx_le(r.min_rate(), r.max_rate)) {
       result.schedule.accept(r.id, r.release, r.min_rate());
+      obs::note_accepted(observer, r.id, r.release, r.release, r.min_rate());
     } else {
       result.rejected.push_back(r.id);
+      if (observer != nullptr) {
+        obs::RejectReason reason = obs::RejectReason::kRetroRemoved;
+        if (!(r.deadline > r.release)) {
+          reason = obs::RejectReason::kDegenerateWindow;
+        } else if (!approx_le(r.min_rate(), r.max_rate)) {
+          reason = obs::RejectReason::kInfeasibleRate;
+        }
+        obs::note_rejected(observer, r.id, r.release, reason);
+      }
     }
   }
   return result;
 }
 
+/// Returns a per-request retro-removal timestamp buffer, pre-filled with
+/// each request's release so "never removed" compares as "not preempted".
+/// Empty (no allocation) when there is no observer.
+std::vector<TimePoint> make_removal_clock(std::span<const Request> requests,
+                                          obs::Observer* observer) {
+  std::vector<TimePoint> removed_at;
+  if (observer != nullptr) {
+    removed_at.reserve(requests.size());
+    for (const Request& r : requests) removed_at.push_back(r.release);
+  }
+  return removed_at;
+}
+
+/// Emits a preempted event for every retro-removed request that had held
+/// bandwidth in an earlier slice (dropped strictly after its release).
+/// Kept out of the sweep loops: even a never-taken out-of-line call on the
+/// removal path bloats the admission loop measurably, so the sweeps record
+/// plain timestamp stores and the narration happens once, here.
+void narrate_preemptions(std::span<const Request> requests,
+                         const std::vector<char>& alive,
+                         const std::vector<TimePoint>& removed_at,
+                         obs::Observer* observer) {
+  if (observer == nullptr) return;
+  for (std::size_t k = 0; k < requests.size(); ++k) {
+    if (!alive[k] && requests[k].release < removed_at[k]) {
+      obs::note_preempted(observer, requests[k].id, removed_at[k]);
+    }
+  }
+}
+
 /// Paper-literal reference: every slice re-sorts the active set and rebuilds
 /// a fresh CounterLedger. Kept as the differential-test oracle.
 ScheduleResult sweep_rebuild(const Network& network, std::span<const Request> requests,
-                             SlotCost cost, SweepSetup& s, SlotsTelemetry* telemetry) {
+                             SlotCost cost, SweepSetup& s, SlotsTelemetry* telemetry,
+                             obs::Observer* observer) {
   std::size_t next_release = 0;
   std::vector<std::size_t> running;
+  std::vector<TimePoint> removed_at = make_removal_clock(requests, observer);
 
   CounterLedger counters{network};
   for (std::size_t b = 0; b + 1 < s.boundaries.size(); ++b) {
@@ -117,10 +159,12 @@ ScheduleResult sweep_rebuild(const Network& network, std::span<const Request> re
         // slices already processed keep their decisions (the paper frees
         // the bookkeeping but does not revisit them).
         s.alive[k] = 0;
+        if (observer != nullptr) removed_at[k] = t1;
       }
     }
   }
-  return assemble(requests, s.alive);
+  narrate_preemptions(requests, s.alive, removed_at, observer);
+  return assemble(requests, s.alive, observer);
 }
 
 /// Incremental engine. The sorted active set and the AdmissionLedger
@@ -133,7 +177,8 @@ ScheduleResult sweep_rebuild(const Network& network, std::span<const Request> re
 /// that fits in one greedy order fits in all of them) and is skipped.
 ScheduleResult sweep_incremental(const Network& network,
                                  std::span<const Request> requests, SlotCost cost,
-                                 SweepSetup& s, SlotsTelemetry* telemetry) {
+                                 SweepSetup& s, SlotsTelemetry* telemetry,
+                                 obs::Observer* observer) {
   const bool cost_is_static = cost != SlotCost::kCumulated;
   const std::size_t n = requests.size();
 
@@ -156,6 +201,7 @@ ScheduleResult sweep_incremental(const Network& network,
   };
 
   AdmissionLedger book{network, n};
+  std::vector<TimePoint> removed_at = make_removal_clock(requests, observer);
   std::vector<std::size_t> order;  // active set, sorted by (cost, id)
   order.reserve(n);
   std::vector<std::size_t> newcomers;  // reusable per-slice scratch
@@ -256,9 +302,11 @@ ScheduleResult sweep_incremental(const Network& network,
       if (feasible[k] && book.try_admit(k, r.ingress, r.egress, rates[k])) continue;
       s.alive[k] = 0;  // retro-removal, permanent
       dirty = true;
+      if (observer != nullptr) removed_at[k] = t1;
     }
   }
-  return assemble(requests, s.alive);
+  narrate_preemptions(requests, s.alive, removed_at, observer);
+  return assemble(requests, s.alive, observer);
 }
 
 }  // namespace
@@ -301,19 +349,25 @@ double slot_cost(const Network& network, const Request& r, SlotCost cost, TimePo
 }
 
 ScheduleResult schedule_rigid_slots(const Network& network,
-                                    std::span<const Request> requests, SlotCost cost) {
-  return schedule_rigid_slots(network, requests, cost, SlotsEngine::kIncremental);
+                                    std::span<const Request> requests, SlotCost cost,
+                                    obs::Observer* observer) {
+  return schedule_rigid_slots(network, requests, cost, SlotsEngine::kIncremental,
+                              nullptr, observer);
 }
 
 ScheduleResult schedule_rigid_slots(const Network& network,
                                     std::span<const Request> requests, SlotCost cost,
-                                    SlotsEngine engine, SlotsTelemetry* telemetry) {
+                                    SlotsEngine engine, SlotsTelemetry* telemetry,
+                                    obs::Observer* observer) {
+  if (observer != nullptr) {
+    for (const Request& r : requests) obs::note_submitted(observer, r.id, r.release);
+  }
   SweepSetup setup = prepare_sweep(requests);
   switch (engine) {
     case SlotsEngine::kRebuild:
-      return sweep_rebuild(network, requests, cost, setup, telemetry);
+      return sweep_rebuild(network, requests, cost, setup, telemetry, observer);
     case SlotsEngine::kIncremental:
-      return sweep_incremental(network, requests, cost, setup, telemetry);
+      return sweep_incremental(network, requests, cost, setup, telemetry, observer);
   }
   throw std::logic_error{"schedule_rigid_slots: bad engine"};
 }

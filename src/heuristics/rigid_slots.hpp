@@ -24,6 +24,7 @@
 #include "core/network.hpp"
 #include "core/request.hpp"
 #include "core/schedule.hpp"
+#include "obs/observer.hpp"
 
 namespace gridbw::heuristics {
 
@@ -65,11 +66,13 @@ struct SlotsTelemetry {
 /// Runs the slice sweep with the default (incremental) engine.
 [[nodiscard]] ScheduleResult schedule_rigid_slots(const Network& network,
                                                   std::span<const Request> requests,
-                                                  SlotCost cost);
+                                                  SlotCost cost,
+                                                  obs::Observer* observer = nullptr);
 
 [[nodiscard]] ScheduleResult schedule_rigid_slots(const Network& network,
                                                   std::span<const Request> requests,
                                                   SlotCost cost, SlotsEngine engine,
-                                                  SlotsTelemetry* telemetry = nullptr);
+                                                  SlotsTelemetry* telemetry = nullptr,
+                                                  obs::Observer* observer = nullptr);
 
 }  // namespace gridbw::heuristics

@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <vector>
 
 #include "core/validate.hpp"
@@ -235,6 +236,25 @@ TEST(FlexibleWindow, RejectsNonPositiveStep) {
   WindowOptions opt;
   opt.step = Duration::zero();
   EXPECT_THROW((void)schedule_flexible_window(net, std::vector<Request>{}, opt),
+               std::invalid_argument);
+}
+
+TEST(FlexibleWindow, RejectsNonFiniteOptions) {
+  // Regression: NaN satisfies neither `x < 1.0` nor `x <= 0` style gates,
+  // so non-finite options used to pass validation silently.
+  const Network net = Network::uniform(1, 1, mbps(100));
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  WindowOptions nan_step;
+  nan_step.step = Duration::seconds(nan);
+  EXPECT_THROW((void)schedule_flexible_window(net, std::vector<Request>{}, nan_step),
+               std::invalid_argument);
+  WindowOptions inf_step;
+  inf_step.step = Duration::seconds(std::numeric_limits<double>::infinity());
+  EXPECT_THROW((void)schedule_flexible_window(net, std::vector<Request>{}, inf_step),
+               std::invalid_argument);
+  WindowOptions nan_hotspot;
+  nan_hotspot.hotspot_weight = nan;
+  EXPECT_THROW((void)schedule_flexible_window(net, std::vector<Request>{}, nan_hotspot),
                std::invalid_argument);
 }
 

@@ -49,6 +49,11 @@ TEST(ParseScheduler, ErrorsNameTheProblem) {
   EXPECT_THROW((void)parse_scheduler("greedy:minrate,f=0.5"), std::invalid_argument);
   EXPECT_THROW((void)parse_scheduler("greedy:f=0.5,f=0.8"), std::invalid_argument);
   EXPECT_THROW((void)parse_scheduler("bookahead:ahead=-1"), std::invalid_argument);
+  // std::stod parses "nan"/"inf" — the numeric gates must still refuse them.
+  EXPECT_THROW((void)parse_scheduler("window:step=nan"), std::invalid_argument);
+  EXPECT_THROW((void)parse_scheduler("window:step=inf"), std::invalid_argument);
+  EXPECT_THROW((void)parse_scheduler("window:hotspot=nan"), std::invalid_argument);
+  EXPECT_THROW((void)parse_scheduler("bookahead:ahead=nan"), std::invalid_argument);
 }
 
 TEST(ParseScheduler, GrammarMentionsEveryKind) {

@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <vector>
 
 #include "control/policer.hpp"
@@ -74,6 +75,58 @@ TEST(Policer, RejectsBadOptions) {
 TEST(Policer, RejectsNonPositiveRates) {
   const std::vector<PolicedFlow> flows{{1, Bandwidth::zero(), mbps(10)}};
   EXPECT_THROW((void)police_flows(flows, Duration::seconds(1)), std::invalid_argument);
+}
+
+TEST(Policer, DurationShorterThanQuantumStillPolices) {
+  // Regression: duration < quantum used to truncate to zero steps and
+  // return an all-zero report. The tail is now simulated as one shortened
+  // final tick covering the whole duration.
+  const std::vector<PolicedFlow> flows{{1, mbps(50), mbps(50)}};
+  const auto report = police_flows(flows, Duration::seconds(0.4));
+  ASSERT_EQ(report.flows.size(), 1u);
+  EXPECT_NEAR(report.flows[0].offered.to_bytes(), 50e6 * 0.4, 1.0);
+  EXPECT_NEAR(report.flows[0].delivery_ratio(), 1.0, 1e-9);
+  EXPECT_GT(report.peak_aggregate.to_bytes_per_second(), 0.0);
+}
+
+TEST(Policer, PartialFinalQuantumIsNotDropped) {
+  // Regression: a 2.5 s horizon with a 1 s quantum used to account only
+  // 2 s of traffic. The 0.5 s remainder is a genuine tick.
+  const std::vector<PolicedFlow> flows{{1, mbps(40), mbps(40)}};
+  const auto report = police_flows(flows, Duration::seconds(2.5));
+  EXPECT_NEAR(report.flows[0].offered.to_bytes(), 40e6 * 2.5, 1.0);
+  EXPECT_NEAR(report.flows[0].delivered.to_bytes(), 40e6 * 2.5, 40e6 * 0.01);
+}
+
+TEST(Policer, ExactMultipleOfQuantumAddsNoExtraTick) {
+  const std::vector<PolicedFlow> flows{{1, mbps(30), mbps(30)}};
+  const auto report = police_flows(flows, Duration::seconds(3));
+  EXPECT_NEAR(report.flows[0].offered.to_bytes(), 30e6 * 3, 1.0);
+}
+
+TEST(Policer, RejectsNonFiniteOptions) {
+  // `x < 1.0` is false for NaN — the gates must reject non-finite values
+  // rather than let them through a naive comparison.
+  const std::vector<PolicedFlow> flows{{1, mbps(10), mbps(10)}};
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+
+  PolicerOptions nan_burst;
+  nan_burst.burst_quanta = nan;
+  EXPECT_THROW((void)police_flows(flows, Duration::seconds(1), nan_burst),
+               std::invalid_argument);
+  PolicerOptions inf_burst;
+  inf_burst.burst_quanta = inf;
+  EXPECT_THROW((void)police_flows(flows, Duration::seconds(1), inf_burst),
+               std::invalid_argument);
+  PolicerOptions nan_quantum;
+  nan_quantum.quantum = Duration::seconds(nan);
+  EXPECT_THROW((void)police_flows(flows, Duration::seconds(1), nan_quantum),
+               std::invalid_argument);
+  EXPECT_THROW((void)police_flows(flows, Duration::seconds(nan)),
+               std::invalid_argument);
+  EXPECT_THROW((void)police_flows(flows, Duration::seconds(inf)),
+               std::invalid_argument);
 }
 
 TEST(Policer, EmptyFlowSet) {

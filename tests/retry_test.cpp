@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <vector>
 
 #include "core/validate.hpp"
@@ -144,6 +145,36 @@ TEST(Retry, Validation) {
   bad2.backoff_factor = 0.5;
   EXPECT_THROW((void)schedule_greedy_with_retries(net, std::vector<Request>{},
                                                   BandwidthPolicy::min_rate(), bad2),
+               std::invalid_argument);
+}
+
+TEST(Retry, RejectsNonFinitePolicy) {
+  // Regression: `backoff_factor < 1.0` is false for NaN, so a NaN policy
+  // used to slip past validation and poison every backoff computation.
+  const Network net = Network::uniform(1, 1, mbps(100));
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+
+  RetryPolicy nan_factor;
+  nan_factor.backoff_factor = nan;
+  EXPECT_THROW((void)schedule_greedy_with_retries(net, std::vector<Request>{},
+                                                  BandwidthPolicy::min_rate(), nan_factor),
+               std::invalid_argument);
+  RetryPolicy inf_factor;
+  inf_factor.backoff_factor = inf;
+  EXPECT_THROW((void)schedule_greedy_with_retries(net, std::vector<Request>{},
+                                                  BandwidthPolicy::min_rate(), inf_factor),
+               std::invalid_argument);
+  RetryPolicy nan_backoff;
+  nan_backoff.initial_backoff = Duration::seconds(nan);
+  EXPECT_THROW((void)schedule_greedy_with_retries(net, std::vector<Request>{},
+                                                  BandwidthPolicy::min_rate(), nan_backoff),
+               std::invalid_argument);
+  RetryPolicy negative_backoff;
+  negative_backoff.initial_backoff = Duration::seconds(-1);
+  EXPECT_THROW((void)schedule_greedy_with_retries(net, std::vector<Request>{},
+                                                  BandwidthPolicy::min_rate(),
+                                                  negative_backoff),
                std::invalid_argument);
 }
 

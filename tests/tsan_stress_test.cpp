@@ -24,6 +24,7 @@
 
 #include "core/timeline_profile.hpp"
 #include "core/validate.hpp"
+#include "obs/counters.hpp"
 #include "util/thread_pool.hpp"
 #include "workload/generator.hpp"
 #include "workload/load.hpp"
@@ -131,6 +132,44 @@ TEST(TsanStress, ParallelForIndexExceptionPropagationUnderLoad) {
       EXPECT_STREQ(e.what(), "3") << "round " << round;
     }
   }
+}
+
+TEST(TsanStress, CounterRegistryHammeredFromPoolMergesExactly) {
+  // The observability counters take relaxed atomic adds on per-thread
+  // shards; the merge must be exact once writers quiesce, independent of
+  // how the pool interleaved them. Under TSan this also proves the
+  // shard-growth lock and the thread-local shard cache are race-free.
+  obs::CounterRegistry registry;
+  ThreadPool pool{8};
+  constexpr std::size_t kTasks = 512;
+  constexpr std::uint64_t kPerTask = 1000;
+  parallel_for_index(pool, kTasks, [&](std::size_t) {
+    for (std::uint64_t k = 0; k < kPerTask; ++k) {
+      registry.add(obs::Counter::kSubmitted);
+      if (k % 3 == 0) registry.add(obs::Counter::kAccepted, 2);
+    }
+    // Concurrent reads must see a consistent lower bound, never garbage.
+    if (registry.value(obs::Counter::kSubmitted) > kTasks * kPerTask) {
+      ADD_FAILURE() << "merged value overshot the writers";
+    }
+  });
+  EXPECT_EQ(registry.value(obs::Counter::kSubmitted), kTasks * kPerTask);
+  EXPECT_EQ(registry.value(obs::Counter::kAccepted),
+            2 * kTasks * ((kPerTask + 2) / 3));
+  registry.reset();
+  EXPECT_EQ(registry.value(obs::Counter::kSubmitted), 0u);
+}
+
+TEST(TsanStress, TwoRegistriesHammeredConcurrentlyStayIsolated) {
+  obs::CounterRegistry a;
+  obs::CounterRegistry b;
+  ThreadPool pool{8};
+  parallel_for_index(pool, 256, [&](std::size_t i) {
+    obs::CounterRegistry& target = (i % 2 == 0) ? a : b;
+    for (int k = 0; k < 500; ++k) target.add(obs::Counter::kRejected);
+  });
+  EXPECT_EQ(a.value(obs::Counter::kRejected), 128u * 500u);
+  EXPECT_EQ(b.value(obs::Counter::kRejected), 128u * 500u);
 }
 
 TEST(TsanStress, SubmitRacingShutdownNeverDropsOrDeadlocks) {
