@@ -9,6 +9,8 @@
 #                               whole suite + TSan stress tests under
 #                               TSAN_OPTIONS=halt_on_error=1
 #   scripts/check.sh --asan     build with GRIDBW_SANITIZE=address, run suite
+#   scripts/check.sh --analyze  build tools/gridbw_analyze and run the
+#                               whole-tree scan against the committed baseline
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -46,10 +48,25 @@ case "$MODE" in
     echo "asan pass clean"
     exit 0
     ;;
+  --analyze)
+    # Build only the analyzer CLI (standalone: no gtest/benchmark needed),
+    # then scan the tree with the committed baseline.
+    if [ -f build/CMakeCache.txt ]; then
+      DIR=build
+    else
+      DIR=build-analyze
+      cmake -B "$DIR" -DCMAKE_BUILD_TYPE=Release
+    fi
+    cmake --build "$DIR" -j "$(nproc)" --target gridbw_analyze
+    ANALYZER="$DIR/tools/gridbw_analyze/gridbw_analyze"
+    "$ANALYZER" --root . --baseline tools/gridbw_analyze/baseline.txt
+    echo "analyze pass clean"
+    exit 0
+    ;;
   full|--quick)
     ;;
   *)
-    echo "check.sh: unknown mode '$MODE' (expected --quick, --tidy, --tsan, or --asan)" >&2
+    echo "check.sh: unknown mode '$MODE' (expected --quick, --tidy, --tsan, --asan, or --analyze)" >&2
     exit 2
     ;;
 esac

@@ -1,137 +1,40 @@
 #!/usr/bin/env python3
-"""gridbw-lint: domain rules the C++ compiler cannot enforce.
+"""gridbw-lint: repository hygiene for non-C++ assets.
+
+The C++ domain rules that used to live here (quantity-api, rng-locality,
+stepfunction-hot-path, wall-clock) are owned by the in-tree static analyzer
+now — `tools/gridbw_analyze` (ctest `gridbw_analyze`), which also enforces
+layering, unordered-iteration determinism, float formatting, and hot-path
+hygiene with proper lexing and a committed baseline. This script keeps the
+checks that are not about C++ sources at all.
 
 Run as a ctest (`ctest -R gridbw_lint`) or directly:
 
     python3 scripts/gridbw_lint.py --root .
 
-Rules (suppress a single line with a trailing `NOLINT(gridbw-<rule>)`):
+Rules:
 
-  gridbw-quantity-api
-      Public APIs under src/ must not take raw `double` parameters (or
-      declare struct members) whose names denote a dimensioned quantity —
-      bandwidth/rate, volume, capacity. Use the strong types from
-      util/quantity.hpp (Bandwidth, Volume, Duration, TimePoint) so unit
-      mistakes stay compile errors. Dimensionless scalars (fractions,
-      weights, factors, utilizations, tolerances) are fine as double.
+  gridbw-shell-strict
+      Every shell script under scripts/ runs under `set -euo pipefail` so a
+      failing build/test step can never be masked by a later command.
 
-  gridbw-rng-locality
-      Random engines are constructed only inside src/util/random.* so every
-      stream is seeded and derived through the one deterministic facility.
-      No std::mt19937 / std::random_device / rand() elsewhere in src/.
+  gridbw-json-parse
+      Every committed .json file (bench summaries, fixtures) parses. A
+      malformed summary would silently break the plotting/replication flow.
 
-  gridbw-stepfunction-hot-path
-      The std::map-backed StepFunction is the reference implementation kept
-      for differential testing. Hot paths use the flat TimelineProfile;
-      StepFunction may appear only in src/core/step_function.* and the
-      reference validator engine (src/core/validate.cpp).
-
-  gridbw-wall-clock
-      Deterministic code (everything under src/ except the experiment
-      harness's wall-clock timing tables) must not read real time:
-      no std::chrono::{system,steady,high_resolution}_clock, ::time,
-      clock(), or gettimeofday. Simulated time flows through TimePoint.
+  gridbw-cmake-warnings
+      Every gridbw_* library target declared in src/*/CMakeLists.txt links
+      the `gridbw_warnings` interface target, so no module can drop out of
+      the -Wall/-Wextra/-Wconversion wall unnoticed.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import pathlib
 import re
 import sys
-
-# ---------------------------------------------------------------------------
-# Rule tables
-# ---------------------------------------------------------------------------
-
-# Parameter / member names that denote a dimensioned quantity when typed as
-# raw double. Word-boundary match on identifier fragments.
-DIMENSIONED_NAME = re.compile(
-    r"(?:^|_)(?:bw|bandwidth|rate|vol|volume|bytes|bps|capacity|cap)(?:_|$)",
-    re.IGNORECASE,
-)
-# Names that look dimensioned but are genuinely scalar ratios/knobs.
-DIMENSIONLESS_NAME = re.compile(
-    r"(?:^|_)(?:fraction|factor|weight|cost|util|ratio|eps|epsilon|tol|"
-    r"tolerance|share|scale|f|accept|success|guarantee|prob)(?:_|$)",
-    re.IGNORECASE,
-)
-# `double <name>` in a declaration context (parameter list or member).
-DOUBLE_DECL = re.compile(r"\bdouble\s+(?:&\s*)?([A-Za-z_]\w*)")
-
-RNG_TOKEN = re.compile(
-    r"std::mt19937|std::minstd_rand|std::random_device|\bs?rand\s*\("
-)
-
-STEPFN_TOKEN = re.compile(r"\bStepFunction\b")
-
-WALLCLOCK_TOKEN = re.compile(
-    r"std::chrono::(?:system_clock|steady_clock|high_resolution_clock)"
-    r"|\bgettimeofday\s*\(|\bclock\s*\(\s*\)|std::time\s*\(|\btime\s*\(\s*(?:nullptr|NULL|0)\s*\)"
-)
-
-# Files allowed to break a given rule. Entries ending in "/" are directory
-# prefixes; anything else must match the relative path exactly.
-ALLOW = {
-    "gridbw-rng-locality": ("src/util/random.hpp", "src/util/random.cpp"),
-    "gridbw-stepfunction-hot-path": (
-        "src/core/step_function.hpp",
-        "src/core/step_function.cpp",
-        "src/core/validate.cpp",  # kReference differential engine
-    ),
-    # The replication harness reports wall-clock per-heuristic tables, and
-    # the observability sinks may stamp an opt-in wall-clock meta line
-    # (JsonlSinkOptions::stamp_wallclock) — both are measurement of the
-    # machine, not simulated time. src/obs/ is the only *module* allowed to
-    # format wall-clock timestamps; event payloads stay on TimePoint.
-    "gridbw-wall-clock": ("src/metrics/experiment.cpp", "src/obs/"),
-    # The quantity header defines the strong types and their double escape
-    # hatches (to_bytes() etc.) — it is the one place raw doubles belong.
-    "gridbw-quantity-api": ("src/util/quantity.hpp",),
-}
-
-
-def allowed(rel: str, rule: str) -> bool:
-    """True when `rel` is allowlisted for `rule` (exact path or dir prefix)."""
-    for entry in ALLOW.get(rule, ()):
-        if entry.endswith("/"):
-            if rel.startswith(entry):
-                return True
-        elif rel == entry:
-            return True
-    return False
-
-NOLINT = re.compile(r"NOLINT\((gridbw-[a-z-]+)\)")
-
-
-def strip_comments_and_strings(text: str) -> str:
-    """Blank out comments and string/char literals, preserving line count."""
-    out: list[str] = []
-    i, n = 0, len(text)
-    while i < n:
-        c = text[i]
-        two = text[i : i + 2]
-        if two == "//":
-            j = text.find("\n", i)
-            j = n if j < 0 else j
-            out.append(" " * (j - i))
-            i = j
-        elif two == "/*":
-            j = text.find("*/", i + 2)
-            j = n if j < 0 else j + 2
-            out.append("".join(ch if ch == "\n" else " " for ch in text[i:j]))
-            i = j
-        elif c in "\"'":
-            quote, j = c, i + 1
-            while j < n and text[j] != quote:
-                j += 2 if text[j] == "\\" else 1
-            j = min(j + 1, n)
-            out.append(c + " " * (j - i - 2) + (quote if j - i >= 2 else ""))
-            i = j
-        else:
-            out.append(c)
-            i += 1
-    return "".join(out)
 
 
 class Finding:
@@ -142,62 +45,75 @@ class Finding:
         return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
 
 
-def check_file(root: pathlib.Path, path: pathlib.Path) -> list[Finding]:
-    rel = path.relative_to(root).as_posix()
-    raw = path.read_text(encoding="utf-8", errors="replace")
-    raw_lines = raw.splitlines()
-    code_lines = strip_comments_and_strings(raw).splitlines()
+SET_STRICT = re.compile(r"^\s*set\s+-[a-z]*e[a-z]*u[a-z]*o?\s+pipefail\s*$")
+
+
+def check_shell(root: pathlib.Path) -> list[Finding]:
     findings: list[Finding] = []
+    for path in sorted((root / "scripts").glob("*.sh")):
+        rel = path.relative_to(root).as_posix()
+        lines = path.read_text(encoding="utf-8", errors="replace").splitlines()
+        if not any(SET_STRICT.match(line) for line in lines):
+            findings.append(
+                Finding(
+                    rel,
+                    1,
+                    "gridbw-shell-strict",
+                    "missing `set -euo pipefail` — failures later in the "
+                    "script must not be masked",
+                )
+            )
+    return findings
 
-    def suppressed(lineno: int, rule: str) -> bool:
-        if lineno - 1 >= len(raw_lines):
-            return False
-        return rule in NOLINT.findall(raw_lines[lineno - 1])
 
-    def scan(rule: str, token: re.Pattern, message: str) -> None:
-        if allowed(rel, rule):
-            return
-        for lineno, line in enumerate(code_lines, 1):
-            if token.search(line) and not suppressed(lineno, rule):
-                findings.append(Finding(rel, lineno, rule, message))
+def check_json(root: pathlib.Path) -> list[Finding]:
+    findings: list[Finding] = []
+    skip = {"build", ".git", ".cache"}
+    for path in sorted(root.rglob("*.json")):
+        rel_parts = path.relative_to(root).parts
+        if rel_parts and (rel_parts[0] in skip or rel_parts[0].startswith("build")):
+            continue
+        rel = path.relative_to(root).as_posix()
+        try:
+            json.loads(path.read_text(encoding="utf-8"))
+        except (ValueError, OSError) as err:
+            findings.append(
+                Finding(rel, 1, "gridbw-json-parse", f"invalid JSON: {err}")
+            )
+    return findings
 
-    scan(
-        "gridbw-rng-locality",
-        RNG_TOKEN,
-        "random engine constructed outside util/random — derive a stream "
-        "from gridbw::Rng instead",
-    )
-    scan(
-        "gridbw-stepfunction-hot-path",
-        STEPFN_TOKEN,
-        "std::map-backed StepFunction outside the reference implementation — "
-        "hot paths use core/timeline_profile.hpp",
-    )
-    scan(
-        "gridbw-wall-clock",
-        WALLCLOCK_TOKEN,
-        "wall-clock read in deterministic code — simulated time flows "
-        "through TimePoint",
-    )
 
-    # gridbw-quantity-api applies to public headers only: a raw double in a
-    # .cpp is an implementation detail (often a profile-internal bps value).
-    if path.suffix == ".hpp" and not allowed(rel, "gridbw-quantity-api"):
-        for lineno, line in enumerate(code_lines, 1):
-            for match in DOUBLE_DECL.finditer(line):
-                name = match.group(1)
-                if DIMENSIONED_NAME.search(name) and not DIMENSIONLESS_NAME.search(name):
-                    if not suppressed(lineno, "gridbw-quantity-api"):
-                        findings.append(
-                            Finding(
-                                rel,
-                                lineno,
-                                "gridbw-quantity-api",
-                                f"raw double '{name}' denotes a dimensioned "
-                                "quantity — use Bandwidth/Volume/Duration/"
-                                "TimePoint from util/quantity.hpp",
-                            )
-                        )
+ADD_LIBRARY = re.compile(r"^\s*add_library\(\s*(gridbw_\w+)", re.MULTILINE)
+LINK_BLOCK = re.compile(r"target_link_libraries\(\s*(gridbw_\w+)([^)]*)\)")
+
+
+def check_cmake(root: pathlib.Path) -> list[Finding]:
+    findings: list[Finding] = []
+    for path in sorted((root / "src").glob("*/CMakeLists.txt")):
+        rel = path.relative_to(root).as_posix()
+        text = "\n".join(
+            line.split("#", 1)[0]
+            for line in path.read_text(encoding="utf-8").splitlines()
+        )
+        linked = {
+            match.group(1)
+            for match in LINK_BLOCK.finditer(text)
+            if "gridbw_warnings" in match.group(2)
+        }
+        for match in ADD_LIBRARY.finditer(text):
+            target = match.group(1)
+            if target == "gridbw_warnings" or target in linked:
+                continue
+            line = text.count("\n", 0, match.start()) + 1
+            findings.append(
+                Finding(
+                    rel,
+                    line,
+                    "gridbw-cmake-warnings",
+                    f"target '{target}' does not link gridbw_warnings — every "
+                    "module stays inside the warning wall",
+                )
+            )
     return findings
 
 
@@ -207,15 +123,12 @@ def main() -> int:
     args = parser.parse_args()
     root = pathlib.Path(args.root).resolve()
 
-    src = root / "src"
-    if not src.is_dir():
+    if not (root / "src").is_dir():
         print(f"gridbw-lint: no src/ under {root}", file=sys.stderr)
         return 2
 
-    findings: list[Finding] = []
-    for path in sorted(src.rglob("*")):
-        if path.suffix in (".hpp", ".cpp"):
-            findings.extend(check_file(root, path))
+    findings = check_shell(root) + check_json(root) + check_cmake(root)
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
 
     for finding in findings:
         print(finding)

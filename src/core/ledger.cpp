@@ -10,6 +10,7 @@ NetworkLedger::NetworkLedger(const Network& network)
       ingress_(network.ingress_count()),
       egress_(network.egress_count()) {}
 
+// gridbw:hot
 bool NetworkLedger::fits(IngressId i, EgressId e, TimePoint t0, TimePoint t1,
                          Bandwidth bw) const {
   // Body kept flat (not delegated to the per-port halves): this is the
@@ -44,6 +45,7 @@ bool NetworkLedger::fits_egress(EgressId e, TimePoint t0, TimePoint t1,
                    network_->egress_capacity(e));
 }
 
+// gridbw:hot
 void NetworkLedger::reserve(IngressId i, EgressId e, TimePoint t0, TimePoint t1,
                             Bandwidth bw) {
   ingress_.at(i.value).add(t0, t1, bw.to_bytes_per_second());
@@ -51,6 +53,7 @@ void NetworkLedger::reserve(IngressId i, EgressId e, TimePoint t0, TimePoint t1,
   if (observer_ != nullptr) observer_->count(obs::Counter::kLedgerReservations);
 }
 
+// gridbw:hot
 void NetworkLedger::release(IngressId i, EgressId e, TimePoint t0, TimePoint t1,
                             Bandwidth bw) {
   ingress_.at(i.value).add(t0, t1, -bw.to_bytes_per_second());
@@ -72,6 +75,7 @@ CounterLedger::CounterLedger(const Network& network)
       ingress_(network.ingress_count(), Bandwidth::zero()),
       egress_(network.egress_count(), Bandwidth::zero()) {}
 
+// gridbw:hot
 bool CounterLedger::fits(IngressId i, EgressId e, Bandwidth bw) const {
   // Deliberately uninstrumented: each call is a handful of instructions and
   // the slice sweeps issue millions of them, so even a disabled-observer
@@ -81,11 +85,13 @@ bool CounterLedger::fits(IngressId i, EgressId e, Bandwidth bw) const {
          approx_le(egress_.at(e.value) + bw, network_->egress_capacity(e));
 }
 
+// gridbw:hot
 void CounterLedger::allocate(IngressId i, EgressId e, Bandwidth bw) {
   ingress_.at(i.value) += bw;
   egress_.at(e.value) += bw;
 }
 
+// gridbw:hot
 void CounterLedger::reclaim(IngressId i, EgressId e, Bandwidth bw) {
   ingress_.at(i.value) -= bw;
   egress_.at(e.value) -= bw;
@@ -110,6 +116,7 @@ double CounterLedger::egress_util_with(EgressId e, Bandwidth bw) const {
 AdmissionLedger::AdmissionLedger(const Network& network, std::size_t request_count)
     : counters_{network}, admitted_(request_count, Bandwidth::zero()) {}
 
+// gridbw:hot
 bool AdmissionLedger::try_admit(std::size_t k, IngressId i, EgressId e, Bandwidth bw) {
   if (!counters_.fits(i, e, bw)) return false;
   counters_.allocate(i, e, bw);

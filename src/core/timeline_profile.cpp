@@ -80,12 +80,14 @@ std::size_t TimelineProfile::upper_index(double t) const {
       std::upper_bound(times_.begin(), times_.end(), t) - times_.begin());
 }
 
+// gridbw:hot
 double TimelineProfile::value_at(TimePoint t) const {
   merge_pending();
   const std::size_t idx = upper_index(t.to_seconds());
   return idx == 0 ? 0.0 : values_[idx - 1];
 }
 
+// gridbw:hot
 double TimelineProfile::max_over(TimePoint t0, TimePoint t1) const {
   if (!(t0 < t1)) return 0.0;
   merge_pending();
@@ -109,12 +111,14 @@ double TimelineProfile::max_over(TimePoint t0, TimePoint t1) const {
   return best;
 }
 
+// gridbw:hot
 double TimelineProfile::global_max() const {
   merge_pending();
   if (times_.empty()) return 0.0;
   return std::max(0.0, prefix_max_.back());
 }
 
+// gridbw:hot
 double TimelineProfile::integral(TimePoint t0, TimePoint t1) const {
   if (!(t0 < t1)) return 0.0;
   merge_pending();

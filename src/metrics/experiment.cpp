@@ -50,8 +50,8 @@ TaskedStats run_replicated_tasks(const ExperimentConfig& config,
     const std::size_t task = cell % task_count;
     Rng rng{derive_stream(config.base_seed, rep)};
     // Wall-clock here measures the machine, not simulated time — the per-
-    // heuristic timing tables. This file is the one gridbw-wall-clock
-    // allowlist entry (scripts/gridbw_lint.py); results stay deterministic
+    // heuristic timing tables. This file is the one wall-clock allowance
+    // outside src/obs/ (tools/gridbw_analyze); results stay deterministic
     // because timing never feeds back into scheduling decisions.
     const auto t0 = std::chrono::steady_clock::now();
     bags[cell] = body(rng, rep, task);

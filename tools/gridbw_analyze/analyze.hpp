@@ -1,0 +1,177 @@
+// gridbw_analyze: in-tree static analyzer for the gridbw reproduction.
+//
+// A deliberately small lexer/preprocessor-lite (no libclang): it strips
+// comments and string literals while preserving line numbers, parses
+// `#include` directives, and runs a fixed catalogue of domain checks the
+// compiler and clang-tidy cannot express:
+//
+//   layering        #include edges must follow the module DAG documented in
+//                   DESIGN.md §5f (core never includes heuristics, obs stays
+//                   below core except the export layer, ...)
+//   unordered-iter  iteration over std::unordered_map/unordered_set — order
+//                   is unspecified, so anything that flows into traces,
+//                   reports, or schedule decisions breaks byte-identity
+//   wall-clock      real-time reads outside the experiment harness and the
+//                   observability sinks (simulated time flows via TimePoint)
+//   rng-locality    random engines constructed outside util/random
+//   stepfunction-hot-path
+//                   the std::map-backed reference StepFunction used outside
+//                   its home files and the differential validator — hot
+//                   paths use the flat core/timeline_profile.hpp
+//   float-format    float formatting that bypasses the shortest-round-trip
+//                   helpers (std::to_string on doubles, std::setprecision,
+//                   raw printf floats inside the trace/export layer)
+//   unit-safety     raw `double` parameters/members/returns in public
+//                   headers whose names denote a dimensioned quantity
+//                   (*_bps, *_bytes, *_sec, bandwidth, volume, ...)
+//   hot-path        `throw`, allocation, or virtual-sink calls inside
+//                   functions annotated `// gridbw:hot`
+//
+// Suppression: a `// GRIDBW-ALLOW(check-id): reason` comment on the finding
+// line or the line directly above silences that one line for that check.
+// A committed baseline file (check|path|trimmed-line) lets pre-existing
+// findings land incrementally; `--fix-baseline` rewrites it.
+
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace gridbw::analyze {
+
+/// One diagnostic. `line` is 1-based. Orderable so reports are deterministic.
+struct Finding {
+  std::string path;   // repo-relative, '/'-separated
+  int line = 0;
+  std::string check;  // check id, e.g. "layering"
+  std::string message;
+
+  friend bool operator<(const Finding& a, const Finding& b) {
+    if (a.path != b.path) return a.path < b.path;
+    if (a.line != b.line) return a.line < b.line;
+    if (a.check != b.check) return a.check < b.check;
+    return a.message < b.message;
+  }
+  friend bool operator==(const Finding& a, const Finding& b) {
+    return a.path == b.path && a.line == b.line && a.check == b.check &&
+           a.message == b.message;
+  }
+};
+
+/// A source file prepared for scanning: raw lines (for suppression comments
+/// and baseline keys) plus code lines with comments/strings blanked out.
+struct SourceFile {
+  std::string rel_path;                 // relative to the scan root
+  std::vector<std::string> raw_lines;
+  std::vector<std::string> code_lines;  // same line count as raw_lines
+  /// Stripped text of the sibling header (for x.cpp, x.hpp) when present:
+  /// members declared there count for unordered-iter tracking here.
+  std::string companion_code;
+
+  /// True when `line` (1-based) carries or is directly preceded by a
+  /// `GRIDBW-ALLOW(check)` comment.
+  [[nodiscard]] bool suppressed(int line, const std::string& check) const;
+};
+
+/// Blanks comments and string/char literals, preserving the line structure.
+[[nodiscard]] std::string strip_comments_and_strings(const std::string& text);
+
+/// Splits into lines (no trailing separators). An empty text is one empty line.
+[[nodiscard]] std::vector<std::string> split_lines(const std::string& text);
+
+/// Builds a SourceFile from in-memory text.
+[[nodiscard]] SourceFile make_source(std::string rel_path, const std::string& text);
+
+// ---------------------------------------------------------------------------
+// Check catalogue
+// ---------------------------------------------------------------------------
+
+struct CheckInfo {
+  const char* id;
+  const char* summary;
+};
+
+/// All check ids with one-line summaries, in catalogue order.
+[[nodiscard]] const std::vector<CheckInfo>& check_catalogue();
+
+// ---------------------------------------------------------------------------
+// Layering
+// ---------------------------------------------------------------------------
+
+/// Module of a src-relative path ("core/ledger.hpp" -> "core"). The
+/// utilization export layer maps to "obs_export"; the umbrella gridbw.hpp
+/// maps to "umbrella". Unknown directories return "" (reported separately).
+[[nodiscard]] std::string module_of(const std::string& src_rel_path);
+
+/// True when module `from` may include headers of module `to` (reflexive,
+/// transitive closure of the CMake link graph).
+[[nodiscard]] bool layering_allows(const std::string& from, const std::string& to);
+
+/// The allowed include set of a module, for diagnostics ("" if unknown).
+[[nodiscard]] std::string layering_allowed_list(const std::string& from);
+
+// ---------------------------------------------------------------------------
+// Analysis
+// ---------------------------------------------------------------------------
+
+struct Options {
+  /// Check ids to run; empty = all.
+  std::set<std::string> checks;
+};
+
+/// Runs every enabled check over one file. `src_rel_path` is the path
+/// relative to the `src/` directory (used for module mapping and per-module
+/// allowances); `file.rel_path` is the repo-relative path used in findings.
+[[nodiscard]] std::vector<Finding> analyze_file(const SourceFile& file,
+                                                const std::string& src_rel_path,
+                                                const Options& options);
+
+/// Result of a whole-tree scan: findings sorted deterministically, with the
+/// parallel baseline key for each finding.
+struct TreeReport {
+  std::vector<Finding> findings;
+  std::vector<std::string> keys;  // keys[i] is baseline_key(findings[i])
+  std::size_t files_scanned = 0;
+};
+
+/// Scans `<root>/src` recursively (sorted order). Throws std::runtime_error
+/// when the directory is missing.
+[[nodiscard]] TreeReport analyze_tree(const std::string& root,
+                                      const Options& options);
+
+// ---------------------------------------------------------------------------
+// Baseline
+// ---------------------------------------------------------------------------
+
+/// Baseline key for a finding: "check|path|trimmed raw line text". Content-
+/// based (not line-number-based) so unrelated edits do not invalidate it.
+[[nodiscard]] std::string baseline_key(const Finding& finding,
+                                       const SourceFile& file);
+
+/// A parsed baseline: multiset of keys (the same key may appear N times).
+using Baseline = std::map<std::string, int>;
+
+/// Parses a baseline file body. Lines starting with '#' and blank lines are
+/// ignored.
+[[nodiscard]] Baseline parse_baseline(const std::string& text);
+
+/// Splits findings into (new, baselined) against `baseline`, consuming
+/// entries; leftover baseline entries are returned in `stale`.
+struct BaselineSplit {
+  std::vector<Finding> fresh;
+  std::vector<Finding> baselined;
+  std::vector<std::string> stale;
+};
+[[nodiscard]] BaselineSplit apply_baseline(const std::vector<Finding>& findings,
+                                           const std::vector<std::string>& keys,
+                                           const Baseline& baseline);
+
+/// Serializes findings as a baseline file body (sorted, with header).
+[[nodiscard]] std::string render_baseline(const std::vector<std::string>& keys);
+
+/// Renders findings as a JSON array (deterministic field order).
+[[nodiscard]] std::string render_json(const std::vector<Finding>& findings);
+
+}  // namespace gridbw::analyze

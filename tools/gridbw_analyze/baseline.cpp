@@ -1,0 +1,148 @@
+#include "analyze.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace gridbw::analyze {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  const std::size_t first = s.find_first_not_of(" \t\r");
+  if (first == std::string::npos) return "";
+  const std::size_t last = s.find_last_not_of(" \t\r");
+  return s.substr(first, last - first + 1);
+}
+
+std::string read_file(const std::filesystem::path& path) {
+  std::ifstream in{path, std::ios::binary};
+  if (!in) throw std::runtime_error{"gridbw-analyze: cannot read " + path.string()};
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string baseline_key(const Finding& finding, const SourceFile& file) {
+  std::string line_text;
+  if (finding.line >= 1 &&
+      static_cast<std::size_t>(finding.line) <= file.raw_lines.size()) {
+    line_text = trim(file.raw_lines[static_cast<std::size_t>(finding.line) - 1]);
+  }
+  return finding.check + "|" + finding.path + "|" + line_text;
+}
+
+Baseline parse_baseline(const std::string& text) {
+  Baseline baseline;
+  for (const std::string& raw : split_lines(text)) {
+    const std::string line = trim(raw);
+    if (line.empty() || line[0] == '#') continue;
+    ++baseline[line];
+  }
+  return baseline;
+}
+
+BaselineSplit apply_baseline(const std::vector<Finding>& findings,
+                             const std::vector<std::string>& keys,
+                             const Baseline& baseline) {
+  BaselineSplit split;
+  Baseline remaining = baseline;
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const auto it = remaining.find(keys[i]);
+    if (it != remaining.end() && it->second > 0) {
+      --it->second;
+      split.baselined.push_back(findings[i]);
+    } else {
+      split.fresh.push_back(findings[i]);
+    }
+  }
+  for (const auto& [key, count] : remaining) {
+    for (int i = 0; i < count; ++i) split.stale.push_back(key);
+  }
+  return split;
+}
+
+std::string render_baseline(const std::vector<std::string>& keys) {
+  std::vector<std::string> sorted = keys;
+  std::sort(sorted.begin(), sorted.end());
+  std::string out =
+      "# gridbw-analyze baseline: tolerated pre-existing findings.\n"
+      "# Format: check|path|trimmed source line. Regenerate with\n"
+      "#   gridbw_analyze --root . --baseline <this file> --fix-baseline\n"
+      "# Policy: this file should shrink to empty; new code never adds to it.\n";
+  for (const std::string& key : sorted) {
+    out += key;
+    out.push_back('\n');
+  }
+  return out;
+}
+
+std::string render_json(const std::vector<Finding>& findings) {
+  std::string out = "[\n";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    out += "  {\"path\": \"" + json_escape(f.path) + "\", \"line\": " +
+           std::to_string(f.line) + ", \"check\": \"" + json_escape(f.check) +
+           "\", \"message\": \"" + json_escape(f.message) + "\"}";
+    if (i + 1 < findings.size()) out.push_back(',');
+    out.push_back('\n');
+  }
+  out += "]\n";
+  return out;
+}
+
+TreeReport analyze_tree(const std::string& root, const Options& options) {
+  namespace fs = std::filesystem;
+  const fs::path src = fs::path{root} / "src";
+  if (!fs::is_directory(src)) {
+    throw std::runtime_error{"gridbw-analyze: no src/ directory under " + root};
+  }
+  std::vector<fs::path> paths;
+  for (const auto& entry : fs::recursive_directory_iterator{src}) {
+    if (!entry.is_regular_file()) continue;
+    const std::string ext = entry.path().extension().string();
+    if (ext == ".hpp" || ext == ".cpp") paths.push_back(entry.path());
+  }
+  std::sort(paths.begin(), paths.end());
+
+  TreeReport report;
+  report.files_scanned = paths.size();
+  // Files arrive sorted and analyze_file sorts within a file, so the
+  // concatenation is already in deterministic (path, line, check) order.
+  for (const fs::path& path : paths) {
+    const std::string src_rel = fs::relative(path, src).generic_string();
+    SourceFile file = make_source("src/" + src_rel, read_file(path));
+    if (path.extension() == ".cpp") {
+      const fs::path sibling = fs::path{path}.replace_extension(".hpp");
+      if (fs::is_regular_file(sibling)) {
+        file.companion_code = strip_comments_and_strings(read_file(sibling));
+      }
+    }
+    for (Finding& finding : analyze_file(file, src_rel, options)) {
+      report.keys.push_back(baseline_key(finding, file));
+      report.findings.push_back(std::move(finding));
+    }
+  }
+  return report;
+}
+
+}  // namespace gridbw::analyze

@@ -1,0 +1,17 @@
+// Fixture: one finding is grandfathered in the committed baseline, the
+// other is new and must still fail the scan.
+#include <random>
+
+namespace fixture {
+
+int legacy_engine() {
+  std::mt19937 old_gen{1};  // baselined: listed in baseline.txt
+  return static_cast<int>(old_gen());
+}
+
+int new_engine() {
+  std::mt19937 new_gen{2};  // NOT baselined: a fresh finding
+  return static_cast<int>(new_gen());
+}
+
+}  // namespace fixture

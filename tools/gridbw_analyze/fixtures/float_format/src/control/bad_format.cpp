@@ -1,0 +1,29 @@
+// Fixture: float formatting that bypasses the round-trip helpers.
+#include <iomanip>
+#include <sstream>
+#include <string>
+
+namespace fixture {
+
+std::string bad_to_string(double rate) { return std::to_string(rate); }
+
+std::string bad_to_string_literal() { return std::to_string(3.25); }
+
+std::string bad_setprecision(double v) {
+  std::ostringstream out;
+  out << std::setprecision(9) << v;
+  return out.str();
+}
+
+// Casting to an integral type makes the text exact — not a finding.
+std::string ok_integral_cast(double rate) {
+  return std::to_string(static_cast<int>(rate));
+}
+
+std::string ok_integer(long count) { return std::to_string(count); }
+
+std::string allowed_to_string(double v) {
+  return std::to_string(v);  // GRIDBW-ALLOW(float-format): fixture-only demo
+}
+
+}  // namespace fixture

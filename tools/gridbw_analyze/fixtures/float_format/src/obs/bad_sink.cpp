@@ -1,0 +1,21 @@
+// Fixture: inside the trace/export layer, raw printf float conversions are
+// how byte-identity drifts; integers and \u escapes are fine.
+#include <array>
+#include <cstdio>
+#include <string>
+
+namespace fixture {
+
+std::string bad_printf_float(double bw) {
+  std::array<char, 32> buf{};
+  std::snprintf(buf.data(), buf.size(), "%.6f", bw);
+  return std::string{buf.data()};
+}
+
+std::string ok_printf_int(unsigned c) {
+  std::array<char, 16> buf{};
+  std::snprintf(buf.data(), buf.size(), "\\u%04x", c);
+  return std::string{buf.data()};
+}
+
+}  // namespace fixture

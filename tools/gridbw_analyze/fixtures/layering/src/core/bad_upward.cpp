@@ -1,0 +1,6 @@
+// Fixture: core reaching upward into heuristics and the umbrella header.
+#include "heuristics/rigid_fcfs.hpp"
+#include "gridbw.hpp"
+#include "core/network.hpp"
+#include "util/quantity.hpp"
+#include <vector>

@@ -1,0 +1,8 @@
+// Fixture: heuristics legitimately see core, util, obs, and the export
+// layer (transitively reachable via core) — but never control or sim.
+#include "heuristics/rigid_fcfs.hpp"
+#include "core/ledger.hpp"
+#include "obs/observer.hpp"
+#include "obs/utilization.hpp"
+#include "util/random.hpp"
+#include "sim/event_queue.hpp"

@@ -1,0 +1,2 @@
+// Fixture: a directory nobody added to the DAG.
+#include "core/network.hpp"

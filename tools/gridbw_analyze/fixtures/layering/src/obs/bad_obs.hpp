@@ -1,0 +1,6 @@
+// Fixture: gridbw_obs must stay below core — only the ids vocabulary is
+// carved out. The suppressed include stays quiet.
+#pragma once
+#include "core/ids.hpp"
+#include "core/network.hpp"
+#include "core/schedule.hpp"  // GRIDBW-ALLOW(layering): fixture-only suppression demo

@@ -1,0 +1,5 @@
+// Fixture: the export layer (obs/utilization.*) sits ABOVE core, so this
+// include is legal even though plain obs files may not do it.
+#pragma once
+#include "core/schedule.hpp"
+#include "obs/trace_sink.hpp"

@@ -1,0 +1,3 @@
+// Fixture: the simulator kernel depends only on util.
+#include "core/ledger.hpp"
+#include "util/thread_pool.hpp"

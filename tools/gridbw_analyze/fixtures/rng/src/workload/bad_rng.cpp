@@ -1,0 +1,24 @@
+// Fixture: random engines outside util/random.
+#include <cstdlib>
+#include <random>
+
+namespace fixture {
+
+int bad_engine() {
+  std::mt19937 gen{42};
+  return static_cast<int>(gen());
+}
+
+int bad_device() {
+  std::random_device device;
+  return static_cast<int>(device());
+}
+
+int bad_crand() { return std::rand(); }
+
+int allowed_engine() {
+  std::minstd_rand gen{7};  // GRIDBW-ALLOW(rng-locality): fixture-only demo
+  return static_cast<int>(gen());
+}
+
+}  // namespace fixture

@@ -1,0 +1,15 @@
+// Fixture: the reference implementation's own header may name StepFunction.
+#pragma once
+#include <map>
+
+namespace fixture {
+
+class StepFunction {
+ public:
+  void add(long t, double delta) { points_[t] += delta; }
+
+ private:
+  std::map<long, double> points_;
+};
+
+}  // namespace fixture

@@ -1,0 +1,12 @@
+// Fixture: the differential validator (kReference engine) is allowed too.
+#include "core/step_function.hpp"
+
+namespace fixture {
+
+bool validate_against_reference() {
+  StepFunction reference;
+  reference.add(1, 2.5);
+  return true;
+}
+
+}  // namespace fixture

@@ -1,0 +1,15 @@
+// Fixture: StepFunction leaking into a scheduler. Comment mentions are fine.
+#include "core/step_function.hpp"
+
+namespace fixture {
+
+double slow_plan() {
+  fixture::StepFunction profile;
+  profile.add(4, 1.0);
+  // GRIDBW-ALLOW(stepfunction-hot-path): offline report path, not hot
+  fixture::StepFunction tolerated;
+  tolerated.add(5, 2.0);
+  return 0.0;
+}
+
+}  // namespace fixture

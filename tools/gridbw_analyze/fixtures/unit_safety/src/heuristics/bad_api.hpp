@@ -1,0 +1,20 @@
+// Fixture: dimensioned raw doubles in a public header.
+#pragma once
+
+namespace fixture {
+
+struct Options {
+  double peak_bps{0.0};          // finding: bandwidth as raw double
+  double transfer_bytes{0.0};    // finding: volume as raw double
+  double deadline_sec{0.0};      // finding: time as raw double
+  double accept_fraction{1.0};   // dimensionless knob — fine
+  double tune_factor{0.5};       // dimensionless knob — fine
+  double window_sec_legacy{0.0};  // GRIDBW-ALLOW(unit-safety): migration shim
+};
+
+double capacity_bps();           // finding: dimensioned return
+double jain_ratio();             // dimensionless return — fine
+
+void set_rate(double rate_bps);  // finding: dimensioned parameter
+
+}  // namespace fixture

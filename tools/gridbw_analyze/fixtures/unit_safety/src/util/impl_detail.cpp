@@ -1,0 +1,9 @@
+// Fixture: raw doubles in a .cpp are implementation detail, not API —
+// profile internals legitimately traffic in bps doubles.
+namespace fixture {
+
+double accumulate_bps(double load_bps, double add_bps) {
+  return load_bps + add_bps;
+}
+
+}  // namespace fixture

@@ -1,0 +1,44 @@
+// Fixture: iteration over unordered containers vs. order-safe lookups.
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace fixture {
+
+std::unordered_map<std::uint64_t, double> loads;
+std::unordered_set<std::uint64_t> members;
+
+double bad_range_for() {
+  double total = 0.0;
+  for (const auto& [id, load] : loads) total += load + static_cast<double>(id);
+  return total;
+}
+
+double bad_iterator_walk() {
+  double total = 0.0;
+  for (auto it = loads.begin(); it != loads.end(); ++it) total += it->second;
+  return total;
+}
+
+// A commutative reduction may opt out, with a reason.
+std::size_t allowed_reduction() {
+  std::size_t n = 0;
+  // GRIDBW-ALLOW(unordered-iter): counting elements is order-independent
+  for (const auto& id : members) n += id != 0 ? 1u : 0u;
+  return n;
+}
+
+// Point lookups never depend on iteration order.
+bool ok_lookup(std::uint64_t id) { return members.count(id) != 0; }
+
+double ok_sorted_snapshot() {
+  std::vector<std::uint64_t> ids;
+  ids.reserve(members.size());
+  // GRIDBW-ALLOW(unordered-iter): snapshot is sorted before use below
+  for (std::uint64_t id : members) ids.push_back(id);
+  // std::sort(ids.begin(), ids.end()) would run here.
+  return static_cast<double>(ids.size());
+}
+
+}  // namespace fixture

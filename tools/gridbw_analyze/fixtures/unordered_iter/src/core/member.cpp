@@ -1,0 +1,12 @@
+// ...is still tracked when the .cpp iterates it.
+#include "core/member.hpp"
+
+namespace fixture {
+
+double Registry::drain_in_hash_order() const {
+  double total = 0.0;
+  for (const auto& [id, v] : entries_) total += v + static_cast<double>(id);
+  return total;
+}
+
+}  // namespace fixture

@@ -1,0 +1,17 @@
+// Fixture: an unordered member declared in the header...
+#pragma once
+#include <cstdint>
+#include <unordered_map>
+
+namespace fixture {
+
+class Registry {
+ public:
+  double drain_in_hash_order() const;
+  bool has(std::uint64_t id) const { return entries_.count(id) != 0; }
+
+ private:
+  std::unordered_map<std::uint64_t, double> entries_;
+};
+
+}  // namespace fixture

@@ -1,0 +1,22 @@
+// Fixture: real-time reads in deterministic code.
+#include <chrono>
+#include <ctime>
+
+namespace fixture {
+
+long bad_steady() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+long bad_system() {
+  return std::chrono::system_clock::now().time_since_epoch().count();
+}
+
+long bad_ctime() { return static_cast<long>(std::time(nullptr)); }
+
+long allowed_read() {
+  // GRIDBW-ALLOW(wall-clock): fixture-only suppression demo
+  return std::chrono::high_resolution_clock::now().time_since_epoch().count();
+}
+
+}  // namespace fixture

@@ -1,0 +1,12 @@
+// Fixture: the experiment harness may measure the machine.
+#include <chrono>
+
+namespace fixture {
+
+double harness_timing() {
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+}  // namespace fixture

@@ -1,0 +1,10 @@
+// Fixture: obs sinks may stamp opt-in wall-clock metadata.
+#include <chrono>
+
+namespace fixture {
+
+long sink_stamp() {
+  return std::chrono::system_clock::now().time_since_epoch().count();
+}
+
+}  // namespace fixture

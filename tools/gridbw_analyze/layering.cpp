@@ -1,0 +1,101 @@
+// The module DAG. Mirrors the CMake link graph in src/*/CMakeLists.txt and
+// is documented (with a diagram) in DESIGN.md §5f — keep the three in sync.
+
+#include "analyze.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace gridbw::analyze {
+
+namespace {
+
+/// Direct dependencies, module -> modules whose headers it may include.
+/// The analyzer enforces the reflexive-transitive closure of this relation:
+/// if core may use util, everything above core may too (the compiler already
+/// sees those headers transitively, so banning the direct edge buys nothing).
+const std::map<std::string, std::vector<std::string>>& direct_deps() {
+  static const std::map<std::string, std::vector<std::string>> kDeps = {
+      {"util", {}},
+      {"obs", {"util"}},  // + the core/ids.hpp carve-out below
+      {"sim", {"util"}},
+      {"core", {"util", "obs"}},
+      {"flow", {}},
+      {"baseline", {"core", "util"}},
+      {"workload", {"core", "util"}},
+      {"heuristics", {"core", "util"}},
+      {"exact", {"core", "util"}},
+      {"longlived", {"core", "util", "flow"}},
+      {"dataplane", {"core", "baseline", "util"}},
+      {"control", {"core", "sim", "heuristics", "util"}},
+      {"metrics", {"core", "util"}},
+      // gridbw_obs_export (src/obs/utilization.*) sits ABOVE core: it
+      // replays schedules onto TimelineProfiles. It is the one obs surface
+      // allowed to look upward.
+      {"obs_export", {"obs", "core", "util"}},
+  };
+  return kDeps;
+}
+
+const std::map<std::string, std::set<std::string>>& closure() {
+  static const std::map<std::string, std::set<std::string>> kClosure = [] {
+    std::map<std::string, std::set<std::string>> result;
+    for (const auto& [module, deps] : direct_deps()) {
+      std::set<std::string>& reach = result[module];
+      reach.insert(module);
+      std::vector<std::string> stack{deps.begin(), deps.end()};
+      while (!stack.empty()) {
+        const std::string dep = stack.back();
+        stack.pop_back();
+        if (!reach.insert(dep).second) continue;
+        const auto it = direct_deps().find(dep);
+        if (it != direct_deps().end()) {
+          stack.insert(stack.end(), it->second.begin(), it->second.end());
+        }
+      }
+    }
+    return result;
+  }();
+  return kClosure;
+}
+
+}  // namespace
+
+std::string module_of(const std::string& src_rel_path) {
+  if (src_rel_path == "gridbw.hpp") return "umbrella";
+  const std::size_t slash = src_rel_path.find('/');
+  if (slash == std::string::npos) return "";
+  const std::string dir = src_rel_path.substr(0, slash);
+  // The export layer is file-granular: utilization.* is gridbw_obs_export.
+  if (dir == "obs" && src_rel_path.compare(slash + 1, 12, "utilization.") == 0) {
+    return "obs_export";
+  }
+  return closure().count(dir) != 0 ? dir : "";
+}
+
+bool layering_allows(const std::string& from, const std::string& to) {
+  if (from == "umbrella") return true;  // the umbrella header sees everything
+  if (to == "umbrella") return false;   // nothing below may include it back
+  const auto it = closure().find(from);
+  if (it == closure().end()) return false;
+  // obs_export headers are includable by anything that may include core:
+  // the export layer sits beside core in the DAG.
+  if (to == "obs_export") return it->second.count("core") != 0 || from == "obs_export";
+  return it->second.count(to) != 0;
+}
+
+std::string layering_allowed_list(const std::string& from) {
+  const auto it = closure().find(from);
+  if (it == closure().end()) return "";
+  std::string out;
+  for (const std::string& module : it->second) {
+    if (!out.empty()) out += ", ";
+    out += module;
+  }
+  return out;
+}
+
+}  // namespace gridbw::analyze

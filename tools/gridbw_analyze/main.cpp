@@ -1,0 +1,149 @@
+// gridbw_analyze CLI. Exit codes: 0 clean (or --fix-baseline / --list-checks),
+// 1 new findings, 2 usage/IO error.
+
+#include "analyze.hpp"
+
+#include <exception>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+constexpr const char* kUsage =
+    "usage: gridbw_analyze --root DIR [options]\n"
+    "\n"
+    "  --root DIR        repository root (its src/ subtree is scanned)\n"
+    "  --baseline FILE   tolerate findings listed in FILE (check|path|line)\n"
+    "  --fix-baseline    rewrite FILE with the current findings and exit 0\n"
+    "  --checks a,b,...  run only the listed checks (default: all)\n"
+    "  --json            print findings as a JSON array instead of text\n"
+    "  --list-checks     print the check catalogue and exit\n";
+
+std::string read_file_or_empty(const std::string& path) {
+  std::ifstream in{path, std::ios::binary};
+  if (!in) return "";
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace gridbw::analyze;
+
+  std::string root;
+  std::string baseline_path;
+  bool fix_baseline = false;
+  bool json = false;
+  bool list_checks = false;
+  Options options;
+
+  const std::vector<std::string> args{argv + 1, argv + argc};
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    const auto value = [&]() -> std::string {
+      if (i + 1 >= args.size()) {
+        std::cerr << "gridbw-analyze: " << arg << " needs a value\n" << kUsage;
+        std::exit(2);
+      }
+      return args[++i];
+    };
+    if (arg == "--root") {
+      root = value();
+    } else if (arg == "--baseline") {
+      baseline_path = value();
+    } else if (arg == "--fix-baseline") {
+      fix_baseline = true;
+    } else if (arg == "--json") {
+      json = true;
+    } else if (arg == "--list-checks") {
+      list_checks = true;
+    } else if (arg == "--checks") {
+      std::istringstream list{value()};
+      std::string id;
+      while (std::getline(list, id, ',')) {
+        if (!id.empty()) options.checks.insert(id);
+      }
+    } else if (arg == "-h" || arg == "--help") {
+      std::cout << kUsage;
+      return 0;
+    } else {
+      std::cerr << "gridbw-analyze: unknown argument '" << arg << "'\n" << kUsage;
+      return 2;
+    }
+  }
+
+  if (list_checks) {
+    for (const CheckInfo& check : check_catalogue()) {
+      std::cout << check.id << "\n    " << check.summary << "\n";
+    }
+    return 0;
+  }
+  if (root.empty()) {
+    std::cerr << "gridbw-analyze: --root is required\n" << kUsage;
+    return 2;
+  }
+  for (const std::string& id : options.checks) {
+    bool known = false;
+    for (const CheckInfo& check : check_catalogue()) known |= id == check.id;
+    if (!known) {
+      std::cerr << "gridbw-analyze: unknown check '" << id
+                << "' (see --list-checks)\n";
+      return 2;
+    }
+  }
+  if (fix_baseline && baseline_path.empty()) {
+    std::cerr << "gridbw-analyze: --fix-baseline needs --baseline FILE\n";
+    return 2;
+  }
+
+  try {
+    const TreeReport report = analyze_tree(root, options);
+
+    if (fix_baseline) {
+      std::ofstream out{baseline_path, std::ios::binary};
+      if (!out) {
+        std::cerr << "gridbw-analyze: cannot write " << baseline_path << "\n";
+        return 2;
+      }
+      out << render_baseline(report.keys);
+      std::cout << "gridbw-analyze: baseline rewritten with "
+                << report.keys.size() << " finding(s) -> " << baseline_path
+                << "\n";
+      return 0;
+    }
+
+    Baseline baseline;
+    if (!baseline_path.empty()) {
+      baseline = parse_baseline(read_file_or_empty(baseline_path));
+    }
+    const BaselineSplit split =
+        apply_baseline(report.findings, report.keys, baseline);
+
+    if (json) {
+      std::cout << render_json(split.fresh);
+    } else {
+      for (const Finding& finding : split.fresh) {
+        std::cout << finding.path << ":" << finding.line << ": ["
+                  << finding.check << "] " << finding.message << "\n";
+      }
+    }
+    for (const std::string& key : split.stale) {
+      std::cerr << "gridbw-analyze: stale baseline entry (fixed? run "
+                   "--fix-baseline): "
+                << key << "\n";
+    }
+    std::cerr << "gridbw-analyze: " << report.files_scanned << " file(s), "
+              << split.fresh.size() << " new finding(s), "
+              << split.baselined.size() << " baselined, " << split.stale.size()
+              << " stale\n";
+    return split.fresh.empty() ? 0 : 1;
+  } catch (const std::exception& error) {
+    std::cerr << error.what() << "\n";
+    return 2;
+  }
+}

@@ -1,0 +1,104 @@
+#include "analyze.hpp"
+
+#include <cstddef>
+
+namespace gridbw::analyze {
+
+std::string strip_comments_and_strings(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  const std::size_t n = text.size();
+  std::size_t i = 0;
+  while (i < n) {
+    const char c = text[i];
+    const char next = i + 1 < n ? text[i + 1] : '\0';
+    if (c == '/' && next == '/') {
+      while (i < n && text[i] != '\n') {
+        out.push_back(' ');
+        ++i;
+      }
+    } else if (c == '/' && next == '*') {
+      out.append("  ");
+      i += 2;
+      while (i < n && !(text[i] == '*' && i + 1 < n && text[i + 1] == '/')) {
+        out.push_back(text[i] == '\n' ? '\n' : ' ');
+        ++i;
+      }
+      if (i < n) {  // closing "*/"
+        out.append("  ");
+        i += 2;
+      }
+    } else if (c == '"' || c == '\'') {
+      const char quote = c;
+      out.push_back(quote);
+      ++i;
+      while (i < n && text[i] != quote && text[i] != '\n') {
+        if (text[i] == '\\' && i + 1 < n && text[i + 1] != '\n') {
+          out.append("  ");
+          i += 2;
+        } else {
+          out.push_back(' ');
+          ++i;
+        }
+      }
+      if (i < n && text[i] == quote) {
+        out.push_back(quote);
+        ++i;
+      }
+    } else {
+      out.push_back(c);
+      ++i;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t nl = text.find('\n', start);
+    if (nl == std::string::npos) {
+      lines.push_back(text.substr(start));
+      break;
+    }
+    lines.push_back(text.substr(start, nl - start));
+    start = nl + 1;
+  }
+  return lines;
+}
+
+SourceFile make_source(std::string rel_path, const std::string& text) {
+  SourceFile file;
+  file.rel_path = std::move(rel_path);
+  file.raw_lines = split_lines(text);
+  file.code_lines = split_lines(strip_comments_and_strings(text));
+  return file;
+}
+
+namespace {
+
+/// True when `line` contains `GRIDBW-ALLOW(<check>)`.
+bool line_allows(const std::string& line, const std::string& check) {
+  std::size_t pos = 0;
+  static const std::string kMarker = "GRIDBW-ALLOW(";
+  while ((pos = line.find(kMarker, pos)) != std::string::npos) {
+    const std::size_t open = pos + kMarker.size();
+    const std::size_t close = line.find(')', open);
+    if (close == std::string::npos) return false;
+    if (line.compare(open, close - open, check) == 0) return true;
+    pos = close;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool SourceFile::suppressed(int line, const std::string& check) const {
+  if (line < 1 || static_cast<std::size_t>(line) > raw_lines.size()) return false;
+  const std::size_t idx = static_cast<std::size_t>(line) - 1;
+  if (line_allows(raw_lines[idx], check)) return true;
+  return idx > 0 && line_allows(raw_lines[idx - 1], check);
+}
+
+}  // namespace gridbw::analyze
