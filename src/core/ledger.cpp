@@ -1,29 +1,76 @@
 #include "core/ledger.hpp"
 
 #include <algorithm>
+#include <cassert>
+#include <cmath>
 #include <stdexcept>
 
 namespace gridbw {
 
+namespace {
+
+/// Ports with fewer breakpoints than this never build an index: the flat
+/// scan over a handful of contiguous doubles beats any tree traversal.
+constexpr std::size_t kMinIndexBreakpoints = 64;
+
+}  // namespace
+
 NetworkLedger::NetworkLedger(const Network& network)
     : network_{&network},
       ingress_(network.ingress_count()),
-      egress_(network.egress_count()) {}
+      egress_(network.egress_count()),
+      ingress_probe_(network.ingress_count()),
+      egress_probe_(network.egress_count()) {}
+
+// gridbw:hot
+bool NetworkLedger::port_fits(const TimelineProfile& profile, PortProbe& probe,
+                              TimePoint t0, TimePoint t1, Bandwidth add,
+                              Bandwidth capacity) const {
+  // Decision threshold spelled exactly like approx_le(Bandwidth, Bandwidth):
+  // same terms, same evaluation order, so `lhs <= limit` is the identical
+  // boolean whichever path computed `lhs`'s peak.
+  const double cap_bps = capacity.to_bytes_per_second();
+  const double add_bps = add.to_bytes_per_second();
+  const double limit = cap_bps + 1.0 + 1e-9 * std::fabs(cap_bps);
+  if (probe.index.fresh()) {
+    const double lhs = probe.index.peak_over(t0, t1) + add_bps;
+    const double guard = probe.index.error_bound();
+    if (guard == 0.0 || std::fabs(lhs - limit) > guard) {
+      if (observer_ != nullptr) observer_->count(obs::Counter::kResidualIndexProbes);
+      return lhs <= limit;
+    }
+    // A patched tree's answer landed inside its FP guard band around the
+    // threshold: only the exact scan below can decide bit-identically.
+  }
+  const double peak = profile.max_over(t0, t1);
+  // Amortized index maintenance: charge this scan's window width as debt
+  // and (re)build once the accumulated debt matches a build's O(n) cost.
+  const std::span<const double> times = profile.merged_times_view();
+  const auto first = std::upper_bound(times.begin(), times.end(), t0.to_seconds());
+  const auto last = std::lower_bound(times.begin(), times.end(), t1.to_seconds());
+  probe.scan_debt += static_cast<double>(last - first) + 1.0;
+  if (observer_ != nullptr) observer_->count(obs::Counter::kResidualIndexFallbacks);
+  if (times.size() >= kMinIndexBreakpoints &&
+      probe.scan_debt >= static_cast<double>(times.size())) {
+    probe.index.rebuild(profile);
+    probe.scan_debt = 0.0;
+    if (observer_ != nullptr) observer_->count(obs::Counter::kResidualIndexRebuilds);
+  }
+  return peak + add_bps <= limit;
+}
 
 // gridbw:hot
 bool NetworkLedger::fits(IngressId i, EgressId e, TimePoint t0, TimePoint t1,
                          Bandwidth bw) const {
-  // Body kept flat (not delegated to the per-port halves): this is the
-  // hottest admission query, and the extra calls cost real time in
-  // unoptimized builds. fits_ingress/fits_egress exist for rejection-reason
-  // classification on the (cold, observer-only) rejection path.
-  const double in_peak = ingress_.at(i.value).max_over(t0, t1);
-  const double out_peak = egress_.at(e.value).max_over(t0, t1);
-  const double add = bw.to_bytes_per_second();
-  const bool ok = approx_le(Bandwidth::bytes_per_second(in_peak + add),
-                            network_->ingress_capacity(i)) &&
-                  approx_le(Bandwidth::bytes_per_second(out_peak + add),
-                            network_->egress_capacity(e));
+  // The per-port half carries the index-vs-scan machinery; this body only
+  // fans out. fits_ingress/fits_egress remain the pure (counter-free,
+  // index-free) variants for rejection-reason classification on the cold
+  // rejection path.
+  const bool ok =
+      port_fits(ingress_[i.value], ingress_probe_[i.value], t0, t1, bw,
+                network_->ingress_capacity(i)) &&
+      port_fits(egress_[e.value], egress_probe_[e.value], t0, t1, bw,
+                network_->egress_capacity(e));
   if (observer_ != nullptr) {
     observer_->count(obs::Counter::kLedgerFitsChecks);
     if (!ok) observer_->count(obs::Counter::kLedgerFitsRejected);
@@ -48,25 +95,44 @@ bool NetworkLedger::fits_egress(EgressId e, TimePoint t0, TimePoint t1,
 // gridbw:hot
 void NetworkLedger::reserve(IngressId i, EgressId e, TimePoint t0, TimePoint t1,
                             Bandwidth bw) {
-  ingress_.at(i.value).add(t0, t1, bw.to_bytes_per_second());
-  egress_.at(e.value).add(t0, t1, bw.to_bytes_per_second());
+  const double add = bw.to_bytes_per_second();
+  ingress_.at(i.value).add(t0, t1, add);
+  egress_.at(e.value).add(t0, t1, add);
+  // Keep fresh indexes in step with the profiles; an endpoint the snapshot
+  // has never seen makes the patch fail and the index go stale (apply's
+  // contract), after which `fits` falls back to scans until it re-amortizes.
+  (void)ingress_probe_[i.value].index.apply(t0, t1, add);
+  (void)egress_probe_[e.value].index.apply(t0, t1, add);
   if (observer_ != nullptr) observer_->count(obs::Counter::kLedgerReservations);
 }
 
 // gridbw:hot
 void NetworkLedger::release(IngressId i, EgressId e, TimePoint t0, TimePoint t1,
                             Bandwidth bw) {
-  ingress_.at(i.value).add(t0, t1, -bw.to_bytes_per_second());
-  egress_.at(e.value).add(t0, t1, -bw.to_bytes_per_second());
+  const double sub = -bw.to_bytes_per_second();
+  ingress_.at(i.value).add(t0, t1, sub);
+  egress_.at(e.value).add(t0, t1, sub);
+  (void)ingress_probe_[i.value].index.apply(t0, t1, sub);
+  (void)egress_probe_[e.value].index.apply(t0, t1, sub);
   if (observer_ != nullptr) observer_->count(obs::Counter::kLedgerReleases);
 }
 
 Bandwidth NetworkLedger::headroom(IngressId i, EgressId e, TimePoint t0,
                                   TimePoint t1) const {
-  const double in_room = network_->ingress_capacity(i).to_bytes_per_second() -
-                         ingress_.at(i.value).max_over(t0, t1);
-  const double out_room = network_->egress_capacity(e).to_bytes_per_second() -
-                          egress_.at(e.value).max_over(t0, t1);
+  // `exact()` indexes return the bit-identical peak, so headroom may use
+  // them directly; patched ones only bound the peak and are skipped (the
+  // callers compare headroom against request rates, where a guard-band
+  // dance is not worth the branch).
+  const ResidualIndex& in_idx = ingress_probe_[i.value].index;
+  const ResidualIndex& out_idx = egress_probe_[e.value].index;
+  const double in_peak = in_idx.exact() ? in_idx.peak_over(t0, t1)
+                                        : ingress_.at(i.value).max_over(t0, t1);
+  const double out_peak = out_idx.exact() ? out_idx.peak_over(t0, t1)
+                                          : egress_.at(e.value).max_over(t0, t1);
+  const double in_room =
+      network_->ingress_capacity(i).to_bytes_per_second() - in_peak;
+  const double out_room =
+      network_->egress_capacity(e).to_bytes_per_second() - out_peak;
   return Bandwidth::bytes_per_second(std::max(0.0, std::min(in_room, out_room)));
 }
 
@@ -95,9 +161,28 @@ void CounterLedger::allocate(IngressId i, EgressId e, Bandwidth bw) {
 void CounterLedger::reclaim(IngressId i, EgressId e, Bandwidth bw) {
   ingress_.at(i.value) -= bw;
   egress_.at(e.value) -= bw;
-  // Guard against drift below zero after many allocate/reclaim pairs.
-  if (ingress_.at(i.value) < Bandwidth::zero()) ingress_.at(i.value) = Bandwidth::zero();
-  if (egress_.at(e.value) < Bandwidth::zero()) egress_.at(e.value) = Bandwidth::zero();
+  // FP noise on long allocate/reclaim chains legitimately dips a hair below
+  // zero — clamp it. Drift past the admission tolerance is a mismatched
+  // allocate/reclaim pair; note_negative_drift asserts (debug) / counts it
+  // so the accounting bug surfaces instead of biasing fits() optimistically.
+  if (ingress_.at(i.value) < Bandwidth::zero()) {
+    note_negative_drift(ingress_.at(i.value));
+    ingress_.at(i.value) = Bandwidth::zero();
+  }
+  if (egress_.at(e.value) < Bandwidth::zero()) {
+    note_negative_drift(egress_.at(e.value));
+    egress_.at(e.value) = Bandwidth::zero();
+  }
+}
+
+void CounterLedger::note_negative_drift(Bandwidth value) const {
+  // Same 1 byte/s absolute tolerance as approx_le(Bandwidth, Bandwidth):
+  // anything within it is expected rounding noise, not an accounting bug.
+  if (value.to_bytes_per_second() >= -1.0) return;
+  assert(false &&
+         "CounterLedger::reclaim: counter drift beyond tolerance "
+         "(mismatched allocate/reclaim pair)");
+  if (observer_ != nullptr) observer_->count(obs::Counter::kLedgerDriftClamped);
 }
 
 void CounterLedger::reset() {

@@ -7,6 +7,13 @@
 //    over [t0, t1) would exceed the port capacity anywhere. Used by the
 //    rigid heuristics (whose reservations span arbitrary future windows),
 //    the BOOK-AHEAD feasibility probes, and the optimality solvers.
+//    Probe-heavy callers are served by a per-port ResidualIndex (segment
+//    tree over the profile's breakpoints, DESIGN.md §5g): once a port has
+//    absorbed enough fallback-scan work to pay for a build, `fits` answers
+//    from one O(log n) tree query instead of the O(window) profile scan.
+//    Decisions stay bit-identical: an unpatched index returns the exact
+//    peak, and a patched one is trusted only outside its FP guard band
+//    (inside it, the exact profile scan decides).
 //
 //  * CounterLedger — the paper's O(1) online book (`ali`/`ale` in
 //    Algorithms 2 and 3): one running counter per port, increased on accept
@@ -27,6 +34,7 @@
 
 #include "core/ids.hpp"
 #include "core/network.hpp"
+#include "core/residual_index.hpp"
 #include "core/timeline_profile.hpp"
 #include "obs/observer.hpp"
 #include "util/quantity.hpp"
@@ -34,6 +42,11 @@
 namespace gridbw {
 
 /// Exact time-aware allocation book over all ports of a network.
+///
+/// Thread safety: like TimelineProfile queries, `fits` and `headroom` may
+/// mutate mutable acceleration state (lazy merges, residual-index upkeep)
+/// even though they are const. A NetworkLedger must not be shared across
+/// threads; every scheduling engine owns its own instance.
 class NetworkLedger {
  public:
   explicit NetworkLedger(const Network& network);
@@ -74,18 +87,42 @@ class NetworkLedger {
   void attach_observer(obs::Observer* observer) { observer_ = observer; }
 
  private:
+  /// Per-port probe accelerator (ISSUE 6 tentpole). The index starts stale
+  /// (zero cost for reserve-only workloads); every fallback scan in `fits`
+  /// charges its window width as debt, and the index is (re)built once the
+  /// debt matches a build's O(n) cost — keeping probes amortized O(log n)
+  /// without ever losing to the flat scan by more than 2x.
+  struct PortProbe {
+    ResidualIndex index;
+    double scan_debt{0.0};
+  };
+
+  /// One port's half of `fits`: index probe when trustworthy, exact profile
+  /// scan (plus debt accounting / amortized rebuild) otherwise. The decision
+  /// is bit-identical to `approx_le(Bandwidth(peak) + add, capacity)`.
+  [[nodiscard]] bool port_fits(const TimelineProfile& profile, PortProbe& probe,
+                               TimePoint t0, TimePoint t1, Bandwidth add,
+                               Bandwidth capacity) const;
+
   const Network* network_;
   std::vector<TimelineProfile> ingress_;
   std::vector<TimelineProfile> egress_;
+  mutable std::vector<PortProbe> ingress_probe_;
+  mutable std::vector<PortProbe> egress_probe_;
   obs::Observer* observer_{nullptr};
 };
 
 /// The paper's online counters: ali(i), ale(e).
 ///
-/// Unlike NetworkLedger, this book carries no observer hook: its methods are
-/// O(1) and sit inside slice-sweep loops that call them millions of times,
-/// where even a disabled-observer branch is measurable in unoptimized
-/// builds. Engines narrate admissions via the note_* helpers instead.
+/// Unlike NetworkLedger, this book is uninstrumented on its hot paths: the
+/// methods are O(1) and sit inside slice-sweep loops that call them millions
+/// of times, where even a disabled-observer branch is measurable in
+/// unoptimized builds. Engines narrate admissions via the note_* helpers.
+/// The one exception is the anomaly hook: `reclaim` driving a counter below
+/// zero by more than the admission tolerance is a mismatched
+/// allocate/reclaim pair, asserted in debug builds and counted
+/// (kLedgerDriftClamped) when an observer is attached — that branch is only
+/// ever reached on the clamp path, so healthy runs pay nothing.
 class CounterLedger {
  public:
   explicit CounterLedger(const Network& network);
@@ -96,8 +133,14 @@ class CounterLedger {
   /// ali(i) += bw; ale(e) += bw. Does not re-check `fits`.
   void allocate(IngressId i, EgressId e, Bandwidth bw);
 
-  /// Reclaims a finished transfer's bandwidth.
+  /// Reclaims a finished transfer's bandwidth. Counters dipping a hair
+  /// below zero (FP noise on long allocate/reclaim chains) are clamped
+  /// silently; drift beyond the 1 byte/s admission tolerance trips a debug
+  /// assertion and bumps kLedgerDriftClamped on the attached observer.
   void reclaim(IngressId i, EgressId e, Bandwidth bw);
+
+  /// Attaches the drift-anomaly observer (see class comment). Null detaches.
+  void attach_observer(obs::Observer* observer) { observer_ = observer; }
 
   /// Zeroes every counter in place (no reallocation) — the cheap
   /// alternative to constructing a fresh ledger per time slice.
@@ -124,9 +167,15 @@ class CounterLedger {
   [[nodiscard]] const Network& network() const { return *network_; }
 
  private:
+  /// Cold half of the reclaim clamp: asserts/counts when `value` is below
+  /// -1 byte/s. Out of line so the hot loop only pays a call on the
+  /// (already rare) negative branch.
+  void note_negative_drift(Bandwidth value) const;
+
   const Network* network_;
   std::vector<Bandwidth> ingress_;
   std::vector<Bandwidth> egress_;
+  obs::Observer* observer_{nullptr};
 };
 
 /// Incremental admission book for slice sweeps over a fixed request set.
@@ -158,6 +207,9 @@ class AdmissionLedger {
 
   /// Forgets every admission and zeroes the counters in place.
   void reset();
+
+  /// Forwards the drift-anomaly observer to the underlying counters.
+  void attach_observer(obs::Observer* observer) { counters_.attach_observer(observer); }
 
   [[nodiscard]] const CounterLedger& counters() const { return counters_; }
 

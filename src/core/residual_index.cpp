@@ -1,0 +1,122 @@
+#include "core/residual_index.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace gridbw {
+
+namespace {
+
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+}  // namespace
+
+void ResidualIndex::rebuild(const TimelineProfile& profile) {
+  profile.ensure_merged();
+  const std::span<const double> times = profile.merged_times_view();
+  const std::span<const double> values = profile.merged_values_view();
+  times_.assign(times.begin(), times.end());
+  size_ = times_.size();
+  patches_ = 0;
+  stale_ = false;
+  scale_ = 1.0;
+  if (size_ == 0) {
+    tree_.clear();
+    added_.clear();
+    return;
+  }
+  tree_.assign(4 * size_, kNegInf);
+  added_.assign(4 * size_, 0.0);
+  build(1, 0, size_ - 1, values);
+  for (const double v : values) scale_ = std::max(scale_, std::fabs(v));
+}
+
+void ResidualIndex::build(std::size_t node, std::size_t lo, std::size_t hi,
+                          std::span<const double> values) {
+  if (lo == hi) {
+    tree_[node] = values[lo];
+    return;
+  }
+  const std::size_t mid = lo + (hi - lo) / 2;
+  build(2 * node, lo, mid, values);
+  build(2 * node + 1, mid + 1, hi, values);
+  tree_[node] = std::max(tree_[2 * node], tree_[2 * node + 1]);
+}
+
+bool ResidualIndex::apply(TimePoint t0, TimePoint t1, double delta) {
+  if (!(t0 < t1) || delta == 0.0) return fresh();  // TimelineProfile::add no-op
+  if (stale_) return false;
+  const auto locate = [this](double t) -> std::size_t {
+    const auto it = std::lower_bound(times_.begin(), times_.end(), t);
+    if (it == times_.end() || *it != t) return size_;
+    return static_cast<std::size_t>(it - times_.begin());
+  };
+  const std::size_t l = locate(t0.to_seconds());
+  const std::size_t r = locate(t1.to_seconds());
+  if (l >= size_ || r >= size_) {
+    // The interval introduces a breakpoint the snapshot has never seen;
+    // patching would need an O(n) reshuffle, so go stale instead (nothing
+    // was modified — the owner falls back to the profile until a rebuild).
+    stale_ = true;
+    return false;
+  }
+  // values[k] holds on [times[k], times[k+1]); the add covers k in [l, r).
+  range_add(1, 0, size_ - 1, l, r - 1, delta);
+  ++patches_;
+  scale_ += std::fabs(delta);
+  return true;
+}
+
+void ResidualIndex::range_add(std::size_t node, std::size_t lo, std::size_t hi,
+                              std::size_t l, std::size_t r, double delta) {
+  if (r < lo || hi < l) return;
+  if (l <= lo && hi <= r) {
+    tree_[node] += delta;
+    added_[node] += delta;
+    return;
+  }
+  const std::size_t mid = lo + (hi - lo) / 2;
+  range_add(2 * node, lo, mid, l, r, delta);
+  range_add(2 * node + 1, mid + 1, hi, l, r, delta);
+  tree_[node] = std::max(tree_[2 * node], tree_[2 * node + 1]) + added_[node];
+}
+
+double ResidualIndex::range_max(std::size_t node, std::size_t lo, std::size_t hi,
+                                std::size_t l, std::size_t r) const {
+  if (r < lo || hi < l) return kNegInf;
+  if (l <= lo && hi <= r) return tree_[node];
+  const std::size_t mid = lo + (hi - lo) / 2;
+  const double best = std::max(range_max(2 * node, lo, mid, l, r),
+                               range_max(2 * node + 1, mid + 1, hi, l, r));
+  return best + added_[node];
+}
+
+double ResidualIndex::peak_over(TimePoint t0, TimePoint t1) const {
+  if (!(t0 < t1) || size_ == 0) return 0.0;
+  const double lo = t0.to_seconds();
+  const double hi = t1.to_seconds();
+  // Same window semantics as TimelineProfile::max_over: breakpoints strictly
+  // inside (lo, hi) are indices [first, last), and the value holding at the
+  // left edge is values[first - 1]. Folding the edge into one range query is
+  // exact: max over a fixed set of doubles is order-independent selection,
+  // and the outer max(0.0, ...) normalizes -0.0 identically on both sides.
+  const std::size_t first = static_cast<std::size_t>(
+      std::upper_bound(times_.begin(), times_.end(), lo) - times_.begin());
+  const std::size_t last = static_cast<std::size_t>(
+      std::lower_bound(times_.begin(), times_.end(), hi) - times_.begin());
+  const std::size_t from = first == 0 ? 0 : first - 1;
+  if (from >= last) return 0.0;
+  return std::max(0.0, range_max(1, 0, size_ - 1, from, last - 1));
+}
+
+double ResidualIndex::error_bound() const {
+  if (patches_ == 0) return 0.0;
+  // Every patch contributes at most a handful of reassociated additions to
+  // a query result; each addition errs by at most eps * |running value| and
+  // running values are bounded by scale_. 2^-48 (= 16 * DBL_EPSILON) absorbs
+  // the per-patch fan-out with a wide margin.
+  return static_cast<double>(patches_ + 1) * scale_ * 0x1p-48;
+}
+
+}  // namespace gridbw

@@ -1,0 +1,100 @@
+// gridbw/core/residual_index.hpp
+//
+// O(log n) feasibility accelerator layered over a TimelineProfile: a lazy
+// range-add / range-max segment tree built on a snapshot of the profile's
+// merged breakpoint arrays. One tree probe answers "what is the peak load
+// anywhere in [t0, t1)?" — and therefore "how much residual headroom does
+// this port have?" — where the flat profile's `max_over` walks every
+// breakpoint inside the window.
+//
+// Lifecycle (the invariants DESIGN.md §5g documents):
+//
+//  * `rebuild(profile)` merges the profile and snapshots its breakpoint
+//    times and prefix-sum values. An unpatched ("exact") index answers
+//    `peak_over` with the bit-identical double `profile.max_over` would
+//    return: range-max is a selection over the very same values, folded
+//    against the same 0.0 initial the profile uses.
+//  * `apply(t0, t1, delta)` patches a reservation/release in O(log n)
+//    when both endpoints already exist as snapshot breakpoints (the
+//    common case for repeated probing of the same slice grid). A patch
+//    that would need new breakpoints makes the index stale instead —
+//    the owner falls back to the profile scan and eventually rebuilds.
+//  * Patched values are FP-reassociated sums, so a patched index is only
+//    `error_bound()`-accurate; callers that need exact decisions compare
+//    against a guard band and fall back to the profile when the answer
+//    lies inside it (NetworkLedger::fits does exactly this).
+//
+// Thread safety: `peak_over` on a built index is a pure read — any number
+// of threads may probe one index concurrently (tests/tsan_stress_test.cpp
+// hammers this). `rebuild`/`apply`/`invalidate` are writes and must not
+// race queries, the same contract as TimelineProfile::ensure_merged.
+
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/timeline_profile.hpp"
+#include "util/quantity.hpp"
+
+namespace gridbw {
+
+class ResidualIndex {
+ public:
+  /// Snapshots `profile` (merging pending adds first) and builds the tree.
+  /// After this the index is fresh and exact.
+  void rebuild(const TimelineProfile& profile);
+
+  /// Adds `delta` over [t0, t1) in O(log n). Returns true and stays fresh
+  /// when both endpoints are existing snapshot breakpoints; otherwise the
+  /// index goes stale and returns false. Mirrors TimelineProfile::add's
+  /// no-op contract for empty intervals and zero deltas.
+  bool apply(TimePoint t0, TimePoint t1, double delta);
+
+  /// Peak load over [t0, t1). Bit-identical to the source profile's
+  /// `max_over` while `exact()`; within `error_bound()` of it otherwise.
+  /// Must not be called on a stale index.
+  [[nodiscard]] double peak_over(TimePoint t0, TimePoint t1) const;
+
+  /// Upper bound on |peak_over - profile.max_over| introduced by patches.
+  /// Zero while `exact()`.
+  [[nodiscard]] double error_bound() const;
+
+  /// True when the snapshot still mirrors the profile (possibly patched).
+  [[nodiscard]] bool fresh() const { return !stale_; }
+
+  /// True when no patch has been applied since the last rebuild, i.e.
+  /// `peak_over` is bit-identical to the profile.
+  [[nodiscard]] bool exact() const { return !stale_ && patches_ == 0; }
+
+  [[nodiscard]] std::size_t breakpoint_count() const { return size_; }
+  [[nodiscard]] std::size_t patch_count() const { return patches_; }
+
+  /// Forces staleness (e.g. after mutating the profile behind the index).
+  void invalidate() { stale_ = true; }
+
+ private:
+  void build(std::size_t node, std::size_t lo, std::size_t hi,
+             std::span<const double> values);
+  void range_add(std::size_t node, std::size_t lo, std::size_t hi, std::size_t l,
+                 std::size_t r, double delta);
+  [[nodiscard]] double range_max(std::size_t node, std::size_t lo, std::size_t hi,
+                                 std::size_t l, std::size_t r) const;
+
+  // Snapshot of the profile's breakpoint instants, sorted.
+  std::vector<double> times_;
+  // Segment tree over the profile's prefix-sum values: tree_[k] is the true
+  // max of its span (own pending add included), added_[k] the pending add
+  // that applies to the whole span but is not yet pushed to descendants.
+  std::vector<double> tree_;
+  std::vector<double> added_;
+  std::size_t size_{0};
+  std::size_t patches_{0};
+  bool stale_{true};
+  // Error scale for `error_bound`: the rebuild-time magnitude plus every
+  // patch magnitude since (reassociation error is relative to the terms).
+  double scale_{1.0};
+};
+
+}  // namespace gridbw

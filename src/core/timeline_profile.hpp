@@ -37,6 +37,7 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
 #include "util/quantity.hpp"
@@ -79,6 +80,14 @@ class TimelineProfile {
 
   /// Times at which the function changes value, in increasing order.
   [[nodiscard]] std::vector<TimePoint> breakpoints() const;
+
+  /// Zero-copy views of the merged SoA arrays: breakpoint instants and the
+  /// prefix-sum value holding on [times[k], times[k+1]). Merges pending
+  /// first; the views are invalidated by the next `add`/`compact`. These
+  /// exist so ResidualIndex can snapshot the arrays without a per-element
+  /// copy through TimePoint wrappers.
+  [[nodiscard]] std::span<const double> merged_times_view() const;
+  [[nodiscard]] std::span<const double> merged_values_view() const;
 
   [[nodiscard]] bool empty() const { return times_.empty() && pending_.empty(); }
 

@@ -41,15 +41,23 @@ enum class CandidateOrder {
 
 [[nodiscard]] std::string to_string(CandidateOrder order);
 
-/// How the per-interval loop finds the next-best candidate. Both engines
+/// How the per-interval loop finds the next-best candidate. All engines
 /// produce identical schedules (enforced by the differential tests):
 /// kScan is the literal O(C²) reference — re-evaluate every remaining
 /// candidate per admission; kHeap keeps candidates in a lazily-refreshed
 /// min-heap (costs only grow as admissions consume capacity, so a stale key
 /// is always a lower bound and a refreshed top is the true minimum).
+///
+/// Small batches favour the scan: below ~16 candidates the heap's push/pop
+/// and double cost evaluation (build + refresh) cost more than the brute
+/// quadratic re-scan, which is exactly why the heap engine used to lose to
+/// the reference on arrival-paced workloads whose intervals batch only a
+/// handful of requests. kAuto picks per interval: scan below the measured
+/// break-even batch size, heap at or above it.
 enum class WindowEngine {
   kScan,  // reference: linear re-scan per admission
-  kHeap,  // default: lazy min-heap selection
+  kHeap,  // lazy min-heap selection (wins on large batches)
+  kAuto,  // default: per-interval crossover between the two
 };
 
 [[nodiscard]] std::string to_string(WindowEngine engine);
@@ -67,7 +75,7 @@ struct WindowOptions {
 
   CandidateOrder order{CandidateOrder::kMinCost};
 
-  WindowEngine engine{WindowEngine::kHeap};
+  WindowEngine engine{WindowEngine::kAuto};
 };
 
 [[nodiscard]] ScheduleResult schedule_flexible_window(const Network& network,

@@ -1,6 +1,9 @@
 #include "heuristics/rigid_slots.hpp"
 
 #include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdint>
 #include <functional>
 #include <queue>
 #include <stdexcept>
@@ -120,6 +123,7 @@ ScheduleResult sweep_rebuild(const Network& network, std::span<const Request> re
   std::vector<TimePoint> removed_at = make_removal_clock(requests, observer);
 
   CounterLedger counters{network};
+  counters.attach_observer(observer);  // drift-anomaly hook only
   for (std::size_t b = 0; b + 1 < s.boundaries.size(); ++b) {
     const TimePoint t1 = s.boundaries[b];
     const TimePoint t2 = s.boundaries[b + 1];
@@ -147,12 +151,16 @@ ScheduleResult sweep_rebuild(const Network& network, std::span<const Request> re
 
     // Fresh per-slice counters (no request starts or stops inside a slice,
     // so per-slice admission is exact).
-    counters = CounterLedger{network};
+    counters.reset();
     for (std::size_t k : order) {
       const Request& r = requests[k];
       const Bandwidth bw = r.min_rate();
-      if (telemetry != nullptr) ++telemetry->admission_checks;
-      if (approx_le(bw, r.max_rate) && counters.fits(r.ingress, r.egress, bw)) {
+      const bool rate_ok = approx_le(bw, r.max_rate);
+      // admission_checks counts ledger probes only — a request whose min
+      // rate exceeds its own cap never reaches the ledger, in either
+      // engine (the incremental sweeps precompute this as feasible[]).
+      if (rate_ok && telemetry != nullptr) ++telemetry->admission_checks;
+      if (rate_ok && counters.fits(r.ingress, r.egress, bw)) {
         counters.allocate(r.ingress, r.egress, bw);
       } else {
         // Retro-removal: the request is discarded permanently. Earlier
@@ -167,22 +175,27 @@ ScheduleResult sweep_rebuild(const Network& network, std::span<const Request> re
   return assemble(requests, s.alive, observer);
 }
 
-/// Incremental engine. The sorted active set and the AdmissionLedger
-/// survive across slices; boundaries apply finish/retro-removal deltas and
-/// greedy admission is replayed only from the first position whose decision
-/// inputs changed. For CUMULATED-SLOTS the cost factor is slice-dependent,
-/// so any membership change forces a full re-sort and replay — but a slice
-/// whose membership is unchanged is provably identical to its predecessor
-/// (an unchanged set means the previous slice admitted everyone, and a set
-/// that fits in one greedy order fits in all of them) and is skipped.
+/// Incremental engine for the static-cost kernels (MINBW/MINVOL — any cost
+/// whose factor does not depend on the slice). The sorted active set and the
+/// AdmissionLedger survive across slices; boundaries apply finish and
+/// retro-removal deltas, and greedy admission is replayed only from the
+/// first position whose decision inputs changed. Two invariants carry the
+/// engine (shared with sweep_cumulated below):
+///
+///  * after compaction, every member of `order` is currently admitted (a
+///    member that failed admission was retro-removed on the spot), so the
+///    active set is jointly feasible;
+///  * a jointly feasible set re-admits fully under ANY greedy order, so
+///    pure departures never need a replay — dropping a member only frees
+///    capacity — and a newcomer slice replays only from the first
+///    newcomer's position (the prefix is all-admitted and stands).
 ScheduleResult sweep_incremental(const Network& network,
                                  std::span<const Request> requests, SlotCost cost,
                                  SweepSetup& s, SlotsTelemetry* telemetry,
                                  obs::Observer* observer) {
-  const bool cost_is_static = cost != SlotCost::kCumulated;
   const std::size_t n = requests.size();
 
-  // Per-request constants; CUMULATED costs are refreshed per slice.
+  // Per-request constants (static cost: computed once, any slice bounds do).
   std::vector<Bandwidth> rates(n, Bandwidth::zero());
   std::vector<char> feasible(n, 0);
   std::vector<double> costs(n, 0.0);
@@ -191,9 +204,7 @@ ScheduleResult sweep_incremental(const Network& network,
     const Request& r = requests[k];
     rates[k] = r.min_rate();
     feasible[k] = approx_le(rates[k], r.max_rate) ? 1 : 0;
-    if (cost_is_static) {
-      costs[k] = slot_cost(network, r, cost, r.release, r.deadline);
-    }
+    costs[k] = slot_cost(network, r, cost, r.release, r.deadline);
   }
   const auto by_cost = [&](std::size_t a, std::size_t b) {
     if (costs[a] != costs[b]) return costs[a] < costs[b];
@@ -201,6 +212,7 @@ ScheduleResult sweep_incremental(const Network& network,
   };
 
   AdmissionLedger book{network, n};
+  book.attach_observer(observer);  // drift-anomaly hook only
   std::vector<TimePoint> removed_at = make_removal_clock(requests, observer);
   std::vector<std::size_t> order;  // active set, sorted by (cost, id)
   order.reserve(n);
@@ -239,54 +251,35 @@ ScheduleResult sweep_incremental(const Network& network,
       departures.pop();
     }
 
-    // Compact the active set in place. Only the removal of a member that
-    // holds bandwidth can change later decisions; rejected (dead) members
-    // never allocated anything, so sweeping them out is free.
-    std::size_t first_change = kNone;
+    // Compact the active set in place, applying departure/retro-removal
+    // deltas. Dropping a member only frees capacity, and every surviving
+    // member is currently admitted (jointly feasible), so compaction alone
+    // never forces a replay — only newcomers can change later decisions.
     std::size_t write = 0;
     for (std::size_t read = 0; read < order.size(); ++read) {
       const std::size_t k = order[read];
       if (!s.alive[k] || !(requests[k].deadline >= t2)) {
-        if (book.is_admitted(k)) {
-          book.drop(k, requests[k].ingress, requests[k].egress);
-          if (first_change == kNone) first_change = write;
-        }
+        book.drop(k, requests[k].ingress, requests[k].egress);
         continue;
       }
       order[write++] = k;
     }
     order.resize(write);
 
-    if (!newcomers.empty()) {
-      for (std::size_t k : newcomers) {
-        departures.emplace(requests[k].deadline.to_seconds(), k);
-      }
-      if (cost_is_static) {
-        std::sort(newcomers.begin(), newcomers.end(), by_cost);
-        const auto insert_at = static_cast<std::size_t>(
-            std::lower_bound(order.begin(), order.end(), newcomers.front(), by_cost) -
-            order.begin());
-        first_change = std::min(first_change, insert_at);
-        const std::size_t merged_from = order.size();
-        order.insert(order.end(), newcomers.begin(), newcomers.end());
-        std::inplace_merge(order.begin(),
-                           order.begin() + static_cast<std::ptrdiff_t>(merged_from),
-                           order.end(), by_cost);
-      } else {
-        order.insert(order.end(), newcomers.begin(), newcomers.end());
-        first_change = 0;
-      }
-    }
+    if (newcomers.empty()) continue;  // pure departures: decisions stand
 
-    if (!cost_is_static && first_change != kNone) {
-      // Slice-dependent cost: refresh and re-sort the whole active set.
-      for (std::size_t k : order) {
-        costs[k] = slot_cost(network, requests[k], cost, t1, t2);
-      }
-      std::sort(order.begin(), order.end(), by_cost);
-      first_change = 0;
+    for (std::size_t k : newcomers) {
+      departures.emplace(requests[k].deadline.to_seconds(), k);
     }
-    if (first_change == kNone || first_change >= order.size()) continue;
+    std::sort(newcomers.begin(), newcomers.end(), by_cost);
+    const auto first_change = static_cast<std::size_t>(
+        std::lower_bound(order.begin(), order.end(), newcomers.front(), by_cost) -
+        order.begin());
+    const std::size_t merged_from = order.size();
+    order.insert(order.end(), newcomers.begin(), newcomers.end());
+    std::inplace_merge(order.begin(),
+                       order.begin() + static_cast<std::ptrdiff_t>(merged_from),
+                       order.end(), by_cost);
 
     // Replay the affected suffix: release its held allocations, then re-run
     // greedy admission in cost order. The prefix's decisions are untouched
@@ -298,8 +291,238 @@ ScheduleResult sweep_incremental(const Network& network,
     for (std::size_t idx = first_change; idx < order.size(); ++idx) {
       const std::size_t k = order[idx];
       const Request& r = requests[k];
-      if (telemetry != nullptr) ++telemetry->admission_checks;
-      if (feasible[k] && book.try_admit(k, r.ingress, r.egress, rates[k])) continue;
+      if (feasible[k]) {
+        // admission_checks counts ledger probes only (same contract as the
+        // rebuild engine): infeasible-rate requests never reach the book.
+        if (telemetry != nullptr) ++telemetry->admission_checks;
+        if (book.try_admit(k, r.ingress, r.egress, rates[k])) continue;
+      }
+      s.alive[k] = 0;  // retro-removal, permanent
+      dirty = true;
+      if (observer != nullptr) removed_at[k] = t1;
+    }
+  }
+  narrate_preemptions(requests, s.alive, removed_at, observer);
+  return assemble(requests, s.alive, observer);
+}
+
+/// Per-sweep scratch for the CUMULATED kernel, sized once before the sweep
+/// loop and reused every slice — the sweep body is `gridbw:hot`, which bans
+/// stray allocation, and all the per-slice buffers below have capacity for
+/// the full request set so refills never grow them.
+///
+/// Request-indexed arrays are SoA mirrors of the fields the inner loops
+/// touch; the g_* arrays are gather buffers laid out in active-set order so
+/// the per-slice cost refresh runs over contiguous doubles and
+/// auto-vectorizes instead of chasing Request structs.
+struct CumulatedArena {
+  // Indexed by request k. rate/ratio/rel/win reproduce slot_cost's inputs
+  // bit-for-bit: cost = ratio / ((t2 - rel) / win), the exact operation
+  // sequence slot_cost performs, so the sort order matches the oracle's.
+  std::vector<double> rate;      // min_rate, bytes/s
+  std::vector<double> ratio;     // min_rate / bottleneck (cost numerator)
+  std::vector<double> rel;       // release, seconds
+  std::vector<double> win;       // deadline - release, seconds
+  std::vector<double> cost;      // current-slice cost (comparator input)
+  std::vector<char> feasible;    // min_rate <= max_rate (approx_le)
+  std::vector<std::uint32_t> iport;
+  std::vector<std::uint32_t> eport;
+  std::vector<double> held;      // admitted bandwidth, 0 = not admitted
+  // Indexed by port: raw-double CounterLedger with the approx_le threshold
+  // precomputed (cap + 1.0 + 1e-9*|cap|, the exact approx_le expression).
+  std::vector<double> load_in, load_out;
+  std::vector<double> limit_in, limit_out;
+  // Active-set-order gather buffers for the vectorized cost refresh.
+  std::vector<double> g_rel, g_win, g_ratio, g_cost;
+};
+
+/// CUMULATED-SLOTS incremental kernel (the ISSUE 6 tentpole). The cost
+/// factor is slice-dependent, so a newcomer slice must refresh every active
+/// cost and re-sort — but the two sweep invariants (see sweep_incremental)
+/// still hold, and they carry all the savings:
+///
+///  * pure-departure slices apply their drops and stop: the surviving set
+///    is jointly feasible and re-admits fully under any order, so the
+///    replay would be a no-op — skip it entirely;
+///  * newcomer slices replay only from the first newcomer's position in
+///    the freshly sorted order: the prefix holds only currently-admitted
+///    members (in some permutation of the old order, which cannot change a
+///    jointly feasible set's decisions), so its admissions stand;
+///  * the cost refresh gathers into contiguous arrays and runs one
+///    division loop the compiler vectorizes, and admission runs on raw
+///    double port loads against precomputed approx_le thresholds.
+// gridbw:hot
+ScheduleResult sweep_cumulated(const Network& network,
+                               std::span<const Request> requests, SweepSetup& s,
+                               SlotsTelemetry* telemetry, obs::Observer* observer) {
+  const std::size_t n = requests.size();
+
+  CumulatedArena a;
+  a.rate.assign(n, 0.0);
+  a.ratio.assign(n, 0.0);
+  a.rel.assign(n, 0.0);
+  a.win.assign(n, 0.0);
+  a.cost.assign(n, 0.0);
+  a.feasible.assign(n, 0);
+  a.iport.assign(n, 0);
+  a.eport.assign(n, 0);
+  a.held.assign(n, 0.0);
+  for (std::size_t k = 0; k < n; ++k) {
+    if (!s.alive[k]) continue;
+    const Request& r = requests[k];
+    a.rate[k] = r.min_rate().to_bytes_per_second();
+    a.ratio[k] = r.min_rate() / network.bottleneck(r.ingress, r.egress);
+    a.rel[k] = r.release.to_seconds();
+    a.win[k] = (r.deadline - r.release).to_seconds();
+    a.feasible[k] = approx_le(r.min_rate(), r.max_rate) ? 1 : 0;
+    a.iport[k] = static_cast<std::uint32_t>(r.ingress.value);
+    a.eport[k] = static_cast<std::uint32_t>(r.egress.value);
+  }
+  a.load_in.assign(network.ingress_count(), 0.0);
+  a.load_out.assign(network.egress_count(), 0.0);
+  a.limit_in.resize(network.ingress_count());
+  a.limit_out.resize(network.egress_count());
+  for (std::size_t p = 0; p < network.ingress_count(); ++p) {
+    const double cap = network.ingress_capacity(IngressId{p}).to_bytes_per_second();
+    a.limit_in[p] = cap + 1.0 + 1e-9 * std::fabs(cap);
+  }
+  for (std::size_t p = 0; p < network.egress_count(); ++p) {
+    const double cap = network.egress_capacity(EgressId{p}).to_bytes_per_second();
+    a.limit_out[p] = cap + 1.0 + 1e-9 * std::fabs(cap);
+  }
+  a.g_rel.reserve(n);
+  a.g_win.reserve(n);
+  a.g_ratio.reserve(n);
+  a.g_cost.reserve(n);
+
+  // Mirrors CounterLedger::reclaim's clamp: FP noise may dip a counter a
+  // hair below zero; anything past the admission tolerance is a bug.
+  const auto drop_held = [&a](std::size_t k) {
+    const double held = a.held[k];
+    if (held == 0.0) return;
+    a.held[k] = 0.0;
+    const std::uint32_t ip = a.iport[k];
+    const std::uint32_t ep = a.eport[k];
+    a.load_in[ip] -= held;
+    a.load_out[ep] -= held;
+    assert(a.load_in[ip] >= -1.0 && a.load_out[ep] >= -1.0);
+    if (a.load_in[ip] < 0.0) a.load_in[ip] = 0.0;
+    if (a.load_out[ep] < 0.0) a.load_out[ep] = 0.0;
+  };
+  const auto by_cost = [&](std::size_t x, std::size_t y) {
+    if (a.cost[x] != a.cost[y]) return a.cost[x] < a.cost[y];
+    return requests[x].id < requests[y].id;
+  };
+
+  std::vector<TimePoint> removed_at = make_removal_clock(requests, observer);
+  std::vector<std::size_t> order;  // active set, sorted by (cost, id)
+  order.reserve(n);
+  std::vector<std::size_t> newcomers;
+  newcomers.reserve(n);
+  std::priority_queue<std::pair<double, std::size_t>,
+                      std::vector<std::pair<double, std::size_t>>, std::greater<>>
+      departures;
+
+  std::size_t next_release = 0;
+  bool dirty = false;  // a request was retro-removed during the last replay
+
+  for (std::size_t b = 0; b + 1 < s.boundaries.size(); ++b) {
+    const TimePoint t1 = s.boundaries[b];
+    const TimePoint t2 = s.boundaries[b + 1];
+    if (telemetry != nullptr) ++telemetry->slices;
+
+    newcomers.clear();
+    while (next_release < s.by_release.size() &&
+           requests[s.by_release[next_release]].release <= t1) {
+      const std::size_t k = s.by_release[next_release++];
+      if (s.alive[k] && requests[k].deadline >= t2) newcomers.push_back(k);
+    }
+
+    const bool departures_due =
+        !departures.empty() && departures.top().first < t2.to_seconds();
+    if (newcomers.empty() && !departures_due && !dirty) {
+      if (telemetry != nullptr) ++telemetry->skipped_slices;
+      continue;
+    }
+    dirty = false;
+    while (!departures.empty() && departures.top().first < t2.to_seconds()) {
+      departures.pop();
+    }
+
+    // Apply departure/retro-removal deltas and compact the active set.
+    std::size_t write = 0;
+    for (std::size_t read = 0; read < order.size(); ++read) {
+      const std::size_t k = order[read];
+      if (!s.alive[k] || !(requests[k].deadline >= t2)) {
+        drop_held(k);
+        continue;
+      }
+      order[write++] = k;
+    }
+    order.resize(write);
+
+    if (newcomers.empty()) continue;  // pure departures: decisions stand
+
+    for (std::size_t k : newcomers) {
+      departures.emplace(requests[k].deadline.to_seconds(), k);
+    }
+    order.insert(order.end(), newcomers.begin(), newcomers.end());
+
+    // Vectorized cost refresh: gather the slice-invariant factors into
+    // contiguous buffers, run one division loop over them, scatter back for
+    // the comparator. Bit-identical to calling slot_cost per request.
+    const std::size_t m = order.size();
+    a.g_rel.resize(m);
+    a.g_win.resize(m);
+    a.g_ratio.resize(m);
+    a.g_cost.resize(m);
+    for (std::size_t idx = 0; idx < m; ++idx) {
+      const std::size_t k = order[idx];
+      a.g_rel[idx] = a.rel[k];
+      a.g_win[idx] = a.win[k];
+      a.g_ratio[idx] = a.ratio[k];
+    }
+    const double t2s = t2.to_seconds();
+    for (std::size_t idx = 0; idx < m; ++idx) {
+      a.g_cost[idx] = a.g_ratio[idx] / ((t2s - a.g_rel[idx]) / a.g_win[idx]);
+    }
+    for (std::size_t idx = 0; idx < m; ++idx) a.cost[order[idx]] = a.g_cost[idx];
+
+    // Replay starts at the cheapest newcomer (`lead`). Everything cheaper
+    // than it is an already-admitted old member whose admission stands, and
+    // whose internal order is irrelevant (it is never replayed) — so an
+    // O(m) partition replaces the full sort, and only the replayed suffix
+    // is sorted. Identical decisions to sorting everything: the suffix is
+    // exactly the tail a full sort would put at and after lead's position.
+    std::size_t lead = newcomers.front();
+    for (std::size_t idx = 1; idx < newcomers.size(); ++idx) {
+      if (by_cost(newcomers[idx], lead)) lead = newcomers[idx];
+    }
+    const auto suffix_begin =
+        std::partition(order.begin(), order.end(),
+                       [&](std::size_t k) { return by_cost(k, lead); });
+    std::sort(suffix_begin, order.end(), by_cost);
+    const auto first_change =
+        static_cast<std::size_t>(suffix_begin - order.begin());
+
+    for (std::size_t idx = first_change; idx < m; ++idx) drop_held(order[idx]);
+    for (std::size_t idx = first_change; idx < m; ++idx) {
+      const std::size_t k = order[idx];
+      if (a.feasible[k]) {
+        // admission_checks counts ledger probes only (same contract as the
+        // other engines).
+        if (telemetry != nullptr) ++telemetry->admission_checks;
+        const double bw = a.rate[k];
+        const std::uint32_t ip = a.iport[k];
+        const std::uint32_t ep = a.eport[k];
+        if (a.load_in[ip] + bw <= a.limit_in[ip] &&
+            a.load_out[ep] + bw <= a.limit_out[ep]) {
+          a.load_in[ip] += bw;
+          a.load_out[ep] += bw;
+          a.held[k] = bw;
+          continue;
+        }
+      }
       s.alive[k] = 0;  // retro-removal, permanent
       dirty = true;
       if (observer != nullptr) removed_at[k] = t1;
@@ -367,6 +590,11 @@ ScheduleResult schedule_rigid_slots(const Network& network,
     case SlotsEngine::kRebuild:
       return sweep_rebuild(network, requests, cost, setup, telemetry, observer);
     case SlotsEngine::kIncremental:
+      // CUMULATED's slice-dependent cost gets its own batched kernel; the
+      // static-cost kernels share the ordered-merge engine.
+      if (cost == SlotCost::kCumulated) {
+        return sweep_cumulated(network, requests, setup, telemetry, observer);
+      }
       return sweep_incremental(network, requests, cost, setup, telemetry, observer);
   }
   throw std::logic_error{"schedule_rigid_slots: bad engine"};

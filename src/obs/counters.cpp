@@ -16,6 +16,10 @@ std::string to_string(Counter counter) {
     case Counter::kLedgerFitsRejected: return "ledger_fits_rejected";
     case Counter::kLedgerReservations: return "ledger_reservations";
     case Counter::kLedgerReleases: return "ledger_releases";
+    case Counter::kLedgerDriftClamped: return "ledger_drift_clamped";
+    case Counter::kResidualIndexProbes: return "residual_index_probes";
+    case Counter::kResidualIndexFallbacks: return "residual_index_fallbacks";
+    case Counter::kResidualIndexRebuilds: return "residual_index_rebuilds";
     case Counter::kValidatorRuns: return "validator_runs";
     case Counter::kValidatorAssignments: return "validator_assignments";
     case Counter::kValidatorViolations: return "validator_violations";

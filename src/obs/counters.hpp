@@ -37,6 +37,13 @@ enum class Counter : std::size_t {
   kLedgerFitsRejected,
   kLedgerReservations,
   kLedgerReleases,
+  // Counter-book anomaly: a reclaim drove a port counter below zero by more
+  // than the admission tolerance (a mismatched allocate/reclaim pair).
+  kLedgerDriftClamped,
+  // Residual-index (O(log n) probe) adoption inside NetworkLedger::fits.
+  kResidualIndexProbes,
+  kResidualIndexFallbacks,
+  kResidualIndexRebuilds,
   // Validator activity.
   kValidatorRuns,
   kValidatorAssignments,

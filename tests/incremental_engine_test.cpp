@@ -100,6 +100,52 @@ TEST(SlotsEngineDifferential, IncrementalSkipsQuietSlices) {
             tm.slices * std::max<std::size_t>(requests.size(), 1));
 }
 
+// Pins the telemetry contract (ISSUE 6 satellite): admission_checks counts
+// ledger probes ONLY, in every engine. A request whose min rate exceeds its
+// own max_rate is short-circuited before the ledger in the rebuild sweep and
+// precomputed as infeasible in the incremental sweeps — it must not be
+// counted by either. On a single-slice workload (all requests share one
+// window) every engine probes each rate-feasible request exactly once, so
+// the counts are exactly predictable AND equal across engines.
+TEST(AdmissionChecksContract, CountsLedgerProbesOnlyInEveryEngine) {
+  const Network net = Network::uniform(2, 2, Bandwidth::megabytes_per_second(100));
+  const auto shared_window = [](RequestId id, double mb_volume, double mb_cap) {
+    Request r;
+    r.id = id;
+    r.ingress = IngressId{0};
+    r.egress = EgressId{0};
+    r.release = TimePoint::origin();
+    r.deadline = TimePoint::at_seconds(10);
+    r.volume = Volume::megabytes(mb_volume);
+    r.max_rate = Bandwidth::megabytes_per_second(mb_cap);
+    return r;
+  };
+  const std::vector<Request> requests = {
+      shared_window(RequestId{1}, 300.0, 40.0),  // min rate 30 <= cap 40
+      shared_window(RequestId{2}, 200.0, 30.0),  // min rate 20 <= cap 30
+      // Infeasible rate: needs 50 MB/s but its own cap is 10. Never probed.
+      shared_window(RequestId{3}, 500.0, 10.0),
+      shared_window(RequestId{4}, 100.0, 20.0),  // min rate 10 <= cap 20
+  };
+
+  for (const auto cost : {heuristics::SlotCost::kCumulated,
+                          heuristics::SlotCost::kMinBandwidth,
+                          heuristics::SlotCost::kMinVolume}) {
+    for (const auto engine :
+         {heuristics::SlotsEngine::kRebuild, heuristics::SlotsEngine::kIncremental}) {
+      heuristics::SlotsTelemetry tm;
+      const auto result =
+          heuristics::schedule_rigid_slots(net, requests, cost, engine, &tm);
+      EXPECT_EQ(tm.admission_checks, 3u)
+          << to_string(cost) << "/" << to_string(engine);
+      // The infeasible-rate request is rejected, the three feasible ones
+      // (60 MB/s total on port 0) are admitted.
+      EXPECT_EQ(result.rejected.size(), 1u);
+      EXPECT_EQ(result.schedule.assignments().size(), 3u);
+    }
+  }
+}
+
 struct WindowCase {
   heuristics::CandidateOrder order;
   double hotspot;
@@ -140,6 +186,38 @@ INSTANTIATE_TEST_SUITE_P(
                       WindowCase{heuristics::CandidateOrder::kMinCost, 0.5},
                       WindowCase{heuristics::CandidateOrder::kEarliestDeadline, 0.0},
                       WindowCase{heuristics::CandidateOrder::kShortestJob, 0.0}));
+
+TEST_P(WindowEngineDifferential, AutoMatchesScanOnRandomWorkloads) {
+  // kAuto flips between scan and heap per interval at the break-even batch
+  // size; both legs are decision-identical, so the crossover must be
+  // invisible in the schedule. The dense scenario pushes batches above the
+  // threshold, the sparse one keeps them below, so both legs execute.
+  const auto param = GetParam();
+  for (const std::uint64_t seed : kSeeds) {
+    for (const double interarrival : {0.1, 2.0}) {
+      const workload::Scenario scenario = workload::paper_flexible(
+          Duration::seconds(interarrival), Duration::seconds(600), 4.0);
+      Rng rng{seed};
+      const auto requests = workload::generate(scenario.spec, rng);
+
+      heuristics::WindowOptions opt;
+      opt.step = Duration::seconds(50);
+      opt.policy = heuristics::BandwidthPolicy::fraction_of_max(0.8);
+      opt.order = param.order;
+      opt.hotspot_weight = param.hotspot;
+
+      opt.engine = heuristics::WindowEngine::kScan;
+      const auto reference =
+          heuristics::schedule_flexible_window(scenario.network, requests, opt);
+      opt.engine = heuristics::WindowEngine::kAuto;
+      const auto fast =
+          heuristics::schedule_flexible_window(scenario.network, requests, opt);
+      EXPECT_EQ(fingerprint(reference), fingerprint(fast))
+          << to_string(param.order) << " hotspot=" << param.hotspot
+          << " seed=" << seed << " interarrival=" << interarrival;
+    }
+  }
+}
 
 TEST(WindowEngineDifferential, MinRatePolicyAlsoMatches) {
   const workload::Scenario scenario =

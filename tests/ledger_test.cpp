@@ -112,6 +112,54 @@ TEST_F(CounterLedgerTest, ReclaimClampsDriftBelowZero) {
   EXPECT_GE(counters_.allocated_egress(EgressId{0}).to_bytes_per_second(), 0.0);
 }
 
+TEST_F(CounterLedgerTest, DriftWithinToleranceStaysSilent) {
+  // FP noise (sub-byte/s undershoot) is clamped without waking the anomaly
+  // hook: no assertion, no kLedgerDriftClamped bump.
+  obs::CounterRegistry registry;
+  obs::Observer observer{nullptr, &registry};
+  counters_.attach_observer(&observer);
+  counters_.allocate(IngressId{0}, EgressId{0}, mbps(10));
+  counters_.reclaim(IngressId{0}, EgressId{0},
+                    mbps(10) + Bandwidth::bytes_per_second(0.5));
+  EXPECT_EQ(registry.value(obs::Counter::kLedgerDriftClamped), 0u);
+  EXPECT_EQ(counters_.allocated_ingress(IngressId{0}), Bandwidth::zero());
+}
+
+// Regression (ISSUE 6 satellite): reclaiming more than was allocated — a
+// mismatched allocate/reclaim pair — used to be clamped to zero silently,
+// hiding the accounting bug while leaving fits() optimistically biased for
+// the rest of the run. It now trips a debug assertion; in assertion-free
+// builds it bumps kLedgerDriftClamped on the attached observer instead.
+TEST_F(CounterLedgerTest, ReclaimDriftBeyondToleranceIsLoud) {
+  obs::CounterRegistry registry;
+  obs::Observer observer{nullptr, &registry};
+  counters_.attach_observer(&observer);
+  counters_.allocate(IngressId{0}, EgressId{0}, mbps(10));
+#ifndef NDEBUG
+  EXPECT_DEATH(counters_.reclaim(IngressId{0}, EgressId{0}, mbps(20)),
+               "drift beyond tolerance");
+#else
+  counters_.reclaim(IngressId{0}, EgressId{0}, mbps(20));
+  // Both the ingress and the egress counter went 10 MB/s negative.
+  EXPECT_EQ(registry.value(obs::Counter::kLedgerDriftClamped), 2u);
+  // The clamp itself still holds: counters never stay negative.
+  EXPECT_EQ(counters_.allocated_ingress(IngressId{0}), Bandwidth::zero());
+  EXPECT_EQ(counters_.allocated_egress(EgressId{0}), Bandwidth::zero());
+#endif
+}
+
+TEST_F(CounterLedgerTest, DriftHookDetachesWithNull) {
+  obs::CounterRegistry registry;
+  obs::Observer observer{nullptr, &registry};
+  counters_.attach_observer(&observer);
+  counters_.attach_observer(nullptr);
+  counters_.allocate(IngressId{0}, EgressId{0}, mbps(10));
+#ifdef NDEBUG
+  counters_.reclaim(IngressId{0}, EgressId{0}, mbps(20));
+  EXPECT_EQ(registry.value(obs::Counter::kLedgerDriftClamped), 0u);
+#endif
+}
+
 TEST_F(CounterLedgerTest, ManyAllocReclaimCyclesStayExact) {
   for (int k = 0; k < 10000; ++k) {
     counters_.allocate(IngressId{0}, EgressId{0}, mbps(33.3));

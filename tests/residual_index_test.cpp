@@ -1,0 +1,276 @@
+// Differential + adversarial suite for the residual-capacity index
+// (core/residual_index.hpp, DESIGN.md §5g):
+//
+//  * an unpatched (exact) index must return TimelineProfile::max_over's
+//    answer bit-for-bit, on random and adversarial breakpoint-dense
+//    profiles and on every window shape (spanning, sliver, disjoint);
+//  * a patched index bounds its FP drift by error_bound(), and apply() at
+//    an unknown breakpoint makes the index stale instead of lying;
+//  * NetworkLedger::fits — the adopter — must make the bit-identical
+//    admission decision to the pure per-port profile scans on fig4-scale
+//    probe/reserve/release workloads (several seeds), across index builds,
+//    patches, and guard-band fallbacks; headroom must stay exact too.
+
+#include "core/residual_index.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "core/ledger.hpp"
+#include "core/timeline_profile.hpp"
+#include "util/random.hpp"
+#include "workload/generator.hpp"
+#include "workload/load.hpp"
+#include "workload/scenario.hpp"
+
+namespace gridbw {
+namespace {
+
+TimePoint at(double s) { return TimePoint::at_seconds(s); }
+
+TEST(ResidualIndexTest, StartsStaleAndRebuildMakesItExact) {
+  TimelineProfile profile;
+  profile.add(at(0), at(10), 3.0);
+  ResidualIndex index;
+  EXPECT_FALSE(index.fresh());
+  EXPECT_FALSE(index.exact());
+  index.rebuild(profile);
+  EXPECT_TRUE(index.fresh());
+  EXPECT_TRUE(index.exact());
+  EXPECT_EQ(index.patch_count(), 0u);
+  EXPECT_DOUBLE_EQ(index.error_bound(), 0.0);
+}
+
+TEST(ResidualIndexTest, ExactIndexMatchesMaxOverBitForBitOnRandomProfiles) {
+  for (const std::uint64_t seed : {11u, 4242u, 987654321u}) {
+    Rng rng{seed};
+    TimelineProfile profile;
+    for (int k = 0; k < 400; ++k) {
+      const double t0 = rng.uniform(0.0, 1000.0);
+      const double len = rng.uniform(0.001, 80.0);
+      profile.add(at(t0), at(t0 + len), rng.uniform(-2.0, 5.0));
+    }
+    ResidualIndex index;
+    index.rebuild(profile);
+    ASSERT_TRUE(index.exact());
+    for (int q = 0; q < 2000; ++q) {
+      const double lo = rng.uniform(-50.0, 1100.0);
+      const double hi = lo + rng.uniform(0.0, 300.0);
+      const double got = index.peak_over(at(lo), at(hi));
+      const double want = profile.max_over(at(lo), at(hi));
+      // Bit-identity, not EXPECT_NEAR: NetworkLedger's decisions depend on
+      // the exact double.
+      ASSERT_EQ(got, want) << "seed=" << seed << " window=[" << lo << "," << hi << ")";
+    }
+  }
+}
+
+TEST(ResidualIndexTest, BreakpointDenseProfileAndSliverWindows) {
+  // Thousands of abutting one-second segments: every query window boundary
+  // falls near breakpoints, the worst case for off-by-one index math.
+  TimelineProfile profile;
+  for (int k = 0; k < 5000; ++k) {
+    profile.add(at(k), at(k + 1), static_cast<double>((k * 37) % 101));
+  }
+  ResidualIndex index;
+  index.rebuild(profile);
+  ASSERT_TRUE(index.exact());
+  ASSERT_GE(index.breakpoint_count(), 5000u);
+  for (int k = 0; k < 5000; k += 7) {
+    const double t = static_cast<double>(k);
+    // Exactly one segment, a boundary-straddling pair, and a zero-width
+    // sliver (empty window: both must answer 0).
+    ASSERT_EQ(index.peak_over(at(t), at(t + 1)), profile.max_over(at(t), at(t + 1)));
+    ASSERT_EQ(index.peak_over(at(t + 0.5), at(t + 1.5)),
+              profile.max_over(at(t + 0.5), at(t + 1.5)));
+    ASSERT_EQ(index.peak_over(at(t), at(t)), profile.max_over(at(t), at(t)));
+  }
+  // Fully outside the profile on both sides.
+  EXPECT_EQ(index.peak_over(at(-100), at(-50)), profile.max_over(at(-100), at(-50)));
+  EXPECT_EQ(index.peak_over(at(9000), at(9100)), profile.max_over(at(9000), at(9100)));
+}
+
+TEST(ResidualIndexTest, PatchedIndexStaysWithinErrorBound) {
+  Rng rng{77};
+  TimelineProfile profile;
+  for (int k = 0; k < 200; ++k) {
+    const double t0 = static_cast<double>(k);
+    profile.add(at(t0), at(t0 + 3.0), rng.uniform(0.0, 10.0));
+  }
+  ResidualIndex index;
+  index.rebuild(profile);
+
+  // Patch both books identically at existing breakpoints.
+  for (int k = 0; k < 50; ++k) {
+    const double t0 = static_cast<double>((k * 3) % 200);
+    const double delta = rng.uniform(-1.0, 2.0);
+    profile.add(at(t0), at(t0 + 3.0), delta);
+    ASSERT_TRUE(index.apply(at(t0), at(t0 + 3.0), delta)) << "k=" << k;
+  }
+  EXPECT_TRUE(index.fresh());
+  EXPECT_FALSE(index.exact());
+  EXPECT_EQ(index.patch_count(), 50u);
+  const double bound = index.error_bound();
+  EXPECT_GT(bound, 0.0);
+  for (int q = 0; q < 500; ++q) {
+    const double lo = rng.uniform(-10.0, 210.0);
+    const double hi = lo + rng.uniform(0.0, 60.0);
+    const double got = index.peak_over(at(lo), at(hi));
+    const double want = profile.max_over(at(lo), at(hi));
+    ASSERT_NEAR(got, want, bound) << "window=[" << lo << "," << hi << ")";
+  }
+}
+
+TEST(ResidualIndexTest, ApplyAtUnknownBreakpointGoesStale) {
+  TimelineProfile profile;
+  profile.add(at(0), at(10), 1.0);
+  profile.add(at(10), at(20), 2.0);
+  ResidualIndex index;
+  index.rebuild(profile);
+  ASSERT_TRUE(index.fresh());
+
+  // 5.0 is not a snapshot breakpoint: the patch must be refused and the
+  // index marked stale — a wrong "fresh" answer would corrupt admissions.
+  EXPECT_FALSE(index.apply(at(0), at(5), 1.0));
+  EXPECT_FALSE(index.fresh());
+  EXPECT_FALSE(index.exact());
+
+  index.rebuild(profile);
+  EXPECT_TRUE(index.fresh());
+  // Existing endpoints patch fine again.
+  EXPECT_TRUE(index.apply(at(0), at(10), 1.0));
+  EXPECT_TRUE(index.fresh());
+
+  index.invalidate();
+  EXPECT_FALSE(index.fresh());
+}
+
+TEST(ResidualIndexTest, ZeroWidthAndZeroDeltaPatchesAreNoOps) {
+  TimelineProfile profile;
+  profile.add(at(0), at(10), 1.0);
+  ResidualIndex index;
+  index.rebuild(profile);
+  EXPECT_TRUE(index.apply(at(3), at(3), 5.0));   // empty window
+  EXPECT_TRUE(index.apply(at(0), at(10), 0.0));  // zero delta
+  EXPECT_EQ(index.patch_count(), 0u);
+  EXPECT_TRUE(index.exact());
+}
+
+// ---------------------------------------------------------------------------
+// NetworkLedger adoption: fits/headroom must be bit-identical to the pure
+// per-port profile scans while the index builds, patches, and falls back.
+// ---------------------------------------------------------------------------
+
+/// Drives an FCFS-style admit/release sequence over `requests` and checks,
+/// for every probe, that `fits` (index-accelerated) agrees with the pure
+/// `fits_ingress`/`fits_egress` scans evaluated on the same profiles — and
+/// that `headroom` agrees with the scan-computed headroom.
+void check_ledger_bit_identity(const Network& network,
+                               std::span<const Request> requests) {
+  NetworkLedger ledger{network};
+  std::size_t admitted = 0;
+  std::size_t index_disagreements = 0;
+  for (const Request& r : requests) {
+    if (!(r.deadline > r.release)) continue;
+    const Bandwidth bw = r.min_rate();
+    // Order matters: the pure scans never mutate probe state, so computing
+    // them first cannot perturb what `fits` sees.
+    const bool want = ledger.fits_ingress(r.ingress, r.release, r.deadline, bw) &&
+                      ledger.fits_egress(r.egress, r.release, r.deadline, bw);
+    const bool got = ledger.fits(r.ingress, r.egress, r.release, r.deadline, bw);
+    if (got != want) ++index_disagreements;
+    if (got) {
+      ledger.reserve(r.ingress, r.egress, r.release, r.deadline, bw);
+      ++admitted;
+      // Exercise release (negative index patches) on a third of admissions.
+      if (admitted % 3 == 0) {
+        ledger.release(r.ingress, r.egress, r.release, r.deadline, bw);
+      }
+    }
+    if (admitted % 16 == 0) {
+      const double in_peak =
+          ledger.ingress_profile(r.ingress).max_over(r.release, r.deadline);
+      const double out_peak =
+          ledger.egress_profile(r.egress).max_over(r.release, r.deadline);
+      const double want_room = std::max(
+          0.0,
+          std::min(network.ingress_capacity(r.ingress).to_bytes_per_second() - in_peak,
+                   network.egress_capacity(r.egress).to_bytes_per_second() - out_peak));
+      ASSERT_EQ(ledger.headroom(r.ingress, r.egress, r.release, r.deadline)
+                    .to_bytes_per_second(),
+                want_room)
+          << r.describe();
+    }
+  }
+  EXPECT_EQ(index_disagreements, 0u);
+  EXPECT_GT(admitted, 0u);
+}
+
+TEST(ResidualIndexLedgerTest, FitsMatchesPureScansOnFig4Workloads) {
+  for (const std::uint64_t seed : {11u, 4242u, 987654321u}) {
+    workload::Scenario scenario =
+        workload::paper_rigid(Duration::seconds(1), Duration::seconds(1));
+    scenario.spec.mean_interarrival =
+        workload::interarrival_for_load(scenario.spec, scenario.network, 3.0);
+    scenario.spec.horizon = scenario.spec.mean_interarrival * 10000.0;
+    Rng rng{seed};
+    auto requests = workload::generate(scenario.spec, rng);
+    requests.resize(std::min<std::size_t>(requests.size(), 10000));
+    ASSERT_GT(requests.size(), 1000u) << "seed=" << seed;
+    check_ledger_bit_identity(scenario.network, requests);
+  }
+}
+
+TEST(ResidualIndexLedgerTest, EffectivelyZeroCapacityPortsNeverAdmit) {
+  // Network requires positive capacities, so "zero-capacity port" means a
+  // capacity below the admission tolerance (1 byte/s): nothing above the
+  // tolerance can ever fit, however the probe is answered.
+  const Network net = Network::uniform(2, 2, Bandwidth::bytes_per_second(1e-3));
+  NetworkLedger ledger{net};
+  // Dense sub-capacity reservations push the port profile past the index
+  // build floor; repeated probes then amortize the index in (each fallback
+  // scan charges debt) — decisions must not change when it engages.
+  for (int k = 0; k < 200; ++k) {
+    ledger.reserve(IngressId{0}, EgressId{0}, at(k), at(k + 1),
+                   Bandwidth::bytes_per_second(1e-6));
+  }
+  for (int k = 0; k < 500; ++k) {
+    EXPECT_FALSE(ledger.fits(IngressId{0}, EgressId{0}, at(k % 100), at(k % 100 + 5),
+                             Bandwidth::bytes_per_second(2.0)));
+    EXPECT_TRUE(ledger.fits(IngressId{0}, EgressId{0}, at(k % 100), at(k % 100 + 5),
+                            Bandwidth::zero()));
+  }
+  EXPECT_LE(ledger.headroom(IngressId{0}, EgressId{0}, at(0), at(50))
+                .to_bytes_per_second(),
+            1e-3);
+}
+
+TEST(ResidualIndexLedgerTest, SliverWindowsReleaseEqualsDeadline) {
+  const Network net = Network::uniform(2, 2, Bandwidth::megabytes_per_second(100));
+  NetworkLedger ledger{net};
+  for (int k = 0; k < 300; ++k) {
+    ledger.reserve(IngressId{0}, EgressId{0}, at(k), at(k + 2),
+                   Bandwidth::megabytes_per_second(1));
+  }
+  for (int k = 0; k < 300; ++k) {
+    const TimePoint t = at(k + 0.5);
+    // Zero-width [t, t) windows (release == deadline slivers): the profile
+    // scan answers them with the standing load AT t, and the index must
+    // agree bit-for-bit — both for a rate that fits next to that load and
+    // for one that exceeds the port outright.
+    for (const double mb : {50.0, 500.0}) {
+      const Bandwidth bw = Bandwidth::megabytes_per_second(mb);
+      const bool want = ledger.fits_ingress(IngressId{0}, t, t, bw) &&
+                        ledger.fits_egress(EgressId{0}, t, t, bw);
+      EXPECT_EQ(ledger.fits(IngressId{0}, EgressId{0}, t, t, bw), want)
+          << "t=" << t.to_seconds() << " bw=" << mb;
+      EXPECT_EQ(want, mb <= 99.0);  // 1 MB/s standing load on a 100 MB/s port
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gridbw

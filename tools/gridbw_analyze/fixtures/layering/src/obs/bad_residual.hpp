@@ -1,0 +1,4 @@
+// Fixture: the residual index is core vocabulary (core/residual_index.*),
+// so the downward obs module may not reach up for it either.
+#pragma once
+#include "core/residual_index.hpp"
