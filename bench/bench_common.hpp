@@ -210,12 +210,22 @@ inline void write_bench_json(const std::string& path, const std::string& bench,
   for (std::size_t t = 0; t < names.size(); ++t) {
     const RunningStats& w = wall_seconds[t];
     char buf[160];
-    std::snprintf(buf, sizeof buf,
-                  "{\"mean_s\": %.6f, \"stddev_s\": %.6f, \"total_s\": %.6f, "
-                  "\"runs\": %zu}",
-                  w.count() > 0 ? w.mean() : 0.0, w.count() > 1 ? w.stddev() : 0.0,
-                  w.count() > 0 ? w.mean() * static_cast<double>(w.count()) : 0.0,
-                  w.count());
+    // A single run has no spread to report: emit null instead of a fake
+    // zero variance so downstream tooling cannot mistake it for a real
+    // (perfectly stable) measurement.
+    if (w.count() > 1) {
+      std::snprintf(buf, sizeof buf,
+                    "{\"mean_s\": %.6f, \"stddev_s\": %.6f, \"total_s\": %.6f, "
+                    "\"runs\": %zu}",
+                    w.mean(), w.stddev(),
+                    w.mean() * static_cast<double>(w.count()), w.count());
+    } else {
+      std::snprintf(buf, sizeof buf,
+                    "{\"mean_s\": %.6f, \"stddev_s\": null, \"total_s\": %.6f, "
+                    "\"runs\": %zu}",
+                    w.count() > 0 ? w.mean() : 0.0,
+                    w.count() > 0 ? w.mean() : 0.0, w.count());
+    }
     out << "    \"" << json_escape(names[t]) << "\": " << buf
         << (t + 1 < names.size() ? ",\n" : "\n");
   }

@@ -192,8 +192,13 @@ int run(int argc, const char* const* argv) {
     std::cout << "scaling workload: " << big.size() << " rigid requests\n";
     ScheduleResult result;
     heuristics::SlotsTelemetry tm;
+    // Quick smokes run the scaling row once (its JSON then carries
+    // stddev_s: null); full runs take >= 2 timed repetitions so the
+    // reported spread is a real measurement.
+    const std::size_t scale_reps =
+        args.quick ? 1 : std::max<std::size_t>(2, reps);
     const RunningStats wall = time_runs(
-        1,
+        scale_reps,
         [&] {
           tm = {};
           return heuristics::schedule_rigid_slots(

@@ -39,6 +39,8 @@ EVENT_KEYS = {
     "retried": {"event", "req", "t", "attempt", "backoff"},
     "preempted": {"event", "req", "t"},
     "reclaimed": {"event", "req", "t", "bw"},
+    "expired": {"event", "req", "t", "bw"},
+    "revoked": {"event", "req", "t", "reason", "bw"},
     "meta": {"event", "key", "value"},
 }
 
@@ -121,6 +123,8 @@ class Checker:
             self.error(lineno, f"{kind}: backoff must be a finite number >= 0")
         if kind == "rejected" and obj["reason"] not in REASONS:
             self.error(lineno, f"rejected: unknown reason {obj['reason']!r}")
+        if kind == "revoked" and obj["reason"] not in REASONS:
+            self.error(lineno, f"revoked: unknown reason {obj['reason']!r}")
 
         if kind in self.counts:
             self.counts[kind] += 1

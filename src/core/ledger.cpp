@@ -13,6 +13,16 @@ namespace {
 /// scan over a handful of contiguous doubles beats any tree traversal.
 constexpr std::size_t kMinIndexBreakpoints = 64;
 
+/// Releases between GC retirement passes: each pass costs O(ports · log n)
+/// in watermark binary searches even when nothing folds, so the release
+/// path batches it rather than paying per departure.
+constexpr std::size_t kGcReleaseBatch = 64;
+
+/// A port folds its dead prefix only when at least this many breakpoints
+/// retire at once — and only when they make up at least half the resident
+/// set, so the O(n) fold is charged O(1) amortized per retired breakpoint.
+constexpr std::size_t kMinRetireBatch = 64;
+
 }  // namespace
 
 NetworkLedger::NetworkLedger(const Network& network)
@@ -115,6 +125,54 @@ void NetworkLedger::release(IngressId i, EgressId e, TimePoint t0, TimePoint t1,
   (void)ingress_probe_[i.value].index.apply(t0, t1, sub);
   (void)egress_probe_[e.value].index.apply(t0, t1, sub);
   if (observer_ != nullptr) observer_->count(obs::Counter::kLedgerReleases);
+  // Departures drive the breakpoint GC once advance_horizon has armed it.
+  if (gc_armed_ && ++gc_release_debt_ >= kGcReleaseBatch) (void)collect_retired();
+}
+
+std::size_t NetworkLedger::advance_horizon(TimePoint horizon) {
+  if (!gc_armed_ || gc_horizon_ < horizon) gc_horizon_ = horizon;
+  gc_armed_ = true;
+  if (gc_release_debt_ < kGcReleaseBatch) return 0;
+  return collect_retired();
+}
+
+std::size_t NetworkLedger::collect_retired() {
+  if (!gc_armed_) return 0;
+  gc_release_debt_ = 0;
+  std::size_t retired = 0;
+  for (std::size_t p = 0; p < ingress_.size(); ++p) {
+    retired += maybe_retire_port(ingress_[p], ingress_probe_[p]);
+  }
+  for (std::size_t p = 0; p < egress_.size(); ++p) {
+    retired += maybe_retire_port(egress_[p], egress_probe_[p]);
+  }
+  return retired;
+}
+
+std::size_t NetworkLedger::maybe_retire_port(TimelineProfile& profile,
+                                             PortProbe& probe) {
+  const std::size_t retirable = profile.retirable_before(gc_horizon_);
+  if (retirable < kMinRetireBatch || retirable * 2 < profile.breakpoint_count()) {
+    return 0;
+  }
+  const std::size_t retired = profile.retire_before(gc_horizon_);
+  // The index snapshot no longer matches the compacted arrays; fits() falls
+  // back to exact scans until the debt pays for a rebuild over the (now much
+  // smaller) resident set.
+  probe.index.invalidate();
+  probe.scan_debt = 0.0;
+  if (observer_ != nullptr && retired > 0) {
+    observer_->count(obs::Counter::kProfileCompactions);
+    observer_->count(obs::Counter::kBreakpointsRetired, retired);
+  }
+  return retired;
+}
+
+std::size_t NetworkLedger::resident_breakpoints() const {
+  std::size_t total = 0;
+  for (const TimelineProfile& p : ingress_) total += p.breakpoint_count();
+  for (const TimelineProfile& p : egress_) total += p.breakpoint_count();
+  return total;
 }
 
 Bandwidth NetworkLedger::headroom(IngressId i, EgressId e, TimePoint t0,

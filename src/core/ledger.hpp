@@ -86,6 +86,30 @@ class NetworkLedger {
   /// branch per call.
   void attach_observer(obs::Observer* observer) { observer_ = observer; }
 
+  /// Steady-state churn GC (ISSUE 7): moves the retirement watermark forward
+  /// (monotonic max) and arms the release path to drive per-port breakpoint
+  /// compaction. Safe-horizon contract: the caller guarantees that no future
+  /// reserve/release touches an instant strictly before `horizon` — i.e.
+  /// horizon <= min(start of every still-live reservation) and <= now. Under
+  /// that contract every decision the ledger makes after compaction is
+  /// bit-identical to the uncompacted ledger's (TimelineProfile::
+  /// retire_before). Returns the breakpoints retired by the pass this call
+  /// ran, 0 when release-debt batching deferred it.
+  std::size_t advance_horizon(TimePoint horizon);
+
+  /// Runs the retirement pass now, regardless of accumulated release debt.
+  /// Per-port policy unchanged: a port compacts only when the retirable
+  /// prefix is both >= kMinRetireBatch and at least half its resident
+  /// breakpoints, so fold cost stays O(1) amortized per retired breakpoint.
+  std::size_t collect_retired();
+
+  /// Last watermark handed to advance_horizon (zero before the GC is armed).
+  [[nodiscard]] TimePoint gc_horizon() const { return gc_horizon_; }
+
+  /// Total resident (merged) breakpoints across every port profile — the
+  /// figure the churn bench asserts stays O(live requests) under GC.
+  [[nodiscard]] std::size_t resident_breakpoints() const;
+
  private:
   /// Per-port probe accelerator (ISSUE 6 tentpole). The index starts stale
   /// (zero cost for reserve-only workloads); every fallback scan in `fits`
@@ -104,12 +128,23 @@ class NetworkLedger {
                                TimePoint t0, TimePoint t1, Bandwidth add,
                                Bandwidth capacity) const;
 
+  /// One port's share of `collect_retired`: folds the dead prefix when the
+  /// amortization policy says it pays, and invalidates the port's residual
+  /// index (its snapshot no longer matches the compacted arrays).
+  std::size_t maybe_retire_port(TimelineProfile& profile, PortProbe& probe);
+
   const Network* network_;
   std::vector<TimelineProfile> ingress_;
   std::vector<TimelineProfile> egress_;
   mutable std::vector<PortProbe> ingress_probe_;
   mutable std::vector<PortProbe> egress_probe_;
   obs::Observer* observer_{nullptr};
+  // GC state: watermark, whether advance_horizon armed the release path, and
+  // releases accumulated since the last retirement pass (scan-debt-style
+  // batching — the pass itself is O(ports · log n) even when nothing folds).
+  TimePoint gc_horizon_{};
+  bool gc_armed_{false};
+  std::size_t gc_release_debt_{0};
 };
 
 /// The paper's online counters: ali(i), ale(e).

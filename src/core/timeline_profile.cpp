@@ -180,4 +180,33 @@ void TimelineProfile::compact(double tolerance) {
   rebuild_caches();
 }
 
+std::size_t TimelineProfile::retirable_before(TimePoint horizon) const {
+  merge_pending();
+  const std::size_t cut = static_cast<std::size_t>(
+      std::lower_bound(times_.begin(), times_.end(), horizon.to_seconds()) -
+      times_.begin());
+  // Folding always keeps one standing breakpoint, so a prefix of one (or
+  // zero) retires nothing.
+  return cut > 1 ? cut - 1 : 0;
+}
+
+std::size_t TimelineProfile::retire_before(TimePoint horizon) {
+  merge_pending();
+  const std::size_t cut = static_cast<std::size_t>(
+      std::lower_bound(times_.begin(), times_.end(), horizon.to_seconds()) -
+      times_.begin());
+  if (cut <= 1) return 0;
+  // The standing breakpoint keeps the last retired instant and carries the
+  // prefix sum accumulated there. rebuild_caches() then re-folds starting
+  // from exactly that double (0.0 + values_[cut-1] == values_[cut-1]), so
+  // every retained prefix sum is recomputed through the same operations it
+  // was originally built from — bit-identical post-horizon queries.
+  times_[0] = times_[cut - 1];
+  deltas_[0] = values_[cut - 1];
+  times_.erase(times_.begin() + 1, times_.begin() + static_cast<std::ptrdiff_t>(cut));
+  deltas_.erase(deltas_.begin() + 1, deltas_.begin() + static_cast<std::ptrdiff_t>(cut));
+  rebuild_caches();
+  return cut - 1;
+}
+
 }  // namespace gridbw

@@ -100,6 +100,27 @@ class TimelineProfile {
   /// and the caches are rebuilt.
   void compact(double tolerance = 1e-9);
 
+  /// Retired-breakpoint garbage collector: folds every breakpoint strictly
+  /// before `horizon` into one standing-load breakpoint (kept at the last
+  /// retired instant, carrying the accumulated prefix value as its delta).
+  /// Returns the number of breakpoints retired.
+  ///
+  /// Bit-identity contract: because `values_` is a left-to-right prefix sum,
+  /// re-folding from the standing delta reproduces every retained prefix sum
+  /// as the exact same double — so `value_at` / `max_over` / `integral` are
+  /// bit-identical to the uncompacted profile for every window with
+  /// t >= horizon, and stay so for any later `add` whose events all land at
+  /// or after `horizon`. Callers must not add events strictly before a
+  /// horizon they have retired (the churn layers enforce this by capping the
+  /// watermark at the earliest live reservation start). Whole-axis queries
+  /// (`global_max`, windows reaching before `horizon`) see the compacted
+  /// standing load instead of the retired history.
+  std::size_t retire_before(TimePoint horizon);
+
+  /// Number of breakpoints `retire_before(horizon)` would retire, without
+  /// mutating. O(log n); used by callers to amortize compaction.
+  [[nodiscard]] std::size_t retirable_before(TimePoint horizon) const;
+
  private:
   struct Event {
     double time;

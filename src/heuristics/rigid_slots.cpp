@@ -272,28 +272,90 @@ ScheduleResult sweep_incremental(const Network& network,
       departures.emplace(requests[k].deadline.to_seconds(), k);
     }
     std::sort(newcomers.begin(), newcomers.end(), by_cost);
-    const auto first_change = static_cast<std::size_t>(
-        std::lower_bound(order.begin(), order.end(), newcomers.front(), by_cost) -
-        order.begin());
     const std::size_t merged_from = order.size();
     order.insert(order.end(), newcomers.begin(), newcomers.end());
     std::inplace_merge(order.begin(),
                        order.begin() + static_cast<std::ptrdiff_t>(merged_from),
                        order.end(), by_cost);
 
-    // Replay the affected suffix: release its held allocations, then re-run
-    // greedy admission in cost order. The prefix's decisions are untouched
-    // (greedy admission depends only on the order prefix).
-    for (std::size_t idx = first_change; idx < order.size(); ++idx) {
+    // Static-cost fast path (ISSUE 7 satellite, DESIGN.md §5h). Every order
+    // member is currently admitted, so the active set is jointly feasible.
+    // Probe each newcomer, cheapest first, against the *total* current load:
+    //
+    //  * fits the total → {members} ∪ {newcomer} is jointly feasible, and a
+    //    jointly feasible set re-admits fully under any greedy order — the
+    //    canonical suffix replay would admit the newcomer and re-admit every
+    //    old member unchanged. One ledger probe replaces the O(suffix)
+    //    drop-and-replay.
+    //  * fails the total → the canonical decision is made against the order
+    //    *prefix* (members cheaper than the newcomer). Reconstruct the
+    //    prefix load on the newcomer's two ports by subtracting the suffix
+    //    members' holdings (the replay's drop loop, restricted to two ports,
+    //    clamp included). Fails the prefix too → retro-removed on the spot;
+    //    it never allocates, so every other decision stands and no ledger
+    //    probe is spent. Fits the prefix but not the total → admitting it
+    //    must displace someone: fall back to the full suffix replay below.
+    std::size_t replay_from = kNone;
+    for (const std::size_t k : newcomers) {
+      const Request& r = requests[k];
+      if (!feasible[k]) {
+        s.alive[k] = 0;  // never allocates: no other decision can change
+        dirty = true;
+        if (observer != nullptr) removed_at[k] = t1;
+        continue;
+      }
+      // admission_checks counts ledger probes only (same contract as the
+      // rebuild engine): infeasible-rate requests never reach the book.
+      if (telemetry != nullptr) ++telemetry->admission_checks;
+      if (book.try_admit(k, r.ingress, r.egress, rates[k])) continue;
+      const auto pos = static_cast<std::size_t>(
+          std::lower_bound(order.begin(), order.end(), k, by_cost) -
+          order.begin());
+      double in_load =
+          book.counters().allocated_ingress(r.ingress).to_bytes_per_second();
+      double out_load =
+          book.counters().allocated_egress(r.egress).to_bytes_per_second();
+      for (std::size_t idx = pos + 1; idx < order.size(); ++idx) {
+        const std::size_t m = order[idx];
+        const Bandwidth held = book.admitted_bw(m);
+        if (!held.is_positive()) continue;
+        if (requests[m].ingress == r.ingress) {
+          in_load -= held.to_bytes_per_second();
+          if (in_load < 0.0) in_load = 0.0;  // mirrors reclaim's clamp
+        }
+        if (requests[m].egress == r.egress) {
+          out_load -= held.to_bytes_per_second();
+          if (out_load < 0.0) out_load = 0.0;
+        }
+      }
+      const bool prefix_fits =
+          approx_le(Bandwidth::bytes_per_second(in_load) + rates[k],
+                    network.ingress_capacity(r.ingress)) &&
+          approx_le(Bandwidth::bytes_per_second(out_load) + rates[k],
+                    network.egress_capacity(r.egress));
+      if (prefix_fits) {
+        replay_from = pos;  // true displacement: replay the suffix
+        break;
+      }
+      s.alive[k] = 0;  // retro-removal, permanent
+      dirty = true;
+      if (observer != nullptr) removed_at[k] = t1;
+    }
+    if (replay_from == kNone) continue;
+
+    // Displacement replay: release the suffix's held allocations, then
+    // re-run greedy admission in cost order. The prefix's decisions are
+    // untouched (greedy admission depends only on the order prefix); the
+    // newcomers the fast path already settled all sit strictly before
+    // `replay_from` (they are cheaper than the displacing newcomer).
+    for (std::size_t idx = replay_from; idx < order.size(); ++idx) {
       const std::size_t k = order[idx];
       book.drop(k, requests[k].ingress, requests[k].egress);
     }
-    for (std::size_t idx = first_change; idx < order.size(); ++idx) {
+    for (std::size_t idx = replay_from; idx < order.size(); ++idx) {
       const std::size_t k = order[idx];
       const Request& r = requests[k];
       if (feasible[k]) {
-        // admission_checks counts ledger probes only (same contract as the
-        // rebuild engine): infeasible-rate requests never reach the book.
         if (telemetry != nullptr) ++telemetry->admission_checks;
         if (book.try_admit(k, r.ingress, r.egress, rates[k])) continue;
       }

@@ -12,6 +12,8 @@ std::string to_string(Counter counter) {
     case Counter::kRetried: return "retried";
     case Counter::kPreempted: return "preempted";
     case Counter::kReclaimed: return "reclaimed";
+    case Counter::kExpired: return "expired";
+    case Counter::kRevoked: return "revoked";
     case Counter::kLedgerFitsChecks: return "ledger_fits_checks";
     case Counter::kLedgerFitsRejected: return "ledger_fits_rejected";
     case Counter::kLedgerReservations: return "ledger_reservations";
@@ -20,6 +22,9 @@ std::string to_string(Counter counter) {
     case Counter::kResidualIndexProbes: return "residual_index_probes";
     case Counter::kResidualIndexFallbacks: return "residual_index_fallbacks";
     case Counter::kResidualIndexRebuilds: return "residual_index_rebuilds";
+    case Counter::kProfileCompactions: return "profile_compactions";
+    case Counter::kBreakpointsRetired: return "breakpoints_retired";
+    case Counter::kShardHandoffs: return "shard_handoffs";
     case Counter::kValidatorRuns: return "validator_runs";
     case Counter::kValidatorAssignments: return "validator_assignments";
     case Counter::kValidatorViolations: return "validator_violations";

@@ -32,6 +32,8 @@ enum class Counter : std::size_t {
   kRetried,
   kPreempted,
   kReclaimed,
+  kExpired,
+  kRevoked,
   // Ledger activity (bumped by the instrumented ledgers).
   kLedgerFitsChecks,
   kLedgerFitsRejected,
@@ -44,6 +46,13 @@ enum class Counter : std::size_t {
   kResidualIndexProbes,
   kResidualIndexFallbacks,
   kResidualIndexRebuilds,
+  // TimelineProfile breakpoint GC (NetworkLedger / churn service):
+  // per-port compaction passes and the breakpoints they folded away.
+  kProfileCompactions,
+  kBreakpointsRetired,
+  // Churn service: events whose two ports straddle distinct workers' shard
+  // sets (a static property of the port pair, so totals are deterministic).
+  kShardHandoffs,
   // Validator activity.
   kValidatorRuns,
   kValidatorAssignments,

@@ -10,6 +10,8 @@ std::string to_string(EventKind kind) {
     case EventKind::kRetried: return "retried";
     case EventKind::kPreempted: return "preempted";
     case EventKind::kReclaimed: return "reclaimed";
+    case EventKind::kExpired: return "expired";
+    case EventKind::kRevoked: return "revoked";
   }
   return "unknown";
 }

@@ -14,6 +14,10 @@
 //   preempted  — a previously admitted request was retro-removed mid-sweep
 //                (the rigid *-SLOTS engines)
 //   reclaimed  — a finished transfer returned its bandwidth to the ledger
+//   expired    — a reservation reached its deadline in the churn service and
+//                the expiry path released its bandwidth
+//   revoked    — an admitted reservation was forcibly withdrawn before its
+//                deadline (capacity loss, operator drain)
 //
 // The RejectReason taxonomy answers the evaluation question Figs. 4–7 pose:
 // *which constraint* killed the request as load grows.
@@ -36,6 +40,8 @@ enum class EventKind : std::uint8_t {
   kRetried,
   kPreempted,
   kReclaimed,
+  kExpired,
+  kRevoked,
 };
 
 /// Why an admission engine refused (or retro-removed) a request.

@@ -138,6 +138,30 @@ inline void note_reclaimed_enabled(Observer* observer, RequestId request,
   observer->count(Counter::kReclaimed);
 }
 
+inline void note_expired_enabled(Observer* observer, RequestId request,
+                                 TimePoint when, Bandwidth bw) {
+  AdmissionEvent e;
+  e.kind = EventKind::kExpired;
+  e.request = request;
+  e.when = when;
+  e.bw = bw;
+  observer->emit(e);
+  observer->count(Counter::kExpired);
+}
+
+inline void note_revoked_enabled(Observer* observer, RequestId request,
+                                 TimePoint when, RejectReason reason,
+                                 Bandwidth bw) {
+  AdmissionEvent e;
+  e.kind = EventKind::kRevoked;
+  e.request = request;
+  e.when = when;
+  e.reason = reason;
+  e.bw = bw;
+  observer->emit(e);
+  observer->count(Counter::kRevoked);
+}
+
 }  // namespace detail
 
 GRIDBW_OBS_FORCE_INLINE void note_submitted(Observer* observer, RequestId request,
@@ -177,6 +201,19 @@ GRIDBW_OBS_FORCE_INLINE void note_reclaimed(Observer* observer, RequestId reques
                                             TimePoint when, Bandwidth bw) {
   if (observer == nullptr) return;
   detail::note_reclaimed_enabled(observer, request, when, bw);
+}
+
+GRIDBW_OBS_FORCE_INLINE void note_expired(Observer* observer, RequestId request,
+                                          TimePoint when, Bandwidth bw) {
+  if (observer == nullptr) return;
+  detail::note_expired_enabled(observer, request, when, bw);
+}
+
+GRIDBW_OBS_FORCE_INLINE void note_revoked(Observer* observer, RequestId request,
+                                          TimePoint when, RejectReason reason,
+                                          Bandwidth bw) {
+  if (observer == nullptr) return;
+  detail::note_revoked_enabled(observer, request, when, reason, bw);
 }
 
 #undef GRIDBW_OBS_FORCE_INLINE

@@ -143,6 +143,13 @@ std::string JsonlSink::format(const AdmissionEvent& event) {
     case EventKind::kReclaimed:
       line += ",\"bw\":" + format_double(event.bw.to_bytes_per_second());
       break;
+    case EventKind::kExpired:
+      line += ",\"bw\":" + format_double(event.bw.to_bytes_per_second());
+      break;
+    case EventKind::kRevoked:
+      line += ",\"reason\":\"" + to_string(event.reason) + "\"";
+      line += ",\"bw\":" + format_double(event.bw.to_bytes_per_second());
+      break;
   }
   line += "}";
   return line;

@@ -23,6 +23,8 @@
 //   {"event":"retried","req":9,"t":13.0,"attempt":2,"backoff":60}
 //   {"event":"preempted","req":4,"t":200.0}
 //   {"event":"reclaimed","req":7,"t":62.5,"bw":1e+08}
+//   {"event":"expired","req":3,"t":75.0,"bw":1e+08}
+//   {"event":"revoked","req":5,"t":80.0,"reason":"retro_removed","bw":1e+08}
 //   {"event":"meta","key":"scheduler","value":"FCFS"}
 
 #pragma once

@@ -1,0 +1,433 @@
+#include "service/admission_service.hpp"
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <utility>
+
+#include "core/timeline_profile.hpp"
+#include "obs/counters.hpp"
+#include "obs/event.hpp"
+
+namespace gridbw::service {
+namespace {
+
+// FNV-1a, the same construction the validator uses for schedule digests.
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+std::uint64_t fnv_mix(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xffULL;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+// Min-heap of reservation start instants with lazy deletion: departures
+// push the matching start onto `dead` and the purge cancels equal tops.
+// After a purge, live.top() is a lower bound on the earliest live start —
+// exact once every older departure has been applied, conservative (never
+// too high) in between, which is the safe direction for a GC watermark.
+struct StartHeap {
+  std::priority_queue<double, std::vector<double>, std::greater<>> live;
+  std::priority_queue<double, std::vector<double>, std::greater<>> dead;
+
+  void admit(double start) { live.push(start); }
+  void expire(double start) {
+    dead.push(start);
+    while (!dead.empty() && !live.empty() && dead.top() == live.top()) {
+      dead.pop();
+      live.pop();
+    }
+  }
+  [[nodiscard]] bool any_live() const { return !live.empty(); }
+  [[nodiscard]] double min_live_start() const { return live.top(); }
+};
+
+}  // namespace
+
+struct AdmissionService::Impl {
+  // One shard per port. `applied` counts executed events on this port; a
+  // worker may touch anything else in the cell only while holding `mu` AND
+  // having observed `applied` equal to its event's per-port sequence number
+  // — that pair of conditions is what serializes the whole execution into
+  // the global event order.
+  struct PortCell {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::uint64_t applied{0};
+    std::uint64_t next_seq{0};  // drain-time sequencing cursor (no lock needed)
+    TimelineProfile profile;
+    double capacity{0.0};
+    StartHeap starts;
+    std::size_t departures_since_gc{0};
+  };
+
+  // One arrival or departure, fully sequenced before execution starts. The
+  // departure of a request that ends up rejected still occupies its slots in
+  // both ports' sequences (as a no-op), so the sequence numbers — and with
+  // them the execution order — never depend on admission outcomes.
+  struct Event {
+    double t{0.0};
+    std::uint32_t req{0};
+    bool departure{false};
+    std::uint32_t cell_lo{0}, cell_hi{0};  // global port cells, lo < hi
+    std::uint64_t seq_lo{0}, seq_hi{0};
+  };
+
+  const Network* network;
+  ServiceOptions options;
+  // deque, not vector: PortCell holds a mutex (immovable) and workers keep
+  // raw references into the container, so elements must never relocate.
+  std::deque<PortCell> cells;
+
+  std::mutex ingest_mu;
+  std::vector<Request> inbox;
+
+  // Batch-persistent request state, indexed by accepted order across drains.
+  std::vector<Request> requests;
+  std::vector<double> rate;               // granted bandwidth (min_rate), bytes/s
+  std::vector<std::uint8_t> admitted;     // written once by the home worker
+  std::vector<std::uint8_t> reason;       // RejectReason when not admitted
+  std::vector<double> latency;            // clock units; NaN-free, arrivals only
+  std::size_t drained{0};                 // requests already executed
+  double last_event_t{0.0};
+  std::size_t live{0};
+
+  std::mutex gc_mu;  // serializes GC counter accumulation across workers
+  std::size_t compactions{0};
+  std::size_t retired{0};
+
+  explicit Impl(const Network& net, ServiceOptions opts)
+      : network(&net), options(std::move(opts)) {
+    if (options.shards == 0) options.shards = 1;
+    if (options.gc_batch == 0) options.gc_batch = 1;
+    cells.resize(net.ingress_count() + net.egress_count());
+    for (std::size_t p = 0; p < net.ingress_count(); ++p) {
+      cells[p].capacity = net.ingress_capacity(IngressId{p}).to_bytes_per_second();
+    }
+    for (std::size_t p = 0; p < net.egress_count(); ++p) {
+      cells[net.ingress_count() + p].capacity =
+          net.egress_capacity(EgressId{p}).to_bytes_per_second();
+    }
+  }
+
+  [[nodiscard]] std::size_t cell_of_ingress(IngressId i) const { return i.value; }
+  [[nodiscard]] std::size_t cell_of_egress(EgressId e) const {
+    return network->ingress_count() + e.value;
+  }
+  [[nodiscard]] std::size_t home_worker(std::uint32_t req) const {
+    return requests[req].ingress.value % options.shards;
+  }
+
+  // ---- batch construction -------------------------------------------------
+
+  std::vector<Event> sequence_batch() {
+    {
+      std::scoped_lock lk{ingest_mu};
+      // Sort the new batch by id so the event order is independent of the
+      // (possibly concurrent) submission interleaving.
+      std::sort(inbox.begin(), inbox.end(),
+                [](const Request& a, const Request& b) { return a.id < b.id; });
+      requests.insert(requests.end(), inbox.begin(), inbox.end());
+      inbox.clear();
+    }
+    const std::size_t first = drained;
+    const std::size_t total = requests.size();
+    rate.resize(total, 0.0);
+    admitted.resize(total, 0);
+    reason.resize(total, static_cast<std::uint8_t>(obs::RejectReason::kNone));
+    latency.resize(total, 0.0);
+
+    std::vector<Event> events;
+    events.reserve(2 * (total - first));
+    for (std::size_t k = first; k < total; ++k) {
+      const Request& r = requests[k];
+      Event ev;
+      ev.req = static_cast<std::uint32_t>(k);
+      const std::size_t ci = cell_of_ingress(r.ingress);
+      const std::size_t ce = cell_of_egress(r.egress);
+      ev.cell_lo = static_cast<std::uint32_t>(std::min(ci, ce));
+      ev.cell_hi = static_cast<std::uint32_t>(std::max(ci, ce));
+      ev.t = r.release.to_seconds();
+      ev.departure = false;
+      events.push_back(ev);
+      if (r.deadline > r.release) {
+        rate[k] = r.min_rate().to_bytes_per_second();
+        ev.t = r.deadline.to_seconds();
+        ev.departure = true;
+        events.push_back(ev);
+      } else {
+        reason[k] = static_cast<std::uint8_t>(obs::RejectReason::kDegenerateWindow);
+      }
+    }
+    // Global deterministic order: time, then departures before arrivals at
+    // equal instants (reservations are half-open, so bandwidth ending at t
+    // is available to work released at t), then request id.
+    std::stable_sort(events.begin(), events.end(),
+                     [](const Event& a, const Event& b) {
+                       if (a.t != b.t) return a.t < b.t;
+                       if (a.departure != b.departure) return a.departure;
+                       return a.req < b.req;
+                     });
+    for (Event& ev : events) {
+      ev.seq_lo = cells[ev.cell_lo].next_seq++;
+      ev.seq_hi = cells[ev.cell_hi].next_seq++;
+    }
+    return events;
+  }
+
+  // ---- execution ----------------------------------------------------------
+
+  void execute_arrival(const Event& ev) {
+    const Request& r = requests[ev.req];
+    if (reason[ev.req] !=
+        static_cast<std::uint8_t>(obs::RejectReason::kNone)) {
+      return;  // degenerate window, rejected at sequencing time
+    }
+    if (!approx_le(r.min_rate(), r.max_rate)) {
+      reason[ev.req] = static_cast<std::uint8_t>(obs::RejectReason::kInfeasibleRate);
+      return;
+    }
+    PortCell& in = cells[cell_of_ingress(r.ingress)];
+    PortCell& eg = cells[cell_of_egress(r.egress)];
+    const double bw = rate[ev.req];
+    // Decision threshold spelled exactly like NetworkLedger::port_fits so
+    // the service and the batch engines agree on borderline loads.
+    const bool in_fits =
+        approx_le(Bandwidth::bytes_per_second(in.profile.max_over(r.release, r.deadline) + bw),
+                  Bandwidth::bytes_per_second(in.capacity));
+    const bool eg_fits =
+        approx_le(Bandwidth::bytes_per_second(eg.profile.max_over(r.release, r.deadline) + bw),
+                  Bandwidth::bytes_per_second(eg.capacity));
+    if (!in_fits || !eg_fits) {
+      reason[ev.req] =
+          static_cast<std::uint8_t>(obs::classify_saturation(in_fits, eg_fits));
+      return;
+    }
+    in.profile.add(r.release, r.deadline, bw);
+    eg.profile.add(r.release, r.deadline, bw);
+    in.starts.admit(r.release.to_seconds());
+    eg.starts.admit(r.release.to_seconds());
+    admitted[ev.req] = 1;
+  }
+
+  void execute_departure(const Event& ev) {
+    if (admitted[ev.req] == 0) return;  // rejected: sequence no-op
+    const Request& r = requests[ev.req];
+    const double bw = rate[ev.req];
+    for (PortCell* cell : {&cells[cell_of_ingress(r.ingress)],
+                           &cells[cell_of_egress(r.egress)]}) {
+      cell->profile.add(r.release, r.deadline, -bw);
+      cell->starts.expire(r.release.to_seconds());
+      if (options.gc && ++cell->departures_since_gc >= options.gc_batch) {
+        cell->departures_since_gc = 0;
+        collect_cell(*cell, ev.t);
+      }
+    }
+  }
+
+  // Retire the dead breakpoint prefix of one port, guarded by the safe
+  // watermark: never past the earliest live reservation start (future
+  // departures re-touch their start instant) and never past the current
+  // event time (future arrivals release at or after it). Same amortization
+  // policy as NetworkLedger::maybe_retire_port: fold only when at least a
+  // batch of breakpoints retires AND they are at least half the residents,
+  // so the erase/shift cost stays O(1) amortized per retired breakpoint.
+  void collect_cell(PortCell& cell, double now) {
+    constexpr std::size_t kMinRetireBatch = 64;
+    double horizon = now;
+    if (cell.starts.any_live()) {
+      horizon = std::min(horizon, cell.starts.min_live_start());
+    }
+    const std::size_t retirable =
+        cell.profile.retirable_before(TimePoint::at_seconds(horizon));
+    if (retirable < kMinRetireBatch || retirable * 2 < cell.profile.breakpoint_count()) {
+      return;
+    }
+    const std::size_t n = cell.profile.retire_before(TimePoint::at_seconds(horizon));
+    if (n == 0) return;
+    {
+      std::scoped_lock lk{gc_mu};
+      compactions += 1;
+      retired += n;
+    }
+    if (options.observer != nullptr) {
+      options.observer->count(obs::Counter::kProfileCompactions);
+      options.observer->count(obs::Counter::kBreakpointsRetired, n);
+    }
+  }
+
+  // Worker loop: execute `mine` (this worker's slice of the global event
+  // order) one event at a time. For each event, lock the lower-id port and
+  // wait until it has applied exactly the events sequenced before ours,
+  // then do the same on the higher-id port. Deadlock-free: a worker blocked
+  // on a port is waiting for an event strictly earlier in the global order,
+  // and the earliest unexecuted event's waits are always satisfiable, so
+  // every blocking chain terminates. With both counts matched the two-port
+  // state equals the serial replay's, which is what makes decisions
+  // independent of shard count and scheduling.
+  void run_worker(const std::vector<Event>& events, const std::vector<std::uint32_t>& mine) {
+    const bool timed = static_cast<bool>(options.clock);
+    for (const std::uint32_t idx : mine) {
+      const Event& ev = events[idx];
+      // Caller-injected latency clock: decisions never read it, so
+      // determinism is unaffected (see the header contract).
+      // GRIDBW-ALLOW(wall-clock): injected latency clock, never drives decisions
+      const double t0 = timed && !ev.departure ? options.clock() : 0.0;
+      PortCell& lo = cells[ev.cell_lo];
+      PortCell& hi = cells[ev.cell_hi];
+      std::unique_lock llo{lo.mu};
+      lo.cv.wait(llo, [&] { return lo.applied == ev.seq_lo; });
+      std::unique_lock lhi{hi.mu};
+      hi.cv.wait(lhi, [&] { return hi.applied == ev.seq_hi; });
+      if (ev.departure) {
+        execute_departure(ev);
+      } else {
+        execute_arrival(ev);
+        // GRIDBW-ALLOW(wall-clock): same injected latency clock as above.
+        if (timed) latency[ev.req] = options.clock() - t0;
+      }
+      lo.applied += 1;
+      hi.applied += 1;
+      lhi.unlock();
+      llo.unlock();
+      lo.cv.notify_all();
+      hi.cv.notify_all();
+    }
+  }
+
+  ServiceReport drain() {
+    const std::vector<Event> events = sequence_batch();
+    const std::size_t first = drained;
+    drained = requests.size();
+
+    const std::size_t workers =
+        std::min<std::size_t>(options.shards, std::max<std::size_t>(events.size(), 1));
+    std::vector<std::vector<std::uint32_t>> slices(workers);
+    for (std::uint32_t k = 0; k < events.size(); ++k) {
+      slices[home_worker(events[k].req) % workers].push_back(k);
+    }
+    if (workers == 1) {
+      if (!slices.empty()) run_worker(events, slices[0]);
+    } else {
+      std::vector<std::thread> pool;
+      std::vector<std::exception_ptr> failures(workers);
+      pool.reserve(workers);
+      for (std::size_t w = 0; w < workers; ++w) {
+        pool.emplace_back([this, &events, &slices, &failures, w] {
+          try {
+            run_worker(events, slices[w]);
+          } catch (...) {
+            failures[w] = std::current_exception();
+          }
+        });
+      }
+      for (std::thread& t : pool) t.join();
+      for (const std::exception_ptr& e : failures) {
+        if (e) std::rethrow_exception(e);
+      }
+    }
+
+    // Single-threaded post-pass in event order: the trace, the lifecycle
+    // counters, and the report are all derived here, so they are
+    // byte-identical across shard counts and repeated same-seed runs.
+    ServiceReport report;
+    report.submitted = requests.size() - first;
+    report.decision_fingerprint = kFnvOffset;
+    obs::Observer* observer = options.observer;
+    const std::size_t egress_base = network->ingress_count();
+    for (const Event& ev : events) {
+      const Request& r = requests[ev.req];
+      last_event_t = ev.t;
+      if (ev.departure) {
+        if (admitted[ev.req] != 0) {
+          obs::note_expired(observer, r.id, r.deadline,
+                            Bandwidth::bytes_per_second(rate[ev.req]));
+          report.expired += 1;
+          live -= 1;
+        }
+        continue;
+      }
+      obs::note_submitted(observer, r.id, r.release);
+      if (admitted[ev.req] != 0) {
+        obs::note_accepted(observer, r.id, r.release, r.release,
+                           Bandwidth::bytes_per_second(rate[ev.req]));
+        report.admitted += 1;
+        live += 1;
+        report.live_peak = std::max(report.live_peak, live);
+      } else {
+        obs::note_rejected(observer, r.id, r.release,
+                           static_cast<obs::RejectReason>(reason[ev.req]));
+        report.rejected += 1;
+      }
+      report.decision_fingerprint =
+          fnv_mix(report.decision_fingerprint,
+                  fnv_mix(kFnvOffset, r.id) * 2 + admitted[ev.req]);
+      // A request whose egress port lives outside its executing worker's
+      // shard set crossed a shard boundary — a deterministic, static
+      // property of the port pair (counted once per arrival).
+      if ((egress_base + r.egress.value) % options.shards != home_worker(ev.req) &&
+          observer != nullptr) {
+        observer->count(obs::Counter::kShardHandoffs);
+      }
+    }
+    {
+      std::scoped_lock lk{gc_mu};
+      report.compactions = compactions;
+      report.breakpoints_retired = retired;
+    }
+    for (const PortCell& cell : cells) {
+      report.resident_breakpoints += cell.profile.breakpoint_count();
+    }
+    if (options.clock) {
+      report.latency.reserve(report.submitted);
+      for (const Event& ev : events) {
+        if (!ev.departure) report.latency.push_back(latency[ev.req]);
+      }
+    }
+    return report;
+  }
+
+  [[nodiscard]] ServiceSnapshot snapshot() const {
+    ServiceSnapshot snap;
+    snap.ports = cells.size();
+    snap.live = live;
+    const TimePoint t = TimePoint::at_seconds(last_event_t);
+    for (const PortCell& cell : cells) {
+      snap.resident_breakpoints += cell.profile.breakpoint_count();
+      snap.peak_standing_load = std::max(snap.peak_standing_load, cell.profile.value_at(t));
+    }
+    return snap;
+  }
+};
+
+AdmissionService::AdmissionService(const Network& network, ServiceOptions options)
+    : impl_(std::make_unique<Impl>(network, std::move(options))) {}
+
+AdmissionService::~AdmissionService() = default;
+
+void AdmissionService::submit(const Request& request) {
+  std::scoped_lock lk{impl_->ingest_mu};
+  impl_->inbox.push_back(request);
+}
+
+ServiceReport AdmissionService::drain() { return impl_->drain(); }
+
+ServiceSnapshot AdmissionService::snapshot() const { return impl_->snapshot(); }
+
+bool AdmissionService::was_admitted(RequestId id) const {
+  for (std::size_t k = 0; k < impl_->drained; ++k) {
+    if (impl_->requests[k].id == id) return impl_->admitted[k] != 0;
+  }
+  return false;
+}
+
+}  // namespace gridbw::service

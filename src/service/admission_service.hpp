@@ -1,0 +1,141 @@
+// gridbw/service/admission_service.hpp
+//
+// Steady-state churn engine (ISSUE 7 tentpole, ROADMAP direction #1): the
+// long-running counterpart to the closed-batch schedulers. Requests are
+// ingested into a queue, sequenced into a single deterministic event order
+// (arrivals at release, departures at deadline), and executed by worker
+// threads over per-port ledger shards.
+//
+// Architecture (DESIGN.md §5h):
+//
+//  * One shard per port (ingress and egress ports share a global id space).
+//    A shard owns its port's TimelineProfile, a mutex + condition variable,
+//    an applied-event counter, and the GC bookkeeping (live-reservation
+//    start heaps, departures since the last retirement scan).
+//  * drain() seals the ingest queue, sorts the batch's events by
+//    (time, departure-before-arrival, request id), and assigns every event a
+//    per-port sequence number on its two ports. Workers claim the requests
+//    whose ingress port maps to their shard set (ingress id mod workers) and
+//    execute their subsequence in order.
+//  * An event executes only when BOTH its ports have applied exactly the
+//    events sequenced before it: the worker locks the lower-id port shard,
+//    waits for its count, then locks the higher-id shard and waits for its
+//    count (two-shard lock ordering by port id). Decisions therefore see
+//    exactly the serial-order state, so the outcome is byte-identical to a
+//    serial replay — independent of worker count and thread scheduling.
+//  * Departures release the reservation's exact interval and drive the
+//    breakpoint GC: every `gc_batch` departures a shard computes its safe
+//    watermark (min of the current event time and its earliest live
+//    reservation start) and retires the dead prefix via
+//    TimelineProfile::retire_before once the amortization policy says the
+//    fold pays. GC on/off decisions are bit-identical (see retire_before's
+//    contract); only resident breakpoint counts differ.
+//  * Traces are emitted in a single-threaded post-pass in event order, so
+//    same-seed runs produce byte-identical JSONL regardless of shard count.
+//
+// Wall clocks never appear in this module (gridbw-wall-clock): admission
+// latency capture is injected by the caller as an opaque `clock` callback
+// (the churn bench passes a steady-clock lambda; the library never reads
+// real time itself).
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/network.hpp"
+#include "core/request.hpp"
+#include "obs/observer.hpp"
+#include "util/quantity.hpp"
+
+namespace gridbw::service {
+
+struct ServiceOptions {
+  /// Worker threads; each owns the requests whose ingress port id is
+  /// congruent to its index (mod shards). 1 = serial execution. The
+  /// admission decisions do not depend on this value.
+  std::size_t shards{1};
+  /// Retired-breakpoint GC on departures. Off = profiles only grow (the
+  /// pre-ISSUE-7 behavior); decisions are bit-identical either way.
+  bool gc{true};
+  /// Departures a shard absorbs between GC watermark scans.
+  std::size_t gc_batch{64};
+  /// Optional (nullable) observability: counters + trace, emitted in
+  /// deterministic event order after the workers join.
+  obs::Observer* observer{nullptr};
+  /// Optional monotonic clock (seconds, arbitrary epoch) for per-admission
+  /// latency capture. Null = no latency capture. Injected so the service
+  /// itself never reads wall clocks.
+  std::function<double()> clock{};
+};
+
+/// What drain() hands back for the batch it executed.
+struct ServiceReport {
+  std::size_t submitted{0};
+  std::size_t admitted{0};
+  std::size_t rejected{0};
+  std::size_t expired{0};
+  /// Peak simultaneously-live admitted reservations (event-order replay).
+  std::size_t live_peak{0};
+  /// Sum of resident (merged) breakpoints across all port shards after the
+  /// batch — the figure the GC keeps O(live) instead of O(history).
+  std::size_t resident_breakpoints{0};
+  /// GC activity over the batch.
+  std::size_t compactions{0};
+  std::size_t breakpoints_retired{0};
+  /// FNV-1a over (request id, admitted) in event order: two runs (any shard
+  /// count, GC on or off) must agree byte-for-byte.
+  std::uint64_t decision_fingerprint{0};
+  /// Per-admission decision latency in `clock` units, indexed by arrival
+  /// order. Empty when no clock was injected. Values are timing (not
+  /// deterministic); everything else in this struct is.
+  std::vector<double> latency;
+};
+
+/// Post-drain control-surface snapshot of the shard state.
+struct ServiceSnapshot {
+  std::size_t ports{0};
+  std::size_t resident_breakpoints{0};
+  /// Admitted reservations that have not yet expired.
+  std::size_t live{0};
+  /// Largest standing load (bytes/s) any port carries at the last executed
+  /// event time — ~0 once every reservation has expired.
+  double peak_standing_load{0.0};
+};
+
+/// Sharded online admission loop. Lifecycle: construct, submit() any number
+/// of requests (thread-safe), drain() to execute the batch and collect the
+/// report; repeat submit/drain for later batches (port state persists, so
+/// later batches must not release work before already-drained instants).
+/// snapshot() reads the shard state between batches.
+class AdmissionService {
+ public:
+  AdmissionService(const Network& network, ServiceOptions options);
+  ~AdmissionService();
+
+  AdmissionService(const AdmissionService&) = delete;
+  AdmissionService& operator=(const AdmissionService&) = delete;
+
+  /// Queues a request for the next drain(). Thread-safe; the batch's event
+  /// order is independent of submission interleaving (ids break ties).
+  void submit(const Request& request);
+
+  /// Seals the ingest queue, executes every queued event across the shard
+  /// workers, joins them, and emits the batch's trace in event order.
+  ServiceReport drain();
+
+  [[nodiscard]] ServiceSnapshot snapshot() const;
+
+  /// Admission outcome of an already-drained request id; false for unknown
+  /// ids. Exposed for differential tests against batch engines.
+  [[nodiscard]] bool was_admitted(RequestId id) const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace gridbw::service

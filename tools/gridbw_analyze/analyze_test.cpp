@@ -150,6 +150,13 @@ TEST(Layering, TransitiveClosureAndExportLayer) {
   EXPECT_TRUE(layering_allows("metrics", "obs_export"));
   EXPECT_FALSE(layering_allows("obs", "obs_export"));
   EXPECT_FALSE(layering_allows("sim", "obs_export"));
+  // The churn service sits beside the schedulers: above core/obs, and
+  // nothing below may reach up into it.
+  EXPECT_TRUE(layering_allows("service", "core"));
+  EXPECT_TRUE(layering_allows("service", "obs"));
+  EXPECT_TRUE(layering_allows("service", "obs_export"));
+  EXPECT_FALSE(layering_allows("service", "heuristics"));
+  EXPECT_FALSE(layering_allows("core", "service"));
   // The umbrella header sees everything; nothing includes it back.
   EXPECT_TRUE(layering_allows("umbrella", "control"));
   EXPECT_FALSE(layering_allows("metrics", "umbrella"));

@@ -29,6 +29,7 @@ const std::map<std::string, std::vector<std::string>>& direct_deps() {
       {"heuristics", {"core", "util"}},
       {"exact", {"core", "util"}},
       {"longlived", {"core", "util", "flow"}},
+      {"service", {"core", "obs", "util"}},
       {"dataplane", {"core", "baseline", "util"}},
       {"control", {"core", "sim", "heuristics", "util"}},
       {"metrics", {"core", "util"}},
