@@ -59,7 +59,10 @@ case "$MODE" in
     fi
     cmake --build "$DIR" -j "$(nproc)" --target gridbw_analyze
     ANALYZER="$DIR/tools/gridbw_analyze/gridbw_analyze"
-    "$ANALYZER" --root . --baseline tools/gridbw_analyze/baseline.txt
+    # Grouped per-check summary on stdout; the full machine-readable report
+    # (findings + scan metadata) lands next to the build for CI to upload.
+    "$ANALYZER" --root . --baseline tools/gridbw_analyze/baseline.txt \
+      --summary --json-out "$DIR/analyze_report.json"
     echo "analyze pass clean"
     exit 0
     ;;

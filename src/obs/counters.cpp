@@ -38,6 +38,8 @@ namespace {
 
 std::uint64_t next_registry_id() {
   static std::atomic<std::uint64_t> next{1};
+  // Uniqueness is the only requirement, no ordering with any other memory.
+  // GRIDBW-ALLOW(atomic-discipline): relaxed id allocation.
   return next.fetch_add(1, std::memory_order_relaxed);
 }
 
@@ -77,11 +79,15 @@ CounterRegistry::Shard& CounterRegistry::local_shard() const {
 
 void CounterRegistry::add(Counter counter, std::uint64_t delta) {
   local_shard().cells[static_cast<std::size_t>(counter)].fetch_add(
+      // The merge is exact after quiescence whatever order increments land in.
+      // GRIDBW-ALLOW(atomic-discipline): commutative shard add.
       delta, std::memory_order_relaxed);
 }
 
 void CounterRegistry::set(Counter counter, std::uint64_t value) {
   local_shard().cells[static_cast<std::size_t>(counter)].store(
+      // Gauge write to the caller's own shard cell; nothing else published.
+      // GRIDBW-ALLOW(atomic-discipline): relaxed gauge store.
       value, std::memory_order_relaxed);
 }
 
@@ -90,6 +96,8 @@ std::uint64_t CounterRegistry::value(Counter counter) const {
   std::uint64_t total = 0;
   std::lock_guard lock{mutex_};
   for (const auto& shard : shards_) {
+    // A consistent lower bound while writers run, exact after quiescence.
+    // GRIDBW-ALLOW(atomic-discipline): commutative-sum read.
     total += shard->cells[c].load(std::memory_order_relaxed);
   }
   return total;
@@ -100,6 +108,7 @@ std::array<std::uint64_t, kCounterCount> CounterRegistry::snapshot() const {
   std::lock_guard lock{mutex_};
   for (const auto& shard : shards_) {
     for (std::size_t c = 0; c < kCounterCount; ++c) {
+      // GRIDBW-ALLOW(atomic-discipline): same commutative-sum read as value().
       totals[c] += shard->cells[c].load(std::memory_order_relaxed);
     }
   }
@@ -109,6 +118,8 @@ std::array<std::uint64_t, kCounterCount> CounterRegistry::snapshot() const {
 void CounterRegistry::reset() {
   std::lock_guard lock{mutex_};
   for (const auto& shard : shards_) {
+    // The reset contract requires quiesced writers; no ordering is relied on.
+    // GRIDBW-ALLOW(atomic-discipline): quiesced reset store.
     for (auto& cell : shard->cells) cell.store(0, std::memory_order_relaxed);
   }
 }

@@ -106,8 +106,8 @@ class CounterRegistry {
   /// process so a destroyed registry's id is never reused by a new one at
   /// the same address.
   std::uint64_t id_{0};
-  mutable std::mutex mutex_;  // guards shards_ growth only
-  mutable std::vector<std::unique_ptr<Shard>> shards_;
+  mutable std::mutex mutex_;
+  mutable std::vector<std::unique_ptr<Shard>> shards_;  // gridbw:guarded_by(mutex_)
 };
 
 }  // namespace gridbw::obs

@@ -62,12 +62,12 @@ struct AdmissionService::Impl {
   struct PortCell {
     std::mutex mu;
     std::condition_variable cv;
-    std::uint64_t applied{0};
+    std::uint64_t applied{0};  // gridbw:guarded_by(mu)
     std::uint64_t next_seq{0};  // drain-time sequencing cursor (no lock needed)
-    TimelineProfile profile;
-    double capacity{0.0};
-    StartHeap starts;
-    std::size_t departures_since_gc{0};
+    TimelineProfile profile;  // gridbw:guarded_by(mu)
+    double capacity{0.0};  // immutable after construction
+    StartHeap starts;  // gridbw:guarded_by(mu)
+    std::size_t departures_since_gc{0};  // gridbw:guarded_by(mu)
   };
 
   // One arrival or departure, fully sequenced before execution starts. The
@@ -89,7 +89,7 @@ struct AdmissionService::Impl {
   std::deque<PortCell> cells;
 
   std::mutex ingest_mu;
-  std::vector<Request> inbox;
+  std::vector<Request> inbox;  // gridbw:guarded_by(ingest_mu)
 
   // Batch-persistent request state, indexed by accepted order across drains.
   std::vector<Request> requests;
@@ -101,9 +101,12 @@ struct AdmissionService::Impl {
   double last_event_t{0.0};
   std::size_t live{0};
 
+  // Workers reach the GC tallies from collect_cell with a port-cell `mu`
+  // already held, never the other way around.
+  // gridbw:lock-order(mu < gc_mu)
   std::mutex gc_mu;  // serializes GC counter accumulation across workers
-  std::size_t compactions{0};
-  std::size_t retired{0};
+  std::size_t compactions{0};  // gridbw:guarded_by(gc_mu)
+  std::size_t retired{0};  // gridbw:guarded_by(gc_mu)
 
   explicit Impl(const Network& net, ServiceOptions opts)
       : network(&net), options(std::move(opts)) {
@@ -186,6 +189,7 @@ struct AdmissionService::Impl {
 
   // ---- execution ----------------------------------------------------------
 
+  // gridbw:requires(mu)
   void execute_arrival(const Event& ev) {
     const Request& r = requests[ev.req];
     if (reason[ev.req] !=
@@ -219,6 +223,7 @@ struct AdmissionService::Impl {
     admitted[ev.req] = 1;
   }
 
+  // gridbw:requires(mu)
   void execute_departure(const Event& ev) {
     if (admitted[ev.req] == 0) return;  // rejected: sequence no-op
     const Request& r = requests[ev.req];
@@ -241,6 +246,7 @@ struct AdmissionService::Impl {
   // policy as NetworkLedger::maybe_retire_port: fold only when at least a
   // batch of breakpoints retires AND they are at least half the residents,
   // so the erase/shift cost stays O(1) amortized per retired breakpoint.
+  // gridbw:requires(mu)
   void collect_cell(PortCell& cell, double now) {
     constexpr std::size_t kMinRetireBatch = 64;
     double horizon = now;
@@ -274,6 +280,8 @@ struct AdmissionService::Impl {
   // every blocking chain terminates. With both counts matched the two-port
   // state equals the serial replay's, which is what makes decisions
   // independent of shard count and scheduling.
+  //
+  // gridbw:lock-order(lo.mu < hi.mu)
   void run_worker(const std::vector<Event>& events, const std::vector<std::uint32_t>& mine) {
     const bool timed = static_cast<bool>(options.clock);
     for (const std::uint32_t idx : mine) {
@@ -385,6 +393,7 @@ struct AdmissionService::Impl {
       report.breakpoints_retired = retired;
     }
     for (const PortCell& cell : cells) {
+      // GRIDBW-ALLOW(guarded-by): workers joined — single-threaded post-pass
       report.resident_breakpoints += cell.profile.breakpoint_count();
     }
     if (options.clock) {
@@ -402,7 +411,9 @@ struct AdmissionService::Impl {
     snap.live = live;
     const TimePoint t = TimePoint::at_seconds(last_event_t);
     for (const PortCell& cell : cells) {
+      // GRIDBW-ALLOW(guarded-by): snapshot is documented single-threaded
       snap.resident_breakpoints += cell.profile.breakpoint_count();
+      // GRIDBW-ALLOW(guarded-by): snapshot is documented single-threaded
       snap.peak_standing_load = std::max(snap.peak_standing_load, cell.profile.value_at(t));
     }
     return snap;

@@ -26,11 +26,36 @@
 //                   (*_bps, *_bytes, *_sec, bandwidth, volume, ...)
 //   hot-path        `throw`, allocation, or virtual-sink calls inside
 //                   functions annotated `// gridbw:hot`
+//   lock-order      mutex acquisition order inside a function must follow
+//                   the file's declared gridbw:lock-order contracts, and
+//                   nested acquisitions without a covering contract are
+//                   findings too (the two-cell admission protocol)
+//   guarded-by      fields annotated gridbw:guarded_by may only be touched
+//                   in scopes where the named mutex is held via
+//                   scoped_lock / lock_guard / unique_lock (or inside a
+//                   function annotated gridbw:requires)
+//   cv-wait-predicate
+//                   every condition_variable wait uses the predicate
+//                   overload — bare waits desynchronize on spurious wakeups
+//   lock-scope-hygiene
+//                   no throw, stream/printf I/O, virtual-sink ->record(
+//                   call, or blocking submit/join/sleep while a lock is
+//                   held — critical sections stay compute-only
+//   atomic-discipline
+//                   raw std::atomic outside the sanctioned modules
+//                   (obs/counters, util/thread_pool), and every non-default
+//                   memory_order argument, must carry a GRIDBW-ALLOW
 //
-// Suppression: a `// GRIDBW-ALLOW(check-id): reason` comment on the finding
+// Scan roots: src/ (all checks), tools/, bench/, and tests/ with per-root
+// check profiles (see scan_roots() in baseline.cpp); directories named
+// `fixtures` are excluded everywhere.
+//
+// Suppression: a `// GRIDBW-ALLOW(<check>): reason` comment on the finding
 // line or the line directly above silences that one line for that check.
-// A committed baseline file (check|path|trimmed-line) lets pre-existing
-// findings land incrementally; `--fix-baseline` rewrites it.
+// An ALLOW naming a check id that is not in the catalogue is reported as
+// stale (like a stale baseline entry). A committed baseline file
+// (check|path|trimmed-line) lets pre-existing findings land incrementally;
+// `--fix-baseline` rewrites it.
 
 #pragma once
 
@@ -69,9 +94,14 @@ struct SourceFile {
   /// Stripped text of the sibling header (for x.cpp, x.hpp) when present:
   /// members declared there count for unordered-iter tracking here.
   std::string companion_code;
+  /// The sibling header line by line, raw and stripped — annotations
+  /// (gridbw:guarded_by, gridbw:lock-order) declared on header members
+  /// bind in the .cpp as well.
+  std::vector<std::string> companion_raw_lines;
+  std::vector<std::string> companion_code_lines;
 
   /// True when `line` (1-based) carries or is directly preceded by a
-  /// `GRIDBW-ALLOW(check)` comment.
+  /// `GRIDBW-ALLOW(<check>)` comment.
   [[nodiscard]] bool suppressed(int line, const std::string& check) const;
 };
 
@@ -83,6 +113,14 @@ struct SourceFile {
 
 /// Builds a SourceFile from in-memory text.
 [[nodiscard]] SourceFile make_source(std::string rel_path, const std::string& text);
+
+/// Attaches sibling-header text to `file` (companion_code + line vectors).
+void attach_companion(SourceFile& file, const std::string& text);
+
+/// GRIDBW-ALLOW comments whose check id is not in the catalogue, rendered
+/// as "path:line: id". Reported like stale baseline entries (stderr,
+/// non-failing): the suppression is dead weight and should be deleted.
+[[nodiscard]] std::vector<std::string> stale_allows_in(const SourceFile& file);
 
 // ---------------------------------------------------------------------------
 // Check catalogue
@@ -113,17 +151,107 @@ struct CheckInfo {
 [[nodiscard]] std::string layering_allowed_list(const std::string& from);
 
 // ---------------------------------------------------------------------------
+// Scope model (scope.cpp)
+// ---------------------------------------------------------------------------
+//
+// A brace/paren-tracking pass over the stripped code of one file: function
+// bodies, lock acquisitions with their hold intervals, and the annotated
+// locking contracts. Deliberately still lexical — no libclang — so the
+// same heuristic spirit as the rest of the catalogue applies: names are
+// matched textually and member accesses by suffix.
+
+/// One lock acquisition site (scoped_lock / lock_guard / unique_lock
+/// declaration, or a raw `expr.lock()` call).
+struct LockSite {
+  std::size_t pos = 0;        // byte offset of the acquisition in the code
+  std::size_t release = 0;    // end of the hold: explicit unlock or scope end
+  std::string var;            // lock object name ("" for raw .lock() calls)
+  std::vector<std::string> mutexes;  // normalized mutex expressions
+};
+
+/// A function (or parameterized-lambda) body: offsets of its braces.
+struct FunctionScope {
+  std::size_t open = 0;
+  std::size_t close = 0;
+};
+
+/// A `// gridbw:lock-order(first < second)` contract (file or companion).
+struct LockOrderContract {
+  std::string first;
+  std::string second;
+};
+
+/// A field annotated `// gridbw:guarded_by(mutex)` on its declaration line.
+struct GuardedField {
+  std::string name;
+  std::string mutex;
+  int decl_line = 0;  // 1-based line in the declaring file; 0 = companion
+};
+
+/// A `// gridbw:requires(mu, ...)` annotation: the next function body runs
+/// with the named mutexes held by the caller.
+struct RequiresSite {
+  std::size_t body_open = 0;
+  std::size_t body_close = 0;
+  std::vector<std::string> mutexes;
+};
+
+struct ScopeInfo {
+  std::vector<FunctionScope> functions;  // outermost function bodies only
+  std::vector<LockSite> locks;
+  std::vector<LockOrderContract> contracts;
+  std::vector<GuardedField> guarded;
+  std::vector<RequiresSite> requires_held;
+  std::vector<std::string> cv_names;  // condition_variable declarations
+};
+
+/// Builds the scope model for one file. `code` is the joined stripped text
+/// and `starts` its line-start offsets (as produced inside analyze_file).
+[[nodiscard]] ScopeInfo build_scope_info(const SourceFile& file,
+                                         const std::string& code,
+                                         const std::vector<std::size_t>& starts);
+
+/// True when held mutex expression `held` satisfies a contract/annotation
+/// naming `name`: exact match, or the member suffix after the last `.` /
+/// `->` matches (`impl_->ingest_mu` satisfies `ingest_mu`).
+[[nodiscard]] bool mutex_matches(const std::string& held, const std::string& name);
+
+struct Options;  // forward declaration (defined below)
+
+/// Runs the concurrency-discipline family (lock-order, guarded-by,
+/// cv-wait-predicate, lock-scope-hygiene, atomic-discipline) over one file.
+/// Called from analyze_file; `code` is the joined stripped text and `starts`
+/// its line-start offsets.
+void run_concurrency_checks(const SourceFile& file, const std::string& code,
+                            const std::vector<std::size_t>& starts,
+                            const Options& options, std::vector<Finding>* out);
+
+// ---------------------------------------------------------------------------
 // Analysis
 // ---------------------------------------------------------------------------
 
 struct Options {
   /// Check ids to run; empty = all.
   std::set<std::string> checks;
+  /// Worker threads for the tree scan; 0 = hardware concurrency, 1 = serial.
+  /// Output is deterministic (sorted findings) for every value.
+  std::size_t threads = 0;
 };
 
+/// One scan root under the repository and the check ids it does not run
+/// (e.g. wall-clock is relaxed in bench/, layering outside src/).
+struct ScanRoot {
+  const char* dir;
+  std::set<std::string> skip;
+};
+
+/// The scanned roots in order: src, tools, bench, tests.
+[[nodiscard]] const std::vector<ScanRoot>& scan_roots();
+
 /// Runs every enabled check over one file. `src_rel_path` is the path
-/// relative to the `src/` directory (used for module mapping and per-module
-/// allowances); `file.rel_path` is the repo-relative path used in findings.
+/// relative to the scan root (for src/ it is used for module mapping and
+/// per-module allowances); `file.rel_path` is the repo-relative path used
+/// in findings and the atomic-discipline allowlist.
 [[nodiscard]] std::vector<Finding> analyze_file(const SourceFile& file,
                                                 const std::string& src_rel_path,
                                                 const Options& options);
@@ -134,12 +262,21 @@ struct TreeReport {
   std::vector<Finding> findings;
   std::vector<std::string> keys;  // keys[i] is baseline_key(findings[i])
   std::size_t files_scanned = 0;
+  /// GRIDBW-ALLOW comments naming unknown check ids ("path:line: id").
+  std::vector<std::string> stale_allows;
 };
 
-/// Scans `<root>/src` recursively (sorted order). Throws std::runtime_error
-/// when the directory is missing.
+/// Scans every `scan_roots()` directory under `root` recursively (files in
+/// sorted path order; `src/` is mandatory, the rest optional; `fixtures`
+/// directories are skipped). The per-file work fans out over a
+/// gridbw::ThreadPool (`options.threads`); findings are merged back in
+/// path order, so the report is byte-identical for any thread count.
+/// Throws std::runtime_error when `<root>/src` is missing.
 [[nodiscard]] TreeReport analyze_tree(const std::string& root,
                                       const Options& options);
+
+/// The CLI usage text (lib-level so tests can pin it).
+[[nodiscard]] const char* usage_text();
 
 // ---------------------------------------------------------------------------
 // Baseline

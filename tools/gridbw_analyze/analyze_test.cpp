@@ -61,6 +61,94 @@ TEST(GoldenFixtures, StepFunctionHotPath) { expect_golden("stepfunction"); }
 TEST(GoldenFixtures, FloatFormat) { expect_golden("float_format"); }
 TEST(GoldenFixtures, UnitSafety) { expect_golden("unit_safety"); }
 TEST(GoldenFixtures, HotPath) { expect_golden("hot_path"); }
+TEST(GoldenFixtures, LockOrder) { expect_golden("lock_order"); }
+TEST(GoldenFixtures, GuardedBy) { expect_golden("guarded_by"); }
+TEST(GoldenFixtures, CvWaitPredicate) { expect_golden("cv_wait"); }
+TEST(GoldenFixtures, LockScopeHygiene) { expect_golden("lock_hygiene"); }
+TEST(GoldenFixtures, AtomicDiscipline) { expect_golden("atomic_discipline"); }
+TEST(GoldenFixtures, RootProfiles) { expect_golden("root_profiles"); }
+
+// --- mutation tests: seed one bug into a clean fixture region, expect the
+// --- check to catch it ----------------------------------------------------
+
+std::string fixture_text(const std::string& name, const std::string& rel) {
+  return read_file(fixture_root(name) + "/" + rel);
+}
+
+std::string mutate(std::string text, const std::string& from,
+                   const std::string& to) {
+  const std::size_t pos = text.find(from);
+  EXPECT_NE(pos, std::string::npos) << "mutation anchor missing: " << from;
+  if (pos != std::string::npos) text.replace(pos, from.size(), to);
+  return text;
+}
+
+std::vector<Finding> analyze_text(const std::string& repo_rel,
+                                  const std::string& text) {
+  const SourceFile file = make_source(repo_rel, text);
+  return analyze_file(file, repo_rel.substr(std::string{"src/"}.size()),
+                      Options{});
+}
+
+bool has_finding(const std::vector<Finding>& findings, const std::string& check,
+                 int line) {
+  for (const Finding& f : findings) {
+    if (f.check == check && f.line == line) return true;
+  }
+  return false;
+}
+
+TEST(Mutation, DeletingTheContractMakesTheGoodPairUndeclared) {
+  const std::string text =
+      mutate(fixture_text("lock_order", "src/service/pair.cpp"),
+             "// gridbw:lock-order(a < b)", "//");
+  const std::vector<Finding> findings =
+      analyze_text("src/service/pair.cpp", text);
+  // good()'s b-after-a nesting loses its sanction (line 15), and inverted()'s
+  // violation downgrades to an undeclared pair — three lock-order findings.
+  EXPECT_TRUE(has_finding(findings, "lock-order", 15));
+  int lock_order = 0;
+  for (const Finding& f : findings) lock_order += f.check == "lock-order";
+  EXPECT_EQ(lock_order, 3);
+}
+
+TEST(Mutation, DroppingTheLockExposesTheGuardedField) {
+  const std::string text =
+      mutate(fixture_text("guarded_by", "src/core/cell.cpp"),
+             "std::scoped_lock lock{mu};", ";");
+  const std::vector<Finding> findings = analyze_text("src/core/cell.cpp", text);
+  EXPECT_TRUE(has_finding(findings, "guarded-by", 13));  // good() now bare
+  EXPECT_TRUE(has_finding(findings, "guarded-by", 17));  // bad() still caught
+}
+
+TEST(Mutation, StrippingThePredicateTripsCvWait) {
+  const std::string text =
+      mutate(fixture_text("cv_wait", "src/service/waiter.cpp"),
+             "cv.wait(lock, [this] { return ready; });", "cv.wait(lock);");
+  const std::vector<Finding> findings =
+      analyze_text("src/service/waiter.cpp", text);
+  EXPECT_TRUE(has_finding(findings, "cv-wait-predicate", 15));
+}
+
+TEST(Mutation, RemovingTheUnlockPutsIoBackUnderTheLock) {
+  const std::string text =
+      mutate(fixture_text("lock_hygiene", "src/core/section.cpp"),
+             "lock.unlock();", ";");
+  const std::vector<Finding> findings =
+      analyze_text("src/core/section.cpp", text);
+  EXPECT_TRUE(has_finding(findings, "lock-scope-hygiene", 32));
+}
+
+TEST(Mutation, MovingASanctionedFileOutOfItsModuleFlagsTheAtomic) {
+  // The same text that scans clean as src/obs/counters.cpp (sanctioned
+  // module, line 7's raw atomic) is a finding anywhere else.
+  const std::string text =
+      fixture_text("atomic_discipline", "src/obs/counters.cpp");
+  EXPECT_FALSE(
+      has_finding(analyze_text("src/obs/counters.cpp", text), "atomic-discipline", 7));
+  EXPECT_TRUE(
+      has_finding(analyze_text("src/core/counters.cpp", text), "atomic-discipline", 7));
+}
 
 // --- baseline semantics ---------------------------------------------------
 
@@ -117,6 +205,96 @@ TEST(Suppression, SameLineAndLineAbove) {
   EXPECT_TRUE(file.suppressed(3, "rng-locality"));
   EXPECT_FALSE(file.suppressed(4, "rng-locality"));
   EXPECT_FALSE(file.suppressed(1, "wall-clock"));  // id must match exactly
+}
+
+TEST(Suppression, WorksOnTheLastLineWithoutTrailingNewline) {
+  const SourceFile file = make_source(
+      "src/core/x.cpp",
+      "int a;\n"
+      "std::mt19937 g;  // GRIDBW-ALLOW(rng-locality): last line, no \\n");
+  EXPECT_TRUE(file.suppressed(2, "rng-locality"));
+  EXPECT_TRUE(analyze_text("src/core/x.cpp",
+                           "std::mt19937 g;  // GRIDBW-ALLOW(rng-locality): x")
+                  .empty());
+}
+
+TEST(Suppression, TwoIdsOnOneLineSilenceTwoChecks) {
+  // One line can trip two checks; both ids ride on the line above.
+  const std::string body =
+      "std::mt19937 g{static_cast<unsigned>(std::time(nullptr))};\n";
+  const std::string both =
+      "// GRIDBW-ALLOW(rng-locality): demo GRIDBW-ALLOW(wall-clock): demo\n" +
+      body;
+  EXPECT_TRUE(analyze_text("src/core/x.cpp", both).empty());
+  const std::string one =
+      "// GRIDBW-ALLOW(rng-locality): demo\n" + body;
+  const std::vector<Finding> findings = analyze_text("src/core/x.cpp", one);
+  ASSERT_EQ(findings.size(), 1u);  // wall-clock survives
+  EXPECT_EQ(findings[0].check, "wall-clock");
+}
+
+TEST(Suppression, UnknownAllowIdIsReportedStale) {
+  // Splice the marker so this test file itself never carries a stale ALLOW.
+  const std::string text = std::string{"int a;  // GRIDBW-AL"} +
+                           "LOW(bogus-check): typo'd id\n"
+                           "// GRIDBW-AL" "LOW(rng-locality): known id\n"
+                           "std::mt19937 g;\n"
+                           "// a prose mention of GRIDBW-AL" "LOW(<check>) is not an id\n";
+  const SourceFile file = make_source("src/core/x.cpp", text);
+  const std::vector<std::string> stale = stale_allows_in(file);
+  ASSERT_EQ(stale.size(), 1u);
+  EXPECT_EQ(stale[0], "src/core/x.cpp:1: bogus-check");
+}
+
+// --- scope model ----------------------------------------------------------
+
+TEST(ScopeModel, MutexSuffixMatching) {
+  EXPECT_TRUE(mutex_matches("mu", "mu"));
+  EXPECT_TRUE(mutex_matches("cell.mu", "mu"));
+  EXPECT_TRUE(mutex_matches("impl_->ingest_mu", "ingest_mu"));
+  EXPECT_FALSE(mutex_matches("ingest_mu", "mu"));  // not a member step
+  EXPECT_FALSE(mutex_matches("mu", "ingest_mu"));
+}
+
+TEST(ScopeModel, ExplicitUnlockEndsTheHoldEarly) {
+  const std::string text =
+      "#include <mutex>\n"
+      "void f(std::mutex& m) {\n"
+      "  std::unique_lock lock{m};\n"
+      "  lock.unlock();\n"
+      "  std::cout << 1;\n"  // outside the hold: no hygiene finding
+      "}\n";
+  const std::vector<Finding> findings = analyze_text("src/core/x.cpp", text);
+  for (const Finding& f : findings) EXPECT_NE(f.check, "lock-scope-hygiene");
+}
+
+TEST(ScopeModel, RequiresAnnotationBindsTheNextFunctionBody) {
+  const std::string text =
+      "#include <mutex>\n"
+      "struct S {\n"
+      "  std::mutex mu;\n"
+      "  int x{0};  // gridbw:guarded_by(mu)\n"
+      "  // gridbw:requires(mu)\n"
+      "  void touch() { x += 1; }\n"
+      "  void loose() { x += 1; }\n"
+      "};\n";
+  const std::vector<Finding> findings = analyze_text("src/core/x.cpp", text);
+  EXPECT_FALSE(has_finding(findings, "guarded-by", 6));
+  EXPECT_TRUE(has_finding(findings, "guarded-by", 7));
+}
+
+TEST(ScopeModel, CompanionHeaderAnnotationsBindInTheCpp) {
+  SourceFile file = make_source("src/core/x.cpp",
+                                "#include <mutex>\n"
+                                "void S_touch(S& s) { s.x += 1; }\n");
+  attach_companion(file,
+                   "struct S {\n"
+                   "  std::mutex mu;\n"
+                   "  int x{0};  // gridbw:guarded_by(mu)\n"
+                   "};\n");
+  const std::vector<Finding> findings =
+      analyze_file(file, "core/x.cpp", Options{});
+  EXPECT_TRUE(has_finding(findings, "guarded-by", 2));
 }
 
 // --- layering table -------------------------------------------------------
@@ -207,10 +385,55 @@ TEST(Output, JsonIsEscapedAndDeterministic) {
   EXPECT_NE(json.find("a \\\"quoted\\\" message"), std::string::npos);
 }
 
-TEST(Catalogue, ListsAllEightChecks) {
+TEST(Catalogue, ListsAllThirteenChecks) {
   const std::vector<CheckInfo>& catalogue = check_catalogue();
-  ASSERT_EQ(catalogue.size(), 8u);
+  ASSERT_EQ(catalogue.size(), 13u);
   EXPECT_STREQ(catalogue.front().id, "layering");
+  // The concurrency-discipline family closes the catalogue, in order.
+  EXPECT_STREQ(catalogue[8].id, "lock-order");
+  EXPECT_STREQ(catalogue[9].id, "guarded-by");
+  EXPECT_STREQ(catalogue[10].id, "cv-wait-predicate");
+  EXPECT_STREQ(catalogue[11].id, "lock-scope-hygiene");
+  EXPECT_STREQ(catalogue[12].id, "atomic-discipline");
+}
+
+TEST(Output, TreeScanIsByteIdenticalAcrossThreadCounts) {
+  Options serial;
+  serial.threads = 1;
+  Options pooled;
+  pooled.threads = 4;
+  const std::string root = fixture_root("root_profiles");
+  const TreeReport a = analyze_tree(root, serial);
+  const TreeReport b = analyze_tree(root, pooled);
+  EXPECT_EQ(render_json(a.findings), render_json(b.findings));
+  EXPECT_EQ(a.keys, b.keys);
+  EXPECT_EQ(a.files_scanned, b.files_scanned);
+  EXPECT_EQ(a.stale_allows, b.stale_allows);
+}
+
+TEST(Cli, UsageTextDocumentsEveryFlag) {
+  const std::string usage = usage_text();
+  for (const char* flag :
+       {"--root", "--baseline", "--fix-baseline", "--checks", "--threads",
+        "--json", "--json-out", "--summary", "--list-checks"}) {
+    EXPECT_NE(usage.find(flag), std::string::npos) << flag;
+  }
+}
+
+TEST(RootProfiles, SkippedChecksComeBackWithAnExplicitChecksFilter) {
+  // bench/ relaxes wall-clock during a default scan (the golden fixture pins
+  // that), but per-root profiles only subtract: a user asking for exactly
+  // the skipped check gets an empty bench scan, not a full-catalogue one.
+  Options only_wall_clock;
+  only_wall_clock.checks.insert("wall-clock");
+  const TreeReport report =
+      analyze_tree(fixture_root("root_profiles"), only_wall_clock);
+  for (const Finding& f : report.findings) {
+    EXPECT_EQ(f.check, "wall-clock");
+    EXPECT_NE(f.path.rfind("bench/", 0), 0u) << f.path;
+  }
+  // src/ and tools/ keep wall-clock on, so the filter still finds those two.
+  EXPECT_EQ(report.findings.size(), 2u);
 }
 
 // --- the real tree stays clean --------------------------------------------

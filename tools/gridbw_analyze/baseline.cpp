@@ -6,6 +6,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "util/thread_pool.hpp"
+
 namespace gridbw::analyze {
 
 namespace {
@@ -110,39 +112,152 @@ std::string render_json(const std::vector<Finding>& findings) {
   return out;
 }
 
+const std::vector<ScanRoot>& scan_roots() {
+  static const std::vector<ScanRoot> kRoots = {
+      {"src", {}},
+      // tools: host-side utilities — library layering and the unit-typed
+      // header vocabulary do not apply outside the library tree.
+      {"tools", {"layering", "unit-safety"}},
+      // bench: measures the machine and prints human-facing tables, and the
+      // reference StepFunction is fair game in differential harnesses.
+      {"bench",
+       {"layering", "wall-clock", "float-format", "stepfunction-hot-path",
+        "unit-safety"}},
+      // tests: exercise forbidden constructs on purpose (reference
+      // StepFunction differentials, raw atomics in TSan stress tests).
+      {"tests",
+       {"layering", "float-format", "stepfunction-hot-path", "unit-safety",
+        "atomic-discipline"}},
+  };
+  return kRoots;
+}
+
 TreeReport analyze_tree(const std::string& root, const Options& options) {
   namespace fs = std::filesystem;
-  const fs::path src = fs::path{root} / "src";
-  if (!fs::is_directory(src)) {
+  const fs::path root_path{root};
+  if (!fs::is_directory(root_path / "src")) {
     throw std::runtime_error{"gridbw-analyze: no src/ directory under " + root};
   }
-  std::vector<fs::path> paths;
-  for (const auto& entry : fs::recursive_directory_iterator{src}) {
-    if (!entry.is_regular_file()) continue;
-    const std::string ext = entry.path().extension().string();
-    if (ext == ".hpp" || ext == ".cpp") paths.push_back(entry.path());
-  }
-  std::sort(paths.begin(), paths.end());
 
-  TreeReport report;
-  report.files_scanned = paths.size();
-  // Files arrive sorted and analyze_file sorts within a file, so the
-  // concatenation is already in deterministic (path, line, check) order.
-  for (const fs::path& path : paths) {
-    const std::string src_rel = fs::relative(path, src).generic_string();
-    SourceFile file = make_source("src/" + src_rel, read_file(path));
-    if (path.extension() == ".cpp") {
-      const fs::path sibling = fs::path{path}.replace_extension(".hpp");
-      if (fs::is_regular_file(sibling)) {
-        file.companion_code = strip_comments_and_strings(read_file(sibling));
+  // Effective per-root check set: (user selection or the full catalogue)
+  // minus the root's skip profile. An empty result means "scan nothing
+  // here" — it must not fall through to Options' empty-means-all default.
+  std::vector<Options> per_root;
+  for (const ScanRoot& scan_root : scan_roots()) {
+    Options effective;
+    effective.threads = options.threads;
+    if (options.checks.empty()) {
+      for (const CheckInfo& check : check_catalogue()) {
+        if (scan_root.skip.count(check.id) == 0) {
+          effective.checks.insert(check.id);
+        }
+      }
+    } else {
+      for (const std::string& id : options.checks) {
+        if (scan_root.skip.count(id) == 0) effective.checks.insert(id);
       }
     }
-    for (Finding& finding : analyze_file(file, src_rel, options)) {
-      report.keys.push_back(baseline_key(finding, file));
-      report.findings.push_back(std::move(finding));
+    per_root.push_back(std::move(effective));
+  }
+
+  struct Job {
+    fs::path path;
+    std::string rel;       // repo-relative, '/'-separated
+    std::string root_rel;  // relative to the scan root
+    std::size_t root_index = 0;
+  };
+  std::vector<Job> jobs;
+  for (std::size_t r = 0; r < scan_roots().size(); ++r) {
+    const ScanRoot& scan_root = scan_roots()[r];
+    const fs::path dir = root_path / scan_root.dir;
+    if (!fs::is_directory(dir)) continue;  // only src/ is mandatory
+    std::vector<fs::path> paths;
+    for (auto it = fs::recursive_directory_iterator{dir};
+         it != fs::recursive_directory_iterator{}; ++it) {
+      // Golden-fixture trees contain deliberately bad code.
+      if (it->is_directory() && it->path().filename() == "fixtures") {
+        it.disable_recursion_pending();
+        continue;
+      }
+      if (!it->is_regular_file()) continue;
+      const std::string ext = it->path().extension().string();
+      if (ext == ".hpp" || ext == ".cpp") paths.push_back(it->path());
+    }
+    std::sort(paths.begin(), paths.end());
+    for (fs::path& path : paths) {
+      Job job;
+      job.root_rel = fs::relative(path, dir).generic_string();
+      job.rel = std::string{scan_root.dir} + "/" + job.root_rel;
+      job.path = std::move(path);
+      job.root_index = r;
+      jobs.push_back(std::move(job));
+    }
+  }
+
+  // Fan the per-file scans out over the pool into per-job slots, then merge
+  // in job order: the report is byte-identical for every thread count.
+  struct Slot {
+    std::vector<Finding> findings;
+    std::vector<std::string> keys;
+    std::vector<std::string> stale_allows;
+  };
+  std::vector<Slot> slots(jobs.size());
+  const auto scan_one = [&](std::size_t i) {
+    const Job& job = jobs[i];
+    SourceFile file = make_source(job.rel, read_file(job.path));
+    if (job.path.extension() == ".cpp") {
+      const fs::path sibling = fs::path{job.path}.replace_extension(".hpp");
+      if (fs::is_regular_file(sibling)) {
+        attach_companion(file, read_file(sibling));
+      }
+    }
+    const Options& effective = per_root[job.root_index];
+    if (!effective.checks.empty()) {
+      for (Finding& finding : analyze_file(file, job.root_rel, effective)) {
+        slots[i].keys.push_back(baseline_key(finding, file));
+        slots[i].findings.push_back(std::move(finding));
+      }
+    }
+    slots[i].stale_allows = stale_allows_in(file);
+  };
+  if (options.threads == 1 || jobs.size() < 2) {
+    gridbw::serial_for_index(jobs.size(), scan_one);
+  } else {
+    gridbw::ThreadPool pool{options.threads};
+    gridbw::parallel_for_index(pool, jobs.size(), scan_one);
+  }
+
+  TreeReport report;
+  report.files_scanned = jobs.size();
+  for (Slot& slot : slots) {
+    for (std::size_t k = 0; k < slot.findings.size(); ++k) {
+      report.findings.push_back(std::move(slot.findings[k]));
+      report.keys.push_back(std::move(slot.keys[k]));
+    }
+    for (std::string& stale : slot.stale_allows) {
+      report.stale_allows.push_back(std::move(stale));
     }
   }
   return report;
+}
+
+const char* usage_text() {
+  return
+      "usage: gridbw_analyze --root DIR [options]\n"
+      "\n"
+      "  --root DIR        repository root; scans src/ (all checks) plus\n"
+      "                    tools/, bench/, and tests/ under per-root check\n"
+      "                    profiles (fixtures/ directories are skipped)\n"
+      "  --baseline FILE   tolerate findings listed in FILE (check|path|line)\n"
+      "  --fix-baseline    rewrite FILE with the current findings and exit 0\n"
+      "  --checks a,b,...  run only the listed checks (default: all)\n"
+      "  --threads N       scan worker threads (0 = hardware default,\n"
+      "                    1 = serial; findings are identical either way)\n"
+      "  --json            print the findings as a JSON report (with\n"
+      "                    files_scanned and scan_ms) instead of text\n"
+      "  --json-out FILE   also write the JSON report to FILE\n"
+      "  --summary         print new findings grouped by check, diff-style\n"
+      "  --list-checks     print the check catalogue and exit\n";
 }
 
 }  // namespace gridbw::analyze

@@ -610,6 +610,16 @@ const std::vector<CheckInfo>& check_catalogue() {
        "no raw dimensioned doubles (*_bps/*_bytes/*_sec) in public headers"},
       {"hot-path",
        "no throw/allocation/virtual-sink in functions marked // gridbw:hot"},
+      {"lock-order",
+       "nested mutex acquisitions follow declared gridbw:lock-order contracts"},
+      {"guarded-by",
+       "gridbw:guarded_by fields only touched with the named mutex held"},
+      {"cv-wait-predicate",
+       "condition_variable waits always use the predicate overload"},
+      {"lock-scope-hygiene",
+       "no throw/I-O/sink-call/blocking submit-join-wait while a lock is held"},
+      {"atomic-discipline",
+       "raw std::atomic and weak memory orders confined to sanctioned modules"},
   };
   return kCatalogue;
 }
@@ -631,6 +641,7 @@ std::vector<Finding> analyze_file(const SourceFile& file,
   if (enabled("float-format")) check_float_format(scan);
   if (enabled("unit-safety")) check_unit_safety(scan);
   if (enabled("hot-path")) check_hot_path(scan);
+  run_concurrency_checks(file, scan.code, scan.starts, options, &findings);
   std::sort(findings.begin(), findings.end());
   return findings;
 }

@@ -1,0 +1,22 @@
+// Fixture: raw atomics outside the sanctioned modules, weak memory orders.
+#include <atomic>
+
+namespace fixture {
+
+std::atomic<int> counter{0};  // finding: raw atomic outside counters/pool
+
+int weak_read() {
+  return counter.load(std::memory_order_relaxed);  // finding: weak order
+}
+
+int default_read() {
+  return counter.load();  // seq_cst default: no order finding
+}
+
+void allowed() {
+  // GRIDBW-ALLOW(atomic-discipline): fixture-only suppression demo
+  static std::atomic<int> local{0};
+  local.store(1);
+}
+
+}  // namespace fixture

@@ -1,0 +1,15 @@
+// Fixture: src/obs/counters.cpp is a sanctioned lock-free module — raw
+// atomics are fine here, but weak memory orders still need an ALLOW.
+#include <atomic>
+
+namespace fixture {
+
+std::atomic<int> sanctioned{0};  // no finding: sanctioned module
+
+int read() { return sanctioned.load(); }
+
+int weak_read() {
+  return sanctioned.load(std::memory_order_acquire);  // finding: weak order
+}
+
+}  // namespace fixture

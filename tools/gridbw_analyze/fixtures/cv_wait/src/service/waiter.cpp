@@ -1,0 +1,40 @@
+// Fixture: condition_variable waits with and without a predicate.
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+namespace fixture {
+
+struct Waiter {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool ready{false};
+
+  void good() {
+    std::unique_lock lock{mu};
+    cv.wait(lock, [this] { return ready; });
+  }
+
+  void good_timed() {
+    std::unique_lock lock{mu};
+    cv.wait_for(lock, std::chrono::seconds{1}, [this] { return ready; });
+  }
+
+  void bad() {
+    std::unique_lock lock{mu};
+    cv.wait(lock);  // finding: bare wait
+  }
+
+  void bad_timed() {
+    std::unique_lock lock{mu};
+    cv.wait_for(lock, std::chrono::seconds{1});  // finding: no predicate
+  }
+
+  void allowed() {
+    std::unique_lock lock{mu};
+    // GRIDBW-ALLOW(cv-wait-predicate): fixture-only suppression demo
+    cv.wait(lock);
+  }
+};
+
+}  // namespace fixture

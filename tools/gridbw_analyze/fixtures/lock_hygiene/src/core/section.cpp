@@ -1,0 +1,42 @@
+// Fixture: side effects inside critical sections.
+#include <iostream>
+#include <mutex>
+#include <stdexcept>
+
+namespace fixture {
+
+struct Section {
+  std::mutex mu;
+  int value{0};
+
+  void good() {
+    std::scoped_lock lock{mu};
+    value += 1;
+  }
+
+  void bad_io() {
+    std::scoped_lock lock{mu};
+    std::cout << value;  // finding: stream I/O under lock
+  }
+
+  void bad_throw() {
+    std::scoped_lock lock{mu};
+    if (value < 0) throw std::runtime_error{"negative"};  // finding
+    value += 1;
+  }
+
+  void good_after_unlock() {
+    std::unique_lock lock{mu};
+    value += 1;
+    lock.unlock();
+    std::cout << value;  // fine: the lock was released above
+  }
+
+  void allowed() {
+    std::scoped_lock lock{mu};
+    // GRIDBW-ALLOW(lock-scope-hygiene): fixture-only suppression demo
+    std::cerr << value;
+  }
+};
+
+}  // namespace fixture

@@ -1,0 +1,39 @@
+// Fixture: nested mutex acquisitions against a declared lock-order contract.
+#include <mutex>
+
+namespace fixture {
+
+struct Engine {
+  std::mutex a;
+  std::mutex b;
+  std::mutex c;
+
+  // gridbw:lock-order(a < b)
+
+  void good() {
+    std::scoped_lock la{a};
+    std::scoped_lock lb{b};  // sanctioned: matches the declared order
+    (void)lb;
+  }
+
+  void inverted() {
+    std::scoped_lock lb{b};
+    std::scoped_lock la{a};  // violates a < b
+    (void)la;
+  }
+
+  void undeclared() {
+    std::scoped_lock la{a};
+    std::scoped_lock lc{c};  // no contract covers the (a, c) pair
+    (void)lc;
+  }
+
+  void allowed() {
+    std::scoped_lock lb{b};
+    // GRIDBW-ALLOW(lock-order): fixture-only suppression demo
+    std::scoped_lock la{a};
+    (void)la;
+  }
+};
+
+}  // namespace fixture

@@ -1,0 +1,10 @@
+// Fixture: wall-clock reads are findings in src/ proper.
+#include <chrono>
+
+namespace fixture {
+
+long src_clock() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();  // finding
+}
+
+}  // namespace fixture

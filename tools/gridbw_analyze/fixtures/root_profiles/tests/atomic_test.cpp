@@ -1,0 +1,11 @@
+// Fixture: the tests/ profile relaxes atomic-discipline — stress tests
+// build raw atomics to hammer the pool.
+#include <atomic>
+
+namespace fixture {
+
+std::atomic<int> probes{0};  // fine here
+
+void hammer() { probes.fetch_add(1); }
+
+}  // namespace fixture

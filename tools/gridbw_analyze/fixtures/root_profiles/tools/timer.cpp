@@ -1,0 +1,14 @@
+// Fixture: the tools/ profile keeps wall-clock and atomic-discipline on
+// (layering and unit-safety are the checks relaxed there).
+#include <atomic>
+#include <chrono>
+
+namespace fixture {
+
+std::atomic<int> tool_state{0};  // finding: atomic-discipline applies in tools/
+
+long tool_clock() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();  // finding
+}
+
+}  // namespace fixture

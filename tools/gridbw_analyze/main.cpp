@@ -3,24 +3,17 @@
 
 #include "analyze.hpp"
 
+#include <chrono>
+#include <cstddef>
 #include <exception>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <sstream>
 #include <string>
 #include <vector>
 
 namespace {
-
-constexpr const char* kUsage =
-    "usage: gridbw_analyze --root DIR [options]\n"
-    "\n"
-    "  --root DIR        repository root (its src/ subtree is scanned)\n"
-    "  --baseline FILE   tolerate findings listed in FILE (check|path|line)\n"
-    "  --fix-baseline    rewrite FILE with the current findings and exit 0\n"
-    "  --checks a,b,...  run only the listed checks (default: all)\n"
-    "  --json            print findings as a JSON array instead of text\n"
-    "  --list-checks     print the check catalogue and exit\n";
 
 std::string read_file_or_empty(const std::string& path) {
   std::ifstream in{path, std::ios::binary};
@@ -30,6 +23,52 @@ std::string read_file_or_empty(const std::string& path) {
   return buffer.str();
 }
 
+/// The --json report: a wrapper object so the scan stats travel with the
+/// findings array (the array itself stays byte-identical across runs).
+std::string json_report(const gridbw::analyze::TreeReport& report,
+                        const std::vector<gridbw::analyze::Finding>& fresh,
+                        long long scan_ms) {
+  std::string findings = gridbw::analyze::render_json(fresh);
+  while (!findings.empty() && findings.back() == '\n') findings.pop_back();
+  std::string out = "{\n";
+  out += "  \"files_scanned\": " + std::to_string(report.files_scanned) + ",\n";
+  out += "  \"scan_ms\": " + std::to_string(scan_ms) + ",\n";
+  out += "  \"findings\": ";
+  // Indent the embedded array body by two spaces for readability.
+  for (const char c : findings) {
+    out.push_back(c);
+    if (c == '\n') out += "  ";
+  }
+  out += "\n}\n";
+  return out;
+}
+
+/// Diff-style summary grouped by check: what CI prints on failure.
+void print_summary(const std::vector<gridbw::analyze::Finding>& fresh,
+                   const std::vector<std::string>& stale) {
+  std::map<std::string, std::vector<const gridbw::analyze::Finding*>> by_check;
+  for (const gridbw::analyze::Finding& finding : fresh) {
+    by_check[finding.check].push_back(&finding);
+  }
+  for (const auto& [check, findings] : by_check) {
+    std::cout << "[" << check << "] " << findings.size()
+              << " new finding(s):\n";
+    for (const gridbw::analyze::Finding* finding : findings) {
+      std::cout << "  + " << finding->path << ":" << finding->line << ": "
+                << finding->message << "\n";
+    }
+  }
+  if (!stale.empty()) {
+    std::cout << "[baseline] " << stale.size()
+              << " stale entry/entries (fixed findings — run --fix-baseline):\n";
+    for (const std::string& key : stale) std::cout << "  - " << key << "\n";
+  }
+  if (by_check.empty() && stale.empty()) {
+    std::cout << "gridbw-analyze: clean — no new findings, no stale baseline "
+                 "entries\n";
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -37,8 +76,10 @@ int main(int argc, char** argv) {
 
   std::string root;
   std::string baseline_path;
+  std::string json_out_path;
   bool fix_baseline = false;
   bool json = false;
+  bool summary = false;
   bool list_checks = false;
   Options options;
 
@@ -47,7 +88,8 @@ int main(int argc, char** argv) {
     const std::string& arg = args[i];
     const auto value = [&]() -> std::string {
       if (i + 1 >= args.size()) {
-        std::cerr << "gridbw-analyze: " << arg << " needs a value\n" << kUsage;
+        std::cerr << "gridbw-analyze: " << arg << " needs a value\n"
+                  << usage_text();
         std::exit(2);
       }
       return args[++i];
@@ -60,6 +102,17 @@ int main(int argc, char** argv) {
       fix_baseline = true;
     } else if (arg == "--json") {
       json = true;
+    } else if (arg == "--json-out") {
+      json_out_path = value();
+    } else if (arg == "--summary") {
+      summary = true;
+    } else if (arg == "--threads") {
+      try {
+        options.threads = static_cast<std::size_t>(std::stoul(value()));
+      } catch (const std::exception&) {
+        std::cerr << "gridbw-analyze: --threads needs a number\n";
+        return 2;
+      }
     } else if (arg == "--list-checks") {
       list_checks = true;
     } else if (arg == "--checks") {
@@ -69,10 +122,11 @@ int main(int argc, char** argv) {
         if (!id.empty()) options.checks.insert(id);
       }
     } else if (arg == "-h" || arg == "--help") {
-      std::cout << kUsage;
+      std::cout << usage_text();
       return 0;
     } else {
-      std::cerr << "gridbw-analyze: unknown argument '" << arg << "'\n" << kUsage;
+      std::cerr << "gridbw-analyze: unknown argument '" << arg << "'\n"
+                << usage_text();
       return 2;
     }
   }
@@ -84,7 +138,7 @@ int main(int argc, char** argv) {
     return 0;
   }
   if (root.empty()) {
-    std::cerr << "gridbw-analyze: --root is required\n" << kUsage;
+    std::cerr << "gridbw-analyze: --root is required\n" << usage_text();
     return 2;
   }
   for (const std::string& id : options.checks) {
@@ -102,7 +156,15 @@ int main(int argc, char** argv) {
   }
 
   try {
+    // Scan wall-time is a tool statistic, not simulated time.
+    // GRIDBW-ALLOW(wall-clock): measuring the analyzer itself.
+    const auto scan_begin = std::chrono::steady_clock::now();
     const TreeReport report = analyze_tree(root, options);
+    const long long scan_ms =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            // GRIDBW-ALLOW(wall-clock): measuring the analyzer itself.
+            std::chrono::steady_clock::now() - scan_begin)
+            .count();
 
     if (fix_baseline) {
       std::ofstream out{baseline_path, std::ios::binary};
@@ -124,8 +186,18 @@ int main(int argc, char** argv) {
     const BaselineSplit split =
         apply_baseline(report.findings, report.keys, baseline);
 
+    if (!json_out_path.empty()) {
+      std::ofstream out{json_out_path, std::ios::binary};
+      if (!out) {
+        std::cerr << "gridbw-analyze: cannot write " << json_out_path << "\n";
+        return 2;
+      }
+      out << json_report(report, split.fresh, scan_ms);
+    }
     if (json) {
-      std::cout << render_json(split.fresh);
+      std::cout << json_report(report, split.fresh, scan_ms);
+    } else if (summary) {
+      print_summary(split.fresh, split.stale);
     } else {
       for (const Finding& finding : split.fresh) {
         std::cout << finding.path << ":" << finding.line << ": ["
@@ -137,10 +209,14 @@ int main(int argc, char** argv) {
                    "--fix-baseline): "
                 << key << "\n";
     }
+    for (const std::string& stale : report.stale_allows) {
+      std::cerr << "gridbw-analyze: stale GRIDBW-ALLOW (unknown check id): "
+                << stale << "\n";
+    }
     std::cerr << "gridbw-analyze: " << report.files_scanned << " file(s), "
               << split.fresh.size() << " new finding(s), "
               << split.baselined.size() << " baselined, " << split.stale.size()
-              << " stale\n";
+              << " stale, " << scan_ms << " ms\n";
     return split.fresh.empty() ? 0 : 1;
   } catch (const std::exception& error) {
     std::cerr << error.what() << "\n";

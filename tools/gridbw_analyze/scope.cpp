@@ -1,0 +1,401 @@
+// Scope model: a brace/paren-tracking pass over stripped source. Matches
+// every brace pair, classifies the scope it opens (function body, control
+// statement, plain block), extracts RAII lock acquisitions with their hold
+// intervals, and parses the gridbw locking annotations. Still lexical — the
+// same heuristic spirit as the rest of the catalogue, no libclang.
+
+#include "analyze.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace gridbw::analyze {
+
+namespace {
+
+bool is_ident(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool word_at(const std::string& text, std::size_t pos, const std::string& word) {
+  if (text.compare(pos, word.size(), word) != 0) return false;
+  if (pos > 0 && is_ident(text[pos - 1])) return false;
+  const std::size_t end = pos + word.size();
+  return end >= text.size() || !is_ident(text[end]);
+}
+
+std::size_t skip_ws(const std::string& text, std::size_t pos) {
+  while (pos < text.size() &&
+         std::isspace(static_cast<unsigned char>(text[pos])) != 0) {
+    ++pos;
+  }
+  return pos;
+}
+
+std::string trim(const std::string& s) {
+  const std::size_t first = s.find_first_not_of(" \t\r");
+  if (first == std::string::npos) return "";
+  const std::size_t last = s.find_last_not_of(" \t\r");
+  return s.substr(first, last - first + 1);
+}
+
+/// The expression with every whitespace character removed — lock arguments
+/// and annotation operands normalize to the same spelling even when the
+/// declaration wraps across lines.
+std::string strip_spaces(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    if (std::isspace(static_cast<unsigned char>(c)) == 0) out.push_back(c);
+  }
+  return out;
+}
+
+enum class ScopeKind { kFunction, kControl, kPlain };
+
+/// Classifies the scope opened by the '{' at `open` by scanning backwards.
+/// The skip set covers what a function-header tail is made of (identifiers,
+/// whitespace, template angles, qualifiers, ctor-init-list commas); the
+/// first structural character decides:
+///   ')'  → match it to its '(' and read the word before: a control keyword
+///          gives a control scope, a lambda capture ']' a transparent plain
+///          scope, anything else a function body;
+///   else → plain scope (class/namespace body, initializer list, ...).
+ScopeKind classify_scope(const std::string& code, std::size_t open) {
+  std::size_t i = open;
+  while (i > 0) {
+    const char c = code[i - 1];
+    const bool skip = is_ident(c) || c == ' ' || c == '\t' || c == '\n' ||
+                      c == ':' || c == '<' || c == '>' || c == ',' ||
+                      c == '*' || c == '&' || c == '-';
+    if (!skip) break;
+    --i;
+  }
+  if (i == 0 || code[i - 1] != ')') return ScopeKind::kPlain;
+  int depth = 0;
+  std::size_t j = i - 1;
+  while (true) {
+    const char c = code[j];
+    if (c == ')') ++depth;
+    if (c == '(') {
+      --depth;
+      if (depth == 0) break;
+    }
+    if (j == 0) return ScopeKind::kPlain;
+    --j;
+  }
+  std::size_t k = j;
+  while (k > 0 && std::isspace(static_cast<unsigned char>(code[k - 1])) != 0) {
+    --k;
+  }
+  if (k == 0) return ScopeKind::kPlain;
+  if (code[k - 1] == ']') return ScopeKind::kPlain;  // lambda: transparent
+  std::size_t b = k;
+  while (b > 0 && is_ident(code[b - 1])) --b;
+  const std::string word = code.substr(b, k - b);
+  if (word == "if" || word == "for" || word == "while" || word == "switch" ||
+      word == "catch" || word == "constexpr") {  // `if constexpr (...)`
+    return ScopeKind::kControl;
+  }
+  if (word.empty()) return ScopeKind::kPlain;
+  return ScopeKind::kFunction;
+}
+
+struct BracePair {
+  std::size_t open = 0;
+  std::size_t close = 0;
+  ScopeKind kind = ScopeKind::kPlain;
+  bool outermost_function = false;
+};
+
+std::vector<BracePair> match_braces(const std::string& code) {
+  struct OpenScope {
+    std::size_t open;
+    ScopeKind kind;
+    int function_depth_below;
+  };
+  std::vector<BracePair> pairs;
+  std::vector<OpenScope> stack;
+  int function_depth = 0;
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    const char c = code[i];
+    if (c == '{') {
+      const ScopeKind kind = classify_scope(code, i);
+      stack.push_back({i, kind, function_depth});
+      if (kind == ScopeKind::kFunction) ++function_depth;
+    } else if (c == '}') {
+      if (stack.empty()) continue;  // unbalanced — tolerate, macros exist
+      const OpenScope top = stack.back();
+      stack.pop_back();
+      if (top.kind == ScopeKind::kFunction) --function_depth;
+      pairs.push_back({top.open, i, top.kind,
+                       top.kind == ScopeKind::kFunction &&
+                           top.function_depth_below == 0});
+    }
+  }
+  std::sort(pairs.begin(), pairs.end(),
+            [](const BracePair& a, const BracePair& b) { return a.open < b.open; });
+  return pairs;
+}
+
+/// The closing brace of the innermost scope containing `pos` (code end when
+/// the position is at file scope).
+std::size_t enclosing_scope_end(const std::vector<BracePair>& pairs,
+                                std::size_t pos, std::size_t code_size) {
+  std::size_t end = code_size;
+  for (const BracePair& p : pairs) {
+    if (p.open < pos && pos < p.close) end = std::min(end, p.close);
+  }
+  return end;
+}
+
+void collect_lock_sites(const std::string& code,
+                        const std::vector<BracePair>& pairs,
+                        std::vector<LockSite>* out) {
+  for (const char* raii : {"scoped_lock", "lock_guard", "unique_lock",
+                           "shared_lock"}) {
+    const std::string token = raii;
+    std::size_t pos = 0;
+    while ((pos = code.find(token, pos)) != std::string::npos) {
+      const std::size_t hit = pos;
+      pos += token.size();
+      if (!word_at(code, hit, token)) continue;
+      std::size_t i = hit + token.size();
+      i = skip_ws(code, i);
+      if (i < code.size() && code[i] == '<') {  // template argument list
+        int depth = 0;
+        while (i < code.size()) {
+          if (code[i] == '<') ++depth;
+          if (code[i] == '>') {
+            --depth;
+            if (depth == 0) {
+              ++i;
+              break;
+            }
+          }
+          ++i;
+        }
+      }
+      i = skip_ws(code, i);
+      std::size_t name_end = i;
+      while (name_end < code.size() && is_ident(code[name_end])) ++name_end;
+      if (name_end == i) continue;  // a type mention, not a declaration
+      LockSite site;
+      site.pos = hit;
+      site.var = code.substr(i, name_end - i);
+      i = skip_ws(code, name_end);
+      if (i >= code.size() || (code[i] != '(' && code[i] != '{')) continue;
+
+      // Constructor arguments, split on top-level commas.
+      std::vector<std::string> args;
+      std::string current;
+      int depth = 0;
+      bool closed = false;
+      std::size_t j = i;
+      for (; j < code.size(); ++j) {
+        const char c = code[j];
+        if (c == '(' || c == '{' || c == '[') {
+          ++depth;
+          if (depth == 1) continue;  // the opener itself
+        } else if (c == ')' || c == '}' || c == ']') {
+          --depth;
+          if (depth == 0) {
+            closed = true;
+            break;
+          }
+        } else if (c == ',' && depth == 1) {
+          args.push_back(strip_spaces(current));
+          current.clear();
+          continue;
+        }
+        current.push_back(c);
+      }
+      if (!closed) continue;
+      if (!strip_spaces(current).empty()) args.push_back(strip_spaces(current));
+
+      bool deferred = false;
+      for (const std::string& arg : args) {
+        if (arg.find("defer_lock") != std::string::npos) deferred = true;
+        if (arg.find("adopt_lock") != std::string::npos) continue;
+        if (arg.find("try_to_lock") != std::string::npos) continue;
+        if (!arg.empty()) site.mutexes.push_back(arg);
+      }
+      // A deferred lock is acquired later (std::lock / .lock()); tracking
+      // where would need dataflow, so the site is conservatively skipped.
+      if (deferred || site.mutexes.empty()) continue;
+
+      site.release = enclosing_scope_end(pairs, hit, code.size());
+      // An explicit var.unlock() ends the hold early.
+      std::size_t u = j;
+      while ((u = code.find(site.var, u)) != std::string::npos &&
+             u < site.release) {
+        const std::size_t var_hit = u;
+        u += site.var.size();
+        if (!word_at(code, var_hit, site.var)) continue;
+        const std::size_t after = skip_ws(code, var_hit + site.var.size());
+        if (code.compare(after, 7, ".unlock") == 0) {
+          site.release = var_hit;
+          break;
+        }
+      }
+      out->push_back(site);
+    }
+  }
+  std::sort(out->begin(), out->end(),
+            [](const LockSite& a, const LockSite& b) { return a.pos < b.pos; });
+}
+
+std::vector<std::string> split_operands(const std::string& inner) {
+  std::vector<std::string> parts;
+  std::string current;
+  for (const char c : inner) {
+    if (c == ',') {
+      if (!strip_spaces(current).empty()) parts.push_back(strip_spaces(current));
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  if (!strip_spaces(current).empty()) parts.push_back(strip_spaces(current));
+  return parts;
+}
+
+/// Parses the locking annotations out of one line set. `code`/`starts` are
+/// empty for the companion header: gridbw:requires binds a function body in
+/// the file being scanned, so it is file-local by construction.
+void parse_annotations(const std::vector<std::string>& raw_lines,
+                       const std::vector<std::string>& code_lines,
+                       bool companion, const std::string& code,
+                       const std::vector<std::size_t>& starts,
+                       ScopeInfo* info) {
+  static const std::string kOrder = "// gridbw:lock-order(";
+  static const std::string kRequires = "// gridbw:requires(";
+  static const std::string kGuard = "gridbw:guarded_by(";
+
+  for (std::size_t i = 0; i < raw_lines.size(); ++i) {
+    const std::string line = trim(raw_lines[i]);
+
+    // Contract and requires annotations are standalone comment lines, so
+    // prose that merely mentions the grammar never declares anything.
+    if (line.compare(0, kOrder.size(), kOrder) == 0 && line.back() == ')') {
+      const std::string inner =
+          line.substr(kOrder.size(), line.size() - kOrder.size() - 1);
+      const std::size_t lt = inner.find('<');
+      if (lt == std::string::npos) continue;
+      LockOrderContract contract;
+      contract.first = strip_spaces(inner.substr(0, lt));
+      contract.second = strip_spaces(inner.substr(lt + 1));
+      if (!contract.first.empty() && !contract.second.empty()) {
+        info->contracts.push_back(contract);
+      }
+      continue;
+    }
+
+    if (!companion && line.compare(0, kRequires.size(), kRequires) == 0 &&
+        line.back() == ')') {
+      const std::string inner =
+          line.substr(kRequires.size(), line.size() - kRequires.size() - 1);
+      RequiresSite site;
+      site.mutexes = split_operands(inner);
+      if (site.mutexes.empty()) continue;
+      const std::size_t from =
+          i + 1 < starts.size() ? starts[i + 1] : code.size();
+      const std::size_t open = code.find('{', from);
+      if (open == std::string::npos) continue;
+      int depth = 0;
+      std::size_t close = open;
+      while (close < code.size()) {
+        if (code[close] == '{') ++depth;
+        if (code[close] == '}') {
+          --depth;
+          if (depth == 0) break;
+        }
+        ++close;
+      }
+      site.body_open = open;
+      site.body_close = close;
+      info->requires_held.push_back(site);
+      continue;
+    }
+
+    // guarded_by trails the field declaration on its own line.
+    const std::size_t g = raw_lines[i].find(kGuard);
+    if (g != std::string::npos) {
+      const std::size_t slashes = raw_lines[i].find("//");
+      const std::size_t close = raw_lines[i].find(')', g);
+      if (slashes == std::string::npos || slashes > g ||
+          close == std::string::npos) {
+        continue;
+      }
+      const std::string mutex = strip_spaces(
+          raw_lines[i].substr(g + kGuard.size(), close - g - kGuard.size()));
+      if (mutex.empty()) continue;
+      // Field name: the last identifier before the declarator's terminator
+      // (';', '=', or a brace initializer) in the stripped code line.
+      const std::string& decl = code_lines[i];
+      std::size_t end = decl.find_first_of(";={");
+      if (end == std::string::npos) end = decl.size();
+      while (end > 0 && !is_ident(decl[end - 1])) --end;
+      std::size_t begin = end;
+      while (begin > 0 && is_ident(decl[begin - 1])) --begin;
+      if (end == begin) continue;
+      info->guarded.push_back({decl.substr(begin, end - begin), mutex,
+                               companion ? 0 : static_cast<int>(i) + 1});
+    }
+  }
+}
+
+void collect_cv_names(const std::string& code, std::vector<std::string>* out) {
+  static const std::string kToken = "condition_variable";
+  std::size_t pos = 0;
+  while ((pos = code.find(kToken, pos)) != std::string::npos) {
+    const std::size_t hit = pos;
+    pos += kToken.size();
+    if (hit > 0 && is_ident(code[hit - 1])) continue;
+    std::size_t i = hit + kToken.size();
+    if (code.compare(i, 4, "_any") == 0) i += 4;
+    if (i < code.size() && is_ident(code[i])) continue;  // other identifier
+    i = skip_ws(code, i);
+    std::size_t end = i;
+    while (end < code.size() && is_ident(code[end])) ++end;
+    if (end > i) out->push_back(code.substr(i, end - i));
+  }
+}
+
+}  // namespace
+
+bool mutex_matches(const std::string& held, const std::string& name) {
+  if (held == name) return true;
+  if (held.size() <= name.size()) return false;
+  if (held.compare(held.size() - name.size(), name.size(), name) != 0) {
+    return false;
+  }
+  const char before = held[held.size() - name.size() - 1];
+  return before == '.' || before == '>';  // member access: `.name` / `->name`
+}
+
+ScopeInfo build_scope_info(const SourceFile& file, const std::string& code,
+                           const std::vector<std::size_t>& starts) {
+  ScopeInfo info;
+  const std::vector<BracePair> pairs = match_braces(code);
+  for (const BracePair& pair : pairs) {
+    if (pair.outermost_function) {
+      info.functions.push_back({pair.open, pair.close});
+    }
+  }
+  collect_lock_sites(code, pairs, &info.locks);
+  parse_annotations(file.raw_lines, file.code_lines, /*companion=*/false, code,
+                    starts, &info);
+  parse_annotations(file.companion_raw_lines, file.companion_code_lines,
+                    /*companion=*/true, "", {}, &info);
+  collect_cv_names(code, &info.cv_names);
+  collect_cv_names(file.companion_code, &info.cv_names);
+  std::sort(info.cv_names.begin(), info.cv_names.end());
+  info.cv_names.erase(std::unique(info.cv_names.begin(), info.cv_names.end()),
+                      info.cv_names.end());
+  return info;
+}
+
+}  // namespace gridbw::analyze

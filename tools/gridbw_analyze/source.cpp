@@ -1,6 +1,7 @@
 #include "analyze.hpp"
 
 #include <cstddef>
+#include <set>
 
 namespace gridbw::analyze {
 
@@ -76,6 +77,12 @@ SourceFile make_source(std::string rel_path, const std::string& text) {
   return file;
 }
 
+void attach_companion(SourceFile& file, const std::string& text) {
+  file.companion_code = strip_comments_and_strings(text);
+  file.companion_raw_lines = split_lines(text);
+  file.companion_code_lines = split_lines(file.companion_code);
+}
+
 namespace {
 
 /// True when `line` contains `GRIDBW-ALLOW(<check>)`.
@@ -99,6 +106,36 @@ bool SourceFile::suppressed(int line, const std::string& check) const {
   const std::size_t idx = static_cast<std::size_t>(line) - 1;
   if (line_allows(raw_lines[idx], check)) return true;
   return idx > 0 && line_allows(raw_lines[idx - 1], check);
+}
+
+std::vector<std::string> stale_allows_in(const SourceFile& file) {
+  static const std::string kMarker = "GRIDBW-ALLOW(";
+  std::set<std::string> known;
+  for (const CheckInfo& info : check_catalogue()) known.insert(info.id);
+
+  std::vector<std::string> stale;
+  for (std::size_t i = 0; i < file.raw_lines.size(); ++i) {
+    const std::string& line = file.raw_lines[i];
+    std::size_t pos = 0;
+    while ((pos = line.find(kMarker, pos)) != std::string::npos) {
+      const std::size_t open = pos + kMarker.size();
+      const std::size_t close = line.find(')', open);
+      if (close == std::string::npos) break;
+      const std::string id = line.substr(open, close - open);
+      pos = close;
+      // An "id" with characters outside [a-z0-9-] is prose about the
+      // mechanism (docs write GRIDBW-ALLOW(<check>)), not a suppression.
+      bool id_like = !id.empty();
+      for (const char c : id) {
+        id_like = id_like && ((c >= 'a' && c <= 'z') ||
+                              (c >= '0' && c <= '9') || c == '-');
+      }
+      if (id_like && known.count(id) == 0) {
+        stale.push_back(file.rel_path + ":" + std::to_string(i + 1) + ": " + id);
+      }
+    }
+  }
+  return stale;
 }
 
 }  // namespace gridbw::analyze
