@@ -41,6 +41,7 @@ EVENT_KEYS = {
     "reclaimed": {"event", "req", "t", "bw"},
     "expired": {"event", "req", "t", "bw"},
     "revoked": {"event", "req", "t", "reason", "bw"},
+    "reshaped": {"event", "req", "t", "bw"},
     "meta": {"event", "key", "value"},
 }
 

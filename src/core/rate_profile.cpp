@@ -1,0 +1,98 @@
+#include "core/rate_profile.hpp"
+
+#include <array>
+#include <cstdio>
+
+namespace gridbw {
+
+RateProfile RateProfile::constant(TimePoint start, TimePoint end, Bandwidth rate) {
+  RateProfile p;
+  p.append(start, rate);
+  p.set_end(end);
+  return p;
+}
+
+void RateProfile::append(TimePoint from, Bandwidth rate) {
+  if (!steps_.empty()) {
+    if (steps_.back().from == from) {
+      steps_.back().rate = rate;
+      // Collapsing at one instant may leave the rewritten step equal to its
+      // predecessor; coalesce that too so profiles stay canonical.
+      if (steps_.size() > 1 && steps_[steps_.size() - 2].rate == rate) {
+        steps_.pop_back();
+      }
+      return;
+    }
+    if (steps_.back().rate == rate) return;  // no change: coalesce
+  }
+  steps_.push_back(RateStep{from, rate});
+}
+
+Bandwidth RateProfile::rate_at(TimePoint t) const {
+  if (steps_.empty() || t < steps_.front().from || !(t < end_)) {
+    return Bandwidth::zero();
+  }
+  // Profiles are short (one step per reshape); a linear scan beats a binary
+  // search at the sizes the malleable engines produce.
+  Bandwidth rate = steps_.front().rate;
+  for (const RateStep& s : steps_) {
+    if (s.from <= t) rate = s.rate;
+    else break;
+  }
+  return rate;
+}
+
+Bandwidth RateProfile::peak_rate() const {
+  Bandwidth peak = Bandwidth::zero();
+  for (const RateStep& s : steps_) peak = max(peak, s.rate);
+  return peak;
+}
+
+Bandwidth RateProfile::min_rate() const {
+  if (steps_.empty()) return Bandwidth::zero();
+  Bandwidth lo = steps_.front().rate;
+  for (const RateStep& s : steps_) lo = min(lo, s.rate);
+  return lo;
+}
+
+Volume RateProfile::carried() const {
+  Volume total = Volume::zero();
+  for (std::size_t i = 0; i < steps_.size(); ++i) {
+    const TimePoint until = i + 1 < steps_.size() ? steps_[i + 1].from : end_;
+    total += steps_[i].rate * (until - steps_[i].from);
+  }
+  return total;
+}
+
+std::optional<std::string> RateProfile::defect(TimePoint expected_start) const {
+  if (steps_.empty()) return "profile has no steps";
+  std::array<char, 128> buf{};
+  if (steps_.front().from != expected_start) {
+    std::snprintf(buf.data(), buf.size(),
+                  "profile starts at %.9fs, assignment starts at %.9fs",
+                  steps_.front().from.to_seconds(), expected_start.to_seconds());
+    return std::string{buf.data()};
+  }
+  for (std::size_t i = 0; i < steps_.size(); ++i) {
+    const Bandwidth rate = steps_[i].rate;
+    if (!rate.is_positive() || !rate.is_finite()) {
+      std::snprintf(buf.data(), buf.size(), "step %zu rate %.6g B/s not positive finite",
+                    i, rate.to_bytes_per_second());
+      return std::string{buf.data()};
+    }
+    if (i > 0 && !(steps_[i - 1].from < steps_[i].from)) {
+      std::snprintf(buf.data(), buf.size(), "step %zu at %.9fs not after step %zu at %.9fs",
+                    i, steps_[i].from.to_seconds(), i - 1,
+                    steps_[i - 1].from.to_seconds());
+      return std::string{buf.data()};
+    }
+  }
+  if (!(steps_.back().from < end_)) {
+    std::snprintf(buf.data(), buf.size(), "profile end %.9fs not after last step %.9fs",
+                  end_.to_seconds(), steps_.back().from.to_seconds());
+    return std::string{buf.data()};
+  }
+  return std::nullopt;
+}
+
+}  // namespace gridbw

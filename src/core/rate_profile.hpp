@@ -1,0 +1,91 @@
+// gridbw/core/rate_profile.hpp
+//
+// Piecewise-constant per-request rate profiles (ISSUE 9 tentpole): the
+// allocation form the malleable scheduler family emits. Where the paper's
+// engines grant one constant bw(r) for the whole transfer, a RateProfile is
+// a step function over the transfer's lifetime — the rate holds steady
+// between reshape instants and jumps when the scheduler reshapes the flow
+// (a departure freed capacity, or a newcomer claimed its guarantee).
+//
+// Representation: a sorted vector of (from, rate) steps plus an explicit
+// end instant. Step i is active over [steps[i].from, steps[i+1].from); the
+// last step runs to end(). The carried volume is the exact step-function
+// integral, accumulated left to right so two identical profiles always
+// produce bit-identical sums.
+//
+// The constant allocation stays the specialized fast path everywhere: an
+// Assignment with an *empty* profile means "constant bw over
+// [start, start + vol/bw)" and takes exactly the pre-profile code paths
+// (core/schedule.hpp). A well-formed RateProfile is never empty.
+
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/quantity.hpp"
+
+namespace gridbw {
+
+/// One step of a piecewise-constant rate profile: `rate` holds from `from`
+/// until the next step's `from` (or the profile's end).
+struct RateStep {
+  TimePoint from;
+  Bandwidth rate;
+
+  friend constexpr bool operator==(RateStep a, RateStep b) = default;
+};
+
+class RateProfile {
+ public:
+  RateProfile() = default;
+
+  /// A single-step (constant) profile over [start, end).
+  [[nodiscard]] static RateProfile constant(TimePoint start, TimePoint end,
+                                            Bandwidth rate);
+
+  /// Appends a step. Steps must be appended in strictly increasing `from`
+  /// order; appending a step whose rate equals the previous step's rate is
+  /// coalesced away (the function is unchanged). Appending at the current
+  /// last step's exact `from` overwrites that step's rate instead (two
+  /// reshapes at one instant collapse to the final rate).
+  void append(TimePoint from, Bandwidth rate);
+
+  /// Closes the profile: the last step runs to `end`.
+  void set_end(TimePoint end) { end_ = end; }
+
+  [[nodiscard]] bool empty() const { return steps_.empty(); }
+  [[nodiscard]] std::size_t size() const { return steps_.size(); }
+  [[nodiscard]] std::span<const RateStep> steps() const { return steps_; }
+  [[nodiscard]] TimePoint start() const { return steps_.front().from; }
+  [[nodiscard]] TimePoint end() const { return end_; }
+
+  /// The rate active at `t` (zero outside [start, end)).
+  [[nodiscard]] Bandwidth rate_at(TimePoint t) const;
+
+  /// Largest step rate (the profile's bw ceiling) and smallest step rate
+  /// (the malleability floor — must stay >= the admission guarantee).
+  [[nodiscard]] Bandwidth peak_rate() const;
+  [[nodiscard]] Bandwidth min_rate() const;
+
+  /// Exact step-function integral: the volume the profile carries.
+  [[nodiscard]] Volume carried() const;
+
+  /// First well-formedness defect, or nullopt for a valid profile. Checks:
+  /// at least one step, first step at `expected_start`, strictly increasing
+  /// step instants, end after the last step, every rate positive and
+  /// finite. Used by Schedule::accept_profile (throws) and the validator
+  /// (flags kProfileMalformed).
+  [[nodiscard]] std::optional<std::string> defect(TimePoint expected_start) const;
+
+  friend bool operator==(const RateProfile& a, const RateProfile& b) = default;
+
+ private:
+  std::vector<RateStep> steps_;
+  TimePoint end_;
+};
+
+}  // namespace gridbw

@@ -12,6 +12,27 @@ void Schedule::accept(RequestId request, TimePoint start, Bandwidth bw) {
   assignments_.push_back(Assignment{request, start, bw});
 }
 
+void Schedule::accept_profile(RequestId request, RateProfile profile) {
+  if (const auto why = profile.defect(profile.empty() ? TimePoint::origin()
+                                                      : profile.start())) {
+    throw std::logic_error{"Schedule::accept_profile: " + *why};
+  }
+  if (profile.size() == 1) {
+    accept(request, profile.start(), profile.steps().front().rate);
+    return;
+  }
+  if (index_.count(request) > 0) {
+    throw std::logic_error{"Schedule::accept_profile: request already accepted"};
+  }
+  index_.emplace(request, assignments_.size());
+  Assignment a;
+  a.request = request;
+  a.start = profile.start();
+  a.bw = profile.peak_rate();
+  a.profile = std::move(profile);
+  assignments_.push_back(std::move(a));
+}
+
 bool Schedule::withdraw(RequestId request) {
   const auto it = index_.find(request);
   if (it == index_.end()) return false;

@@ -18,12 +18,18 @@
 namespace gridbw {
 
 /// Writes "request,start_s,bw_bps" rows for every assignment, in
-/// ascending start order (ties by request id).
+/// ascending start order (ties by request id). Doubles are rendered with
+/// shortest-round-trip std::to_chars, so a read-back reparses every value
+/// bit-identically (including subnormal and extreme magnitudes). When any
+/// assignment carries a rate profile the header gains a fourth "profile"
+/// column — `from@rate` steps joined by ';' and closed by `;$end`; the
+/// cell stays empty for constant rows, and profile-free schedules keep the
+/// original three-field format.
 void write_schedule(std::ostream& os, const Schedule& schedule);
 void write_schedule_file(const std::string& path, const Schedule& schedule);
 
-/// Reads a schedule written by write_schedule. Throws std::runtime_error
-/// on malformed input or duplicate assignments.
+/// Reads a schedule written by write_schedule (either header form). Throws
+/// std::runtime_error on malformed input or duplicate assignments.
 [[nodiscard]] Schedule read_schedule(std::istream& is);
 [[nodiscard]] Schedule read_schedule_file(const std::string& path);
 

@@ -25,6 +25,8 @@ std::string to_string(ViolationKind kind) {
     case ViolationKind::kRateNotPositive: return "rate-not-positive";
     case ViolationKind::kIngressOverCapacity: return "ingress-over-capacity";
     case ViolationKind::kEgressOverCapacity: return "egress-over-capacity";
+    case ViolationKind::kProfileMalformed: return "profile-malformed";
+    case ViolationKind::kProfileVolumeMismatch: return "profile-volume-mismatch";
   }
   return "unknown";
 }
@@ -123,6 +125,23 @@ ValidationReport validate_assignments(const Network& network,
            "assigned rate " + gridbw::to_string(a.bw));
       continue;  // end time undefined; skip further checks for this one
     }
+    if (a.is_profiled()) {
+      // A malformed profile has no well-defined load; don't charge it.
+      if (const auto why = a.profile.defect(a.start)) {
+        flag(ViolationKind::kProfileMalformed, r.id, 0, *why);
+        continue;
+      }
+      // The profile's integral IS the transferred volume; a mismatch means
+      // the engine either starved or over-served the request.
+      const double carried = a.profile.carried().to_bytes();
+      const double vol = r.volume.to_bytes();
+      if (!approx_eq(carried, vol, 64.0, 1e-9)) {
+        std::array<char, 96> buf{};
+        std::snprintf(buf.data(), buf.size(), "carried %.3f B != vol %.3f B", carried,
+                      vol);
+        flag(ViolationKind::kProfileVolumeMismatch, r.id, 0, buf.data());
+      }
+    }
     if (!approx_le(r.release, a.start)) {
       std::array<char, 96> buf{};
       std::snprintf(buf.data(), buf.size(), "sigma=%.6fs < ts=%.6fs",
@@ -136,30 +155,39 @@ ValidationReport validate_assignments(const Network& network,
                     r.deadline.to_seconds());
       flag(ViolationKind::kEndAfterDeadline, r.id, 0, buf.data());
     }
-    Bandwidth required_floor = Bandwidth::zero();
+    // Profiled assignments: the floor binds every step (the malleability
+    // contract — reshapes never drop a flow below its guarantee) and the
+    // MaxRate cap binds the peak step.
+    const Bandwidth floor_rate = a.is_profiled() ? a.profile.min_rate() : a.bw;
+    const Bandwidth peak_rate = a.is_profiled() ? a.profile.peak_rate() : a.bw;
     if (options.min_rate_guarantee > 0.0) {
-      required_floor =
+      const Bandwidth required_floor =
           max(r.max_rate * options.min_rate_guarantee, r.min_rate_from(a.start));
-      if (!approx_le(required_floor, a.bw)) {
+      if (!approx_le(required_floor, floor_rate)) {
         flag(ViolationKind::kRateNotPositive, r.id, 0,
              "guaranteed floor " + gridbw::to_string(required_floor) + " not met by " +
-                 gridbw::to_string(a.bw));
+                 gridbw::to_string(floor_rate));
       }
     }
-    if (!approx_le(a.bw, r.max_rate)) {
+    if (!approx_le(peak_rate, r.max_rate)) {
       flag(ViolationKind::kRateAboveMax, r.id, 0,
-           gridbw::to_string(a.bw) + " > MaxRate " + gridbw::to_string(r.max_rate));
+           gridbw::to_string(peak_rate) + " > MaxRate " + gridbw::to_string(r.max_rate));
     }
 
-    if (engine == ValidateEngine::kReference) {
-      const LoadSegment seg{a.start, end, a.bw.to_bytes_per_second()};
-      ingress_segs[r.ingress.value].push_back(seg);
-      egress_segs[r.egress.value].push_back(seg);
-    } else {
-      const double bw = a.bw.to_bytes_per_second();
-      profiles[r.ingress.value].add(a.start, end, bw);
-      profiles[in_count + r.egress.value].add(a.start, end, bw);
-    }
+    // Charge the load one constant-rate segment at a time. Constant
+    // assignments emit the exact single segment the pre-profile code added,
+    // so constant-only schedules keep bit-identical port peaks.
+    a.for_each_segment(r, [&](TimePoint t0, TimePoint t1, Bandwidth rate) {
+      if (engine == ValidateEngine::kReference) {
+        const LoadSegment seg{t0, t1, rate.to_bytes_per_second()};
+        ingress_segs[r.ingress.value].push_back(seg);
+        egress_segs[r.egress.value].push_back(seg);
+      } else {
+        const double bw = rate.to_bytes_per_second();
+        profiles[r.ingress.value].add(t0, t1, bw);
+        profiles[in_count + r.egress.value].add(t0, t1, bw);
+      }
+    });
   }
 
   // Pass 2: per-port capacity checks. Ports are independent; the report

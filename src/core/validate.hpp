@@ -39,10 +39,12 @@ enum class ViolationKind {
   kDuplicateAssignment,   // a request id appears in more than one assignment
   kStartBeforeRelease,    // σ(r) < t_s(r)
   kEndAfterDeadline,      // τ(r) > t_f(r)
-  kRateAboveMax,          // bw(r) > MaxRate(r)
+  kRateAboveMax,          // bw(r) > MaxRate(r) (peak step rate when profiled)
   kRateNotPositive,       // bw(r) <= 0
   kIngressOverCapacity,   // sum of bw at an ingress exceeds B_in(i)
   kEgressOverCapacity,    // sum of bw at an egress exceeds B_out(e)
+  kProfileMalformed,      // rate profile fails RateProfile::defect
+  kProfileVolumeMismatch, // profile integral != vol(r)
 };
 
 [[nodiscard]] std::string to_string(ViolationKind kind);

@@ -82,8 +82,12 @@ ReplayReport replay_policed(const Network& network, std::span<const Request> req
                          : Volume::zero();
     report.transfers.push_back(record);
 
-    in_load[r.ingress.value].add(a.start, promised, a.bw.to_bytes_per_second());
-    out_load[r.egress.value].add(a.start, promised, a.bw.to_bytes_per_second());
+    // The policer enforces the reserved shape — for a profiled reservation
+    // that is the step function itself, not its peak.
+    a.for_each_segment(r, [&](TimePoint t0, TimePoint t1, Bandwidth rate) {
+      in_load[r.ingress.value].add(t0, t1, rate.to_bytes_per_second());
+      out_load[r.egress.value].add(t0, t1, rate.to_bytes_per_second());
+    });
   }
 
   for (std::size_t i = 0; i < in_load.size(); ++i) {

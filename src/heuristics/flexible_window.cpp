@@ -292,6 +292,12 @@ ScheduleResult schedule_flexible_window(const Network& network,
       engine = candidates.size() < kHeapBreakEvenBatch ? WindowEngine::kScan
                                                        : WindowEngine::kHeap;
     }
+    // Pin which engine actually drained the batch (the kAuto tie test
+    // asserts a batch of exactly kHeapBreakEvenBatch lands on the heap).
+    if (observer != nullptr && !candidates.empty()) {
+      observer->count(engine == WindowEngine::kScan ? obs::Counter::kWindowScanDrains
+                                                    : obs::Counter::kWindowHeapDrains);
+    }
     switch (engine) {
       case WindowEngine::kScan:
         drain_by_scan(candidates, options, decision, counters, completions, result,

@@ -117,6 +117,19 @@ NamedScheduler parse_scheduler(const std::string& spec) {
     opts.expect_empty(spec);
     return make_window(w);
   }
+  if (kind == "mgreedy" || kind == "mwindow") {
+    Options opts = Options::parse(spec, rest);
+    MalleableOptions m;
+    m.policy = take_policy(spec, opts);
+    m.reshape = !opts.flag("rigid");
+    if (kind == "mwindow") {
+      const double step = opts.number(spec, "step", 400.0);
+      if (!(step > 0.0) || !std::isfinite(step)) fail(spec, "step must be positive");
+      m.step = Duration::seconds(step);
+    }
+    opts.expect_empty(spec);
+    return kind == "mgreedy" ? make_malleable_greedy(m) : make_malleable_window(m);
+  }
   if (kind == "bookahead") {
     Options opts = Options::parse(spec, rest);
     BookAheadOptions b;
@@ -144,6 +157,8 @@ std::string scheduler_grammar() {
          "  fcfs | cumulated | minbw | minvol          (rigid, §4)\n"
          "  greedy:[minrate|f=<0..1>]                  (Algorithm 2)\n"
          "  window:step=<s>[,minrate|f=<x>][,hotspot=<w>]   (Algorithm 3)\n"
+         "  mgreedy:[minrate|f=<x>][,rigid]            (malleable, reshapes on departures)\n"
+         "  mwindow:step=<s>[,minrate|f=<x>][,rigid]   (malleable WINDOW)\n"
          "  bookahead:step=<s>,ahead=<k>[,minrate|f=<x>]    (advance reservations)\n";
 }
 

@@ -44,4 +44,23 @@ NamedScheduler make_window(WindowOptions options) {
       }};
 }
 
+NamedScheduler make_malleable_greedy(MalleableOptions options) {
+  return NamedScheduler{
+      "mgreedy/" + options.policy.name() + (options.reshape ? "" : "-rigid"),
+      [options](const Network& n, std::span<const Request> r, obs::Observer* observer) {
+        return schedule_malleable_greedy(n, r, options, observer);
+      }};
+}
+
+NamedScheduler make_malleable_window(MalleableOptions options) {
+  std::array<char, 64> buf{};
+  std::snprintf(buf.data(), buf.size(), "mwindow%.0f/", options.step.to_seconds());
+  return NamedScheduler{
+      std::string{buf.data()} + options.policy.name() +
+          (options.reshape ? "" : "-rigid"),
+      [options](const Network& n, std::span<const Request> r, obs::Observer* observer) {
+        return schedule_malleable_window(n, r, options, observer);
+      }};
+}
+
 }  // namespace gridbw::heuristics

@@ -18,6 +18,7 @@
 #include "core/schedule.hpp"
 #include "heuristics/bandwidth_policy.hpp"
 #include "heuristics/flexible_window.hpp"
+#include "heuristics/malleable.hpp"
 #include "heuristics/rigid_slots.hpp"
 #include "obs/observer.hpp"
 
@@ -61,5 +62,11 @@ struct NamedScheduler {
 
 /// WINDOW with the given options ("window400/f=1.00", ...).
 [[nodiscard]] NamedScheduler make_window(WindowOptions options);
+
+/// Malleable GREEDY ("mgreedy/minrate", ...); reshape off appends "-rigid".
+[[nodiscard]] NamedScheduler make_malleable_greedy(MalleableOptions options);
+
+/// Malleable WINDOW ("mwindow400/minrate", ...); reshape off appends "-rigid".
+[[nodiscard]] NamedScheduler make_malleable_window(MalleableOptions options);
 
 }  // namespace gridbw::heuristics

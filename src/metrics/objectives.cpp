@@ -22,7 +22,13 @@ double resource_util_paper(const Network& network, std::span<const Request> requ
     in_demand[r.ingress.value] += r.min_rate();
     out_demand[r.egress.value] += r.min_rate();
     const auto a = schedule.assignment(r.id);
-    if (a.has_value()) granted += a->bw;
+    // Profiled allocations contribute their time-averaged rate (carried
+    // volume over duration) — the constant form's bw, generalized; the peak
+    // alone would overstate a mostly-slow profile.
+    if (a.has_value()) {
+      granted += a->is_profiled() ? a->profile.carried() / (a->profile.end() - a->start)
+                                  : a->bw;
+    }
   }
 
   Bandwidth scaled = Bandwidth::zero();
@@ -62,9 +68,11 @@ double utilization_over(const Network& network, std::span<const Request> request
   for (const Request& r : requests) {
     const auto a = schedule.assignment(r.id);
     if (!a.has_value()) continue;
-    const TimePoint start = max(a->start, t0);
-    const TimePoint end = min(a->end(r), t1);
-    if (start < end) carried += a->bw * (end - start);
+    a->for_each_segment(r, [&](TimePoint s0, TimePoint s1, Bandwidth rate) {
+      const TimePoint start = max(s0, t0);
+      const TimePoint end = min(s1, t1);
+      if (start < end) carried += rate * (end - start);
+    });
   }
   const Bandwidth capacity = network.total_capacity() / 2.0;
   return (carried / window) / capacity;
@@ -77,7 +85,9 @@ std::size_t guaranteed_count(std::span<const Request> requests, const Schedule& 
     const auto a = schedule.assignment(r.id);
     if (!a.has_value()) continue;
     const Bandwidth floor = max(r.max_rate * f, r.min_rate());
-    if (approx_le(floor, a->bw)) ++count;
+    // A profiled flow sustains its guarantee iff its slowest step does.
+    const Bandwidth sustained = a->is_profiled() ? a->profile.min_rate() : a->bw;
+    if (approx_le(floor, sustained)) ++count;
   }
   return count;
 }
@@ -87,7 +97,8 @@ RunningStats stretch_stats(std::span<const Request> requests, const Schedule& sc
   for (const Request& r : requests) {
     const auto a = schedule.assignment(r.id);
     if (!a.has_value()) continue;
-    const Duration achieved = r.volume / a->bw;
+    const Duration achieved =
+        a->is_profiled() ? a->profile.end() - a->start : r.volume / a->bw;
     const Duration ideal = r.volume / r.max_rate;
     stats.add(achieved / ideal);
   }

@@ -14,6 +14,7 @@ std::string to_string(Counter counter) {
     case Counter::kReclaimed: return "reclaimed";
     case Counter::kExpired: return "expired";
     case Counter::kRevoked: return "revoked";
+    case Counter::kReshaped: return "reshaped";
     case Counter::kLedgerFitsChecks: return "ledger_fits_checks";
     case Counter::kLedgerFitsRejected: return "ledger_fits_rejected";
     case Counter::kLedgerReservations: return "ledger_reservations";
@@ -25,6 +26,8 @@ std::string to_string(Counter counter) {
     case Counter::kProfileCompactions: return "profile_compactions";
     case Counter::kBreakpointsRetired: return "breakpoints_retired";
     case Counter::kShardHandoffs: return "shard_handoffs";
+    case Counter::kWindowScanDrains: return "window_scan_drains";
+    case Counter::kWindowHeapDrains: return "window_heap_drains";
     case Counter::kValidatorRuns: return "validator_runs";
     case Counter::kValidatorAssignments: return "validator_assignments";
     case Counter::kValidatorViolations: return "validator_violations";

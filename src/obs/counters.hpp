@@ -34,6 +34,7 @@ enum class Counter : std::size_t {
   kReclaimed,
   kExpired,
   kRevoked,
+  kReshaped,
   // Ledger activity (bumped by the instrumented ledgers).
   kLedgerFitsChecks,
   kLedgerFitsRejected,
@@ -53,6 +54,11 @@ enum class Counter : std::size_t {
   // Churn service: events whose two ports straddle distinct workers' shard
   // sets (a static property of the port pair, so totals are deterministic).
   kShardHandoffs,
+  // WINDOW selection-engine adoption: which drain engine each interval's
+  // batch actually ran (kAuto picks scan below the break-even batch size,
+  // heap at or above it; empty batches count nothing).
+  kWindowScanDrains,
+  kWindowHeapDrains,
   // Validator activity.
   kValidatorRuns,
   kValidatorAssignments,

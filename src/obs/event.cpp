@@ -12,6 +12,7 @@ std::string to_string(EventKind kind) {
     case EventKind::kReclaimed: return "reclaimed";
     case EventKind::kExpired: return "expired";
     case EventKind::kRevoked: return "revoked";
+    case EventKind::kReshaped: return "reshaped";
   }
   return "unknown";
 }

@@ -18,6 +18,10 @@
 //                the expiry path released its bandwidth
 //   revoked    — an admitted reservation was forcibly withdrawn before its
 //                deadline (capacity loss, operator drain)
+//   reshaped   — a malleable engine changed an in-flight transfer's rate
+//                (upward when a departure freed capacity, back toward the
+//                guarantee when a newcomer claimed its share; never below
+//                the admission guarantee, so no revocation is implied)
 //
 // The RejectReason taxonomy answers the evaluation question Figs. 4–7 pose:
 // *which constraint* killed the request as load grows.
@@ -42,6 +46,7 @@ enum class EventKind : std::uint8_t {
   kReclaimed,
   kExpired,
   kRevoked,
+  kReshaped,
 };
 
 /// Why an admission engine refused (or retro-removed) a request.
@@ -68,7 +73,7 @@ struct AdmissionEvent {
   std::size_t attempt{1};
   /// accepted: the granted start time σ(r).
   TimePoint sigma;
-  /// accepted / reclaimed: the granted (or returned) bandwidth.
+  /// accepted / reclaimed / reshaped: the granted (returned, new) bandwidth.
   Bandwidth bw;
   /// rejected: taxonomy entry; kNone for every other kind.
   RejectReason reason{RejectReason::kNone};

@@ -162,6 +162,17 @@ inline void note_revoked_enabled(Observer* observer, RequestId request,
   observer->count(Counter::kRevoked);
 }
 
+inline void note_reshaped_enabled(Observer* observer, RequestId request,
+                                  TimePoint when, Bandwidth bw) {
+  AdmissionEvent e;
+  e.kind = EventKind::kReshaped;
+  e.request = request;
+  e.when = when;
+  e.bw = bw;
+  observer->emit(e);
+  observer->count(Counter::kReshaped);
+}
+
 }  // namespace detail
 
 GRIDBW_OBS_FORCE_INLINE void note_submitted(Observer* observer, RequestId request,
@@ -214,6 +225,12 @@ GRIDBW_OBS_FORCE_INLINE void note_revoked(Observer* observer, RequestId request,
                                           Bandwidth bw) {
   if (observer == nullptr) return;
   detail::note_revoked_enabled(observer, request, when, reason, bw);
+}
+
+GRIDBW_OBS_FORCE_INLINE void note_reshaped(Observer* observer, RequestId request,
+                                           TimePoint when, Bandwidth bw) {
+  if (observer == nullptr) return;
+  detail::note_reshaped_enabled(observer, request, when, bw);
 }
 
 #undef GRIDBW_OBS_FORCE_INLINE

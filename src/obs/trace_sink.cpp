@@ -150,6 +150,9 @@ std::string JsonlSink::format(const AdmissionEvent& event) {
       line += ",\"reason\":\"" + to_string(event.reason) + "\"";
       line += ",\"bw\":" + format_double(event.bw.to_bytes_per_second());
       break;
+    case EventKind::kReshaped:
+      line += ",\"bw\":" + format_double(event.bw.to_bytes_per_second());
+      break;
   }
   line += "}";
   return line;

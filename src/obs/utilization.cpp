@@ -116,9 +116,10 @@ UtilizationReport utilization_report(const Network& network,
     const auto it = by_id.find(a.request);
     if (it == by_id.end() || !a.bw.is_positive()) continue;
     const Request& r = *it->second;
-    const TimePoint end = a.end(r);
-    in_load[r.ingress.value].add(a.start, end, a.bw.to_bytes_per_second());
-    out_load[r.egress.value].add(a.start, end, a.bw.to_bytes_per_second());
+    a.for_each_segment(r, [&](TimePoint t0, TimePoint t1, Bandwidth rate) {
+      in_load[r.ingress.value].add(t0, t1, rate.to_bytes_per_second());
+      out_load[r.egress.value].add(t0, t1, rate.to_bytes_per_second());
+    });
   }
 
   UtilizationReport report;

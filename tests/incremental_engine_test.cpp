@@ -14,6 +14,9 @@
 
 #include "heuristics/flexible_window.hpp"
 #include "heuristics/rigid_slots.hpp"
+#include "obs/counters.hpp"
+#include "obs/observer.hpp"
+#include "obs/trace_sink.hpp"
 #include "workload/generator.hpp"
 #include "workload/scenario.hpp"
 
@@ -215,6 +218,52 @@ TEST_P(WindowEngineDifferential, AutoMatchesScanOnRandomWorkloads) {
       EXPECT_EQ(fingerprint(reference), fingerprint(fast))
           << to_string(param.order) << " hotspot=" << param.hotspot
           << " seed=" << seed << " interarrival=" << interarrival;
+    }
+  }
+}
+
+TEST(WindowEngineDifferential, AutoTieAtBreakEvenBatchPicksTheHeap) {
+  // kAuto resolves `candidates.size() < kHeapBreakEvenBatch(16) ? scan : heap`
+  // per interval. The tie at exactly 16 candidates must land on the heap, and
+  // 15 on the scan — pinned through the per-drain engine counters so a future
+  // `<=` / off-by-one edit trips this test rather than silently flipping the
+  // engine at the break-even point.
+  const Network net = Network::uniform(2, 2, Bandwidth::megabytes_per_second(1000));
+  const auto flow = [](RequestId id) {
+    Request r;
+    r.id = id;
+    r.ingress = IngressId{static_cast<std::size_t>(id % 2)};
+    r.egress = EgressId{static_cast<std::size_t>(id % 2)};
+    r.release = TimePoint::origin();
+    r.deadline = TimePoint::at_seconds(100);
+    r.volume = Volume::megabytes(10);
+    r.max_rate = Bandwidth::megabytes_per_second(10);
+    return r;
+  };
+  for (const std::size_t batch : {std::size_t{15}, std::size_t{16}}) {
+    std::vector<Request> requests;
+    for (std::size_t k = 1; k <= batch; ++k) requests.push_back(flow(RequestId{k}));
+
+    heuristics::WindowOptions opt;
+    opt.step = Duration::seconds(50);
+    opt.engine = heuristics::WindowEngine::kAuto;
+    obs::MemorySink sink;
+    obs::CounterRegistry counters;
+    obs::Observer observer{&sink, &counters};
+    const auto result =
+        heuristics::schedule_flexible_window(net, requests, opt, &observer);
+
+    // Every request fits comfortably, so the whole batch drains in the first
+    // (and only) non-empty interval.
+    EXPECT_EQ(result.schedule.assignments().size(), batch);
+    const std::uint64_t scans = counters.value(obs::Counter::kWindowScanDrains);
+    const std::uint64_t heaps = counters.value(obs::Counter::kWindowHeapDrains);
+    if (batch == 16) {
+      EXPECT_EQ(scans, 0u) << "tie at break-even must not pick the scan";
+      EXPECT_EQ(heaps, 1u);
+    } else {
+      EXPECT_EQ(scans, 1u);
+      EXPECT_EQ(heaps, 0u) << "below break-even must stay on the scan";
     }
   }
 }

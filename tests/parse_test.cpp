@@ -34,6 +34,19 @@ TEST(ParseScheduler, WindowVariants) {
             "window200/f=0.50");
 }
 
+TEST(ParseScheduler, MalleableVariants) {
+  EXPECT_EQ(parse_scheduler("mgreedy:minrate").name, "mgreedy/minrate");
+  EXPECT_EQ(parse_scheduler("mgreedy:").name, "mgreedy/minrate");  // default
+  EXPECT_EQ(parse_scheduler("mgreedy:rigid").name, "mgreedy/minrate-rigid");
+  EXPECT_EQ(parse_scheduler("mwindow:step=400,f=1").name, "mwindow400/f=1.00");
+  EXPECT_EQ(parse_scheduler("mwindow:").name, "mwindow400/minrate");  // defaults
+  EXPECT_EQ(parse_scheduler("mwindow:step=100,rigid").name,
+            "mwindow100/minrate-rigid");
+  EXPECT_THROW((void)parse_scheduler("mwindow:step=0"), std::invalid_argument);
+  EXPECT_THROW((void)parse_scheduler("mgreedy:step=100"), std::invalid_argument);
+  EXPECT_THROW((void)parse_scheduler("mgreedy:rigid=1"), std::invalid_argument);
+}
+
 TEST(ParseScheduler, BookAheadVariant) {
   const auto s = parse_scheduler("bookahead:step=100,ahead=3,f=0.8");
   EXPECT_EQ(s.name, "bookahead100x3/f=0.80");

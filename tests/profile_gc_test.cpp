@@ -102,6 +102,85 @@ TEST(ProfileGc, StandingLoadVisibleBeforeHorizon) {
   EXPECT_EQ(profile.value_at(TimePoint::at_seconds(5.5)), at_6);
 }
 
+// --- boundary semantics at the retire_before horizon (ISSUE 9 satellite) --
+
+TEST(ProfileGc, RetireAtExactBreakpointInstantKeepsTheAtHorizonBreakpoint) {
+  // Horizon landing exactly ON a breakpoint: only instants strictly before
+  // it fold; the at-horizon breakpoint (and every query from it on) is
+  // bit-identical history, not standing load.
+  TimelineProfile profile;
+  profile.add(TimePoint::at_seconds(0.0), TimePoint::at_seconds(10.0), 5.0);
+  profile.add(TimePoint::at_seconds(10.0), TimePoint::at_seconds(20.0), 3.0);
+  profile.add(TimePoint::at_seconds(20.0), TimePoint::at_seconds(30.0), 7.0);
+  profile.ensure_merged();
+  TimelineProfile gc = profile;
+
+  const TimePoint h = TimePoint::at_seconds(20.0);  // exact breakpoint
+  EXPECT_EQ(gc.retirable_before(h), 1u);  // 0 folds into 10; 20 survives
+  EXPECT_EQ(gc.retire_before(h), 1u);
+  for (const double t : {20.0, 20.0 + 1e-9, 25.0, 30.0, 31.0}) {
+    const TimePoint tp = TimePoint::at_seconds(t);
+    EXPECT_EQ(gc.value_at(tp), profile.value_at(tp)) << "t=" << t;
+  }
+  EXPECT_EQ(gc.integral(h, TimePoint::at_seconds(30.0)),
+            profile.integral(h, TimePoint::at_seconds(30.0)));
+  EXPECT_EQ(gc.max_over(h, TimePoint::at_seconds(30.0)),
+            profile.max_over(h, TimePoint::at_seconds(30.0)));
+}
+
+TEST(ProfileGc, WindowStraddlingTheFoldedBreakpointUsesStandingLoadOnly) {
+  // [0,10)@5 + [10,20)@3, retired at 15: the standing breakpoint sits at 10
+  // carrying load 3. A window straddling it must integrate 0 before the
+  // standing instant and 3 after — never resurrect the retired 5 — and
+  // max_over must report the standing load, not the retired peak.
+  TimelineProfile profile;
+  profile.add(TimePoint::at_seconds(0.0), TimePoint::at_seconds(10.0), 5.0);
+  profile.add(TimePoint::at_seconds(10.0), TimePoint::at_seconds(20.0), 3.0);
+  profile.ensure_merged();
+  ASSERT_EQ(profile.retire_before(TimePoint::at_seconds(15.0)), 1u);
+
+  // [5, 15): zero over [5,10) + 3 over [10,15).
+  EXPECT_EQ(profile.integral(TimePoint::at_seconds(5.0), TimePoint::at_seconds(15.0)),
+            15.0);
+  EXPECT_EQ(profile.max_over(TimePoint::at_seconds(5.0), TimePoint::at_seconds(15.0)),
+            3.0);
+  // Entirely before the standing instant: nothing left there.
+  EXPECT_EQ(profile.integral(TimePoint::at_seconds(2.0), TimePoint::at_seconds(8.0)),
+            0.0);
+  EXPECT_EQ(profile.max_over(TimePoint::at_seconds(2.0), TimePoint::at_seconds(8.0)),
+            0.0);
+  // Post-horizon window stays exact.
+  EXPECT_EQ(profile.integral(TimePoint::at_seconds(15.0), TimePoint::at_seconds(20.0)),
+            15.0);
+}
+
+TEST(ProfileGc, HorizonQueriesAtTheExactHorizonInstantAreBitIdentical) {
+  // Minimal deterministic pin of the sweep invariant: the query anchored
+  // exactly at the horizon (the first post-GC instant callers probe, e.g.
+  // the churn service's watermark) returns the same doubles pre/post GC,
+  // for a horizon strictly between breakpoints.
+  TimelineProfile profile;
+  profile.add(TimePoint::at_seconds(1.0), TimePoint::at_seconds(4.0), 0.1);
+  profile.add(TimePoint::at_seconds(2.0), TimePoint::at_seconds(7.0), 0.2);
+  profile.add(TimePoint::at_seconds(3.0), TimePoint::at_seconds(9.0), 0.3);
+  profile.ensure_merged();
+  TimelineProfile gc = profile;
+  const TimePoint h = TimePoint::at_seconds(5.5);  // between breakpoints 4 and 7
+
+  const double v = profile.value_at(h);
+  const double m = profile.max_over(h, TimePoint::at_seconds(10.0));
+  const double i = profile.integral(h, TimePoint::at_seconds(10.0));
+  ASSERT_GT(gc.retire_before(h), 0u);
+  EXPECT_EQ(gc.value_at(h), v);
+  EXPECT_EQ(gc.max_over(h, TimePoint::at_seconds(10.0)), m);
+  EXPECT_EQ(gc.integral(h, TimePoint::at_seconds(10.0)), i);
+  // Degenerate windows at the horizon are 0 on both sides, not NaN or the
+  // standing load.
+  EXPECT_EQ(gc.integral(h, h), 0.0);
+  EXPECT_EQ(gc.max_over(h, h), 0.0);
+  EXPECT_EQ(gc.integral(TimePoint::at_seconds(6.0), h), 0.0);  // inverted
+}
+
 TEST(ProfileGc, RetireKeepsAddPathUsable) {
   // After a fold the profile must keep absorbing adds at/after the horizon.
   TimelineProfile profile;

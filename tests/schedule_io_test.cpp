@@ -1,10 +1,19 @@
-// Tests for schedule CSV persistence and the Gantt rendering.
+// Tests for schedule CSV persistence and the Gantt rendering, including the
+// bit-exact double round-trip contract (ISSUE 9 satellite): the writer
+// renders every start/bw with shortest-round-trip std::to_chars, and the
+// reader reparses the identical bit pattern — fuzzed over extreme and
+// subnormal magnitudes, and over profiled assignments.
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstdint>
+#include <cstring>
 #include <sstream>
 
+#include "core/rate_profile.hpp"
 #include "core/schedule_io.hpp"
+#include "util/random.hpp"
 
 namespace gridbw {
 namespace {
@@ -67,6 +76,155 @@ TEST(ScheduleIo, RejectsBadRows) {
   EXPECT_THROW((void)read_schedule(extra), std::runtime_error);
   std::stringstream dup{"request,start_s,bw_bps\n1,2.0,3.0\n1,4.0,5.0\n"};
   EXPECT_THROW((void)read_schedule(dup), std::runtime_error);
+}
+
+// -- bit-exact round-trip ----------------------------------------------------
+
+bool bit_equal(double a, double b) {
+  std::uint64_t ba, bb;
+  std::memcpy(&ba, &a, sizeof ba);
+  std::memcpy(&bb, &b, sizeof bb);
+  return ba == bb;
+}
+
+TEST(ScheduleIo, RoundTripIsBitExactForExtremeDoubles) {
+  // Hand-picked magnitudes the old fixed-precision writer mangled: values
+  // needing all 17 significant digits, subnormals, huge exponents, and
+  // awkward fractions that %.9f/%.3f rounded away.
+  const double starts[] = {0.0,
+                           0.1,
+                           1.0 / 3.0,
+                           123456.78912345678,
+                           5e-324,               // smallest subnormal
+                           2.2250738585072014e-308,  // smallest normal
+                           1e300,
+                           9007199254740993.0,   // 2^53 + 1 (rounds to 2^53)
+                           0.30000000000000004};
+  const double bws[] = {1.0,
+                        1e-300,
+                        4.9e-324,
+                        1.7976931348623157e308,  // largest finite
+                        100000000.00000001,
+                        3.141592653589793,
+                        2.5e8};
+  Schedule original;
+  RequestId id = 1;
+  for (const double s : starts) {
+    for (const double b : bws) {
+      original.accept(id++, TimePoint::at_seconds(s),
+                      Bandwidth::bytes_per_second(b));
+    }
+  }
+  std::stringstream ss;
+  write_schedule(ss, original);
+  const Schedule loaded = read_schedule(ss);
+  ASSERT_EQ(loaded.accepted_count(), original.accepted_count());
+  for (RequestId k = 1; k < id; ++k) {
+    const auto a = loaded.assignment(k);
+    const auto b = original.assignment(k);
+    ASSERT_TRUE(a.has_value());
+    EXPECT_TRUE(bit_equal(a->start.to_seconds(), b->start.to_seconds()))
+        << "id " << k << ": start " << b->start.to_seconds();
+    EXPECT_TRUE(bit_equal(a->bw.to_bytes_per_second(), b->bw.to_bytes_per_second()))
+        << "id " << k << ": bw " << b->bw.to_bytes_per_second();
+  }
+}
+
+TEST(ScheduleIo, FuzzRoundTripBitExactAcrossTheDoubleRange) {
+  // Uniform over the entire positive-finite bit pattern range: every draw
+  // is a valid double (no NaN/inf bit patterns below the max-finite bound),
+  // hammering the shortest-round-trip grammar far beyond realistic values.
+  Rng rng{20260809};
+  std::uint64_t max_finite;
+  const double largest = 1.7976931348623157e308;
+  std::memcpy(&max_finite, &largest, sizeof max_finite);
+  const auto bits = [&rng, max_finite] {
+    return static_cast<std::uint64_t>(
+        rng.uniform_int(1, static_cast<std::int64_t>(max_finite)));
+  };
+
+  Schedule original;
+  for (RequestId id = 1; id <= 500; ++id) {
+    double start, bw;
+    const std::uint64_t bs = bits();
+    const std::uint64_t bb = bits();
+    std::memcpy(&start, &bs, sizeof start);
+    std::memcpy(&bw, &bb, sizeof bw);
+    original.accept(id, TimePoint::at_seconds(start), Bandwidth::bytes_per_second(bw));
+  }
+  std::stringstream ss;
+  write_schedule(ss, original);
+  const Schedule loaded = read_schedule(ss);
+  ASSERT_EQ(loaded.accepted_count(), 500u);
+  for (RequestId id = 1; id <= 500; ++id) {
+    const auto a = loaded.assignment(id);
+    ASSERT_TRUE(a.has_value());
+    const auto b = original.assignment(id);
+    EXPECT_TRUE(bit_equal(a->start.to_seconds(), b->start.to_seconds()));
+    EXPECT_TRUE(bit_equal(a->bw.to_bytes_per_second(), b->bw.to_bytes_per_second()));
+  }
+  // And the write->read->write fixpoint: the reloaded schedule serializes to
+  // the byte-identical CSV.
+  std::stringstream again;
+  write_schedule(again, loaded);
+  EXPECT_EQ(ss.str(), again.str());
+}
+
+TEST(ScheduleIo, ProfiledRoundTripPreservesStepsBitExactly) {
+  Schedule original;
+  original.accept(1, at(0), mbps(100));  // constant row: empty profile cell
+  RateProfile p;
+  p.append(TimePoint::at_seconds(2.5), Bandwidth::bytes_per_second(1.0 / 3.0));
+  p.append(TimePoint::at_seconds(7.125), Bandwidth::bytes_per_second(987654321.123456));
+  p.append(TimePoint::at_seconds(11.0), Bandwidth::bytes_per_second(5e-324));
+  p.set_end(TimePoint::at_seconds(20.0));
+  original.accept_profile(2, std::move(p));
+
+  std::stringstream ss;
+  write_schedule(ss, original);
+  // Mixed schedule: four-field header, constant rows keep an empty cell.
+  std::string header;
+  std::getline(ss, header);
+  EXPECT_EQ(header, "request,start_s,bw_bps,profile");
+  ss.seekg(0);
+
+  const Schedule loaded = read_schedule(ss);
+  const auto a = loaded.assignment(2);
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(a->is_profiled());
+  const auto b = original.assignment(2);
+  ASSERT_EQ(a->profile.size(), b->profile.size());
+  for (std::size_t k = 0; k < a->profile.size(); ++k) {
+    EXPECT_TRUE(bit_equal(a->profile.steps()[k].from.to_seconds(),
+                          b->profile.steps()[k].from.to_seconds()));
+    EXPECT_TRUE(bit_equal(a->profile.steps()[k].rate.to_bytes_per_second(),
+                          b->profile.steps()[k].rate.to_bytes_per_second()));
+  }
+  EXPECT_TRUE(bit_equal(a->profile.end().to_seconds(), b->profile.end().to_seconds()));
+  // The constant row stays constant (no profile materialized on read).
+  const auto c = loaded.assignment(1);
+  ASSERT_TRUE(c.has_value());
+  EXPECT_FALSE(c->is_profiled());
+
+  std::stringstream again;
+  write_schedule(again, loaded);
+  EXPECT_EQ(ss.str(), again.str());
+}
+
+TEST(ScheduleIo, RejectsMalformedProfileCells) {
+  const std::string h = "request,start_s,bw_bps,profile\n";
+  // Truncated terminator.
+  std::stringstream bad1{h + "1,0,10,0@10;5@20\n"};
+  EXPECT_THROW((void)read_schedule(bad1), std::runtime_error);
+  // Profile start disagrees with the start_s column.
+  std::stringstream bad2{h + "1,0,20,1@10;5@20;$30\n"};
+  EXPECT_THROW((void)read_schedule(bad2), std::runtime_error);
+  // Garbage rate.
+  std::stringstream bad3{h + "1,0,10,0@x;$30\n"};
+  EXPECT_THROW((void)read_schedule(bad3), std::runtime_error);
+  // Non-increasing steps.
+  std::stringstream bad4{h + "1,0,20,0@10;0@20;$30\n"};
+  EXPECT_THROW((void)read_schedule(bad4), std::runtime_error);
 }
 
 TEST(Gantt, RendersOccupationGlyphs) {

@@ -1,0 +1,5 @@
+// Fixture: profile-shaped narration helpers must not pull core's RateProfile
+// into obs — the ids vocabulary stays the only sanctioned downward include.
+#pragma once
+#include "core/ids.hpp"
+#include "core/rate_profile.hpp"

@@ -1,0 +1,16 @@
+// Fixture: profile-step views exposing dimensioned raw doubles.
+#pragma once
+
+namespace fixture {
+
+struct ProfileStep {
+  double from_seconds{0.0};      // finding: time as raw double
+  double step_rate_bps{0.0};     // finding: bandwidth as raw double
+  double carried_fraction{0.0};  // dimensionless — fine
+};
+
+double reshape_interval_sec();  // finding: dimensioned return
+
+void set_floor(double floor_rate_bps);  // finding: dimensioned parameter
+
+}  // namespace fixture
