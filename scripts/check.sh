@@ -11,6 +11,8 @@
 #   scripts/check.sh --asan     build with GRIDBW_SANITIZE=address, run suite
 #   scripts/check.sh --analyze  build tools/gridbw_analyze and run the
 #                               whole-tree scan against the committed baseline
+#                               (fails over a 2000 ms latency budget; verifies
+#                               --threads 1 vs 4 reports are byte-identical)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -63,6 +65,36 @@ case "$MODE" in
     # (findings + scan metadata) lands next to the build for CI to upload.
     "$ANALYZER" --root . --baseline tools/gridbw_analyze/baseline.txt \
       --summary --json-out "$DIR/analyze_report.json"
+    FILES_SCANNED=$(sed -n 's/^  "files_scanned": \([0-9]*\),$/\1/p' "$DIR/analyze_report.json")
+    SCAN_MS=$(sed -n 's/^  "scan_ms": \([0-9]*\),$/\1/p' "$DIR/analyze_report.json")
+    echo "analyze: files_scanned=${FILES_SCANNED} scan_ms=${SCAN_MS}"
+    if [ -n "${GITHUB_STEP_SUMMARY:-}" ]; then
+      {
+        echo "### gridbw-analyze"
+        echo ""
+        echo "| files_scanned | scan_ms |"
+        echo "| ---: | ---: |"
+        echo "| ${FILES_SCANNED} | ${SCAN_MS} |"
+      } >> "$GITHUB_STEP_SUMMARY"
+    fi
+    # Latency budget: the interprocedural graph passes must not silently
+    # regress analyzer turnaround.
+    if [ "${SCAN_MS:-0}" -gt 2000 ]; then
+      echo "analyze: whole-tree scan took ${SCAN_MS} ms (budget: 2000 ms)" >&2
+      exit 1
+    fi
+    # Determinism: the two-phase scan (parallel tables, serial graph,
+    # parallel checks) must produce byte-identical reports for any thread
+    # count. scan_ms is wall time, so strip it before diffing.
+    "$ANALYZER" --root . --baseline tools/gridbw_analyze/baseline.txt \
+      --threads 1 --json-out "$DIR/analyze_t1.json" > /dev/null
+    "$ANALYZER" --root . --baseline tools/gridbw_analyze/baseline.txt \
+      --threads 4 --json-out "$DIR/analyze_t4.json" > /dev/null
+    if ! diff <(grep -v '"scan_ms"' "$DIR/analyze_t1.json") \
+              <(grep -v '"scan_ms"' "$DIR/analyze_t4.json"); then
+      echo "analyze: --threads 1 and --threads 4 reports differ" >&2
+      exit 1
+    fi
     echo "analyze pass clean"
     exit 0
     ;;

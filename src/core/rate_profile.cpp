@@ -28,6 +28,7 @@ void RateProfile::append(TimePoint from, Bandwidth rate) {
   steps_.push_back(RateStep{from, rate});
 }
 
+// gridbw:hot
 Bandwidth RateProfile::rate_at(TimePoint t) const {
   if (steps_.empty() || t < steps_.front().from || !(t < end_)) {
     return Bandwidth::zero();
@@ -48,6 +49,7 @@ Bandwidth RateProfile::peak_rate() const {
   return peak;
 }
 
+// gridbw:hot
 Bandwidth RateProfile::min_rate() const {
   if (steps_.empty()) return Bandwidth::zero();
   Bandwidth lo = steps_.front().rate;
@@ -55,6 +57,7 @@ Bandwidth RateProfile::min_rate() const {
   return lo;
 }
 
+// gridbw:hot
 Volume RateProfile::carried() const {
   Volume total = Volume::zero();
   for (std::size_t i = 0; i < steps_.size(); ++i) {

@@ -6,6 +6,9 @@ namespace gridbw {
 
 void Schedule::accept(RequestId request, TimePoint start, Bandwidth bw) {
   if (index_.count(request) > 0) {
+    // The sweep assembly paths that reach this from hot kernels admit each
+    // request at most once, so this defensive guard is never taken there.
+    // GRIDBW-ALLOW(hot-propagation): duplicate-accept guard, unreachable hot
     throw std::logic_error{"Schedule::accept: request already accepted"};
   }
   index_.emplace(request, assignments_.size());

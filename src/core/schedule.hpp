@@ -54,7 +54,9 @@ struct Assignment {
 
   /// Invokes fn(t0, t1, rate) for every constant-rate span of the
   /// allocation, in time order. One call for a constant assignment (the
-  /// exact pre-profile segment), one per step for a profiled one.
+  /// exact pre-profile segment), one per step for a profiled one. This is
+  /// the charging path every validator/ledger sweep runs per assignment.
+  // gridbw:hot
   template <typename Fn>
   void for_each_segment(const Request& r, Fn&& fn) const {
     if (!is_profiled()) {

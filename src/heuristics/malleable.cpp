@@ -154,6 +154,7 @@ class FluidBook {
   /// rises at the same speed until its MaxRate or one of its ports binds —
   /// max-min fairness over the residual capacity, computed in admission
   /// order so reruns are bit-identical.
+  // gridbw:hot
   void water_fill() {
     const std::size_t n = live_scratch_.size();
     rates_.resize(n);

@@ -27,7 +27,11 @@ class Observer {
   [[nodiscard]] TraceSink* sink() const { return sink_; }
   [[nodiscard]] CounterRegistry* counters() const { return counters_; }
 
-  /// Forwards to the sink (if any); does not touch counters.
+  /// Forwards to the sink (if any); does not touch counters. Sanctioned
+  /// observability boundary for the interprocedural hot walk: the disabled
+  /// path is a single pointer test, and the enabled path's virtual record()
+  /// cost is the documented opt-in (< 2 % acceptance gate above).
+  // GRIDBW-ALLOW(hot-propagation): opt-in trace emission boundary (see above)
   void emit(const AdmissionEvent& event) {
     if (sink_ != nullptr) sink_->record(event);
   }

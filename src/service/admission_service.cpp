@@ -189,6 +189,7 @@ struct AdmissionService::Impl {
 
   // ---- execution ----------------------------------------------------------
 
+  // gridbw:hot
   // gridbw:requires(mu)
   void execute_arrival(const Event& ev) {
     const Request& r = requests[ev.req];
@@ -223,6 +224,7 @@ struct AdmissionService::Impl {
     admitted[ev.req] = 1;
   }
 
+  // gridbw:hot
   // gridbw:requires(mu)
   void execute_departure(const Event& ev) {
     if (admitted[ev.req] == 0) return;  // rejected: sequence no-op
@@ -247,6 +249,7 @@ struct AdmissionService::Impl {
   // batch of breakpoints retires AND they are at least half the residents,
   // so the erase/shift cost stays O(1) amortized per retired breakpoint.
   // gridbw:requires(mu)
+  // GRIDBW-ALLOW(hot-propagation): amortized GC tail, off the per-event path
   void collect_cell(PortCell& cell, double now) {
     constexpr std::size_t kMinRetireBatch = 64;
     double horizon = now;

@@ -45,6 +45,20 @@
 //                   raw std::atomic outside the sanctioned modules
 //                   (obs/counters, util/thread_pool), and every non-default
 //                   memory_order argument, must carry a GRIDBW-ALLOW
+//   hot-propagation (interprocedural, tree scans only) every function
+//                   reachable over the call graph from a `// gridbw:hot`
+//                   body must itself be hot-clean — no throw, allocation,
+//                   dynamic_cast, sink ->record(, or lock acquisition —
+//                   or carry its own gridbw:hot / GRIDBW-ALLOW; findings
+//                   print the call chain from the hot root
+//   requires-context
+//                   (interprocedural) calls to gridbw:requires(mu)
+//                   functions must come from a scope holding mu (RAII lock
+//                   site) or from a function itself marked requires(mu)
+//   hot-call-unresolved
+//                   (interprocedural) calls from hot contexts through
+//                   virtual methods or std::function values — sinks the
+//                   graph cannot resolve — must be ALLOW-annotated
 //
 // Scan roots: src/ (all checks), tools/, bench/, and tests/ with per-root
 // check profiles (see scan_roots() in baseline.cpp); directories named
@@ -221,10 +235,17 @@ struct Options;  // forward declaration (defined below)
 /// Runs the concurrency-discipline family (lock-order, guarded-by,
 /// cv-wait-predicate, lock-scope-hygiene, atomic-discipline) over one file.
 /// Called from analyze_file; `code` is the joined stripped text and `starts`
-/// its line-start offsets.
+/// its line-start offsets. This overload builds the scope model itself.
 void run_concurrency_checks(const SourceFile& file, const std::string& code,
                             const std::vector<std::size_t>& starts,
                             const Options& options, std::vector<Finding>* out);
+
+/// Same, with a precomputed scope model (the two-phase tree scan builds it
+/// once per file and reuses it for the symbol index and the call graph).
+void run_concurrency_checks(const SourceFile& file, const std::string& code,
+                            const std::vector<std::size_t>& starts,
+                            const ScopeInfo& scope, const Options& options,
+                            std::vector<Finding>* out);
 
 // ---------------------------------------------------------------------------
 // Analysis
@@ -256,6 +277,18 @@ struct ScanRoot {
                                                 const std::string& src_rel_path,
                                                 const Options& options);
 
+/// The intraprocedural half of analyze_file with the per-file artifacts
+/// (joined stripped code, line starts, scope model) precomputed — the
+/// phase-2 worker of the tree scan, which builds them once in phase 1 and
+/// reuses them for the symbol index and the call graph. The findings come
+/// back sorted. The three interprocedural checks (hot-propagation,
+/// requires-context, hot-call-unresolved) only run in tree scans, where the
+/// global call graph exists.
+[[nodiscard]] std::vector<Finding> analyze_prepared(
+    const SourceFile& file, const std::string& src_rel_path,
+    const std::string& code, const std::vector<std::size_t>& starts,
+    const ScopeInfo& scope, const Options& options);
+
 /// Result of a whole-tree scan: findings sorted deterministically, with the
 /// parallel baseline key for each finding.
 struct TreeReport {
@@ -264,7 +297,35 @@ struct TreeReport {
   std::size_t files_scanned = 0;
   /// GRIDBW-ALLOW comments naming unknown check ids ("path:line: id").
   std::vector<std::string> stale_allows;
+  /// Call-graph statistics (informational, printed to stderr by the CLI):
+  /// resolved counts candidate edges, unresolved counts call sites the
+  /// suffix matcher could not bind to any indexed symbol (non-fatal by
+  /// design — a lexical graph under-approximates).
+  std::size_t call_edges_resolved = 0;
+  std::size_t call_edges_unresolved = 0;
 };
+
+/// One file handed to analyze_loaded: repo-relative path, scan-root
+/// coordinates, raw text, and the sibling header's text when one exists.
+struct LoadedFile {
+  std::string rel;       // repo-relative, '/'-separated
+  std::string root_rel;  // relative to its scan root
+  std::size_t root_index = 0;  // index into scan_roots()
+  std::string text;
+  std::string companion;       // sibling .hpp text (for .cpp files)
+  bool has_companion = false;
+};
+
+/// The two-phase scan over an in-memory tree (analyze_tree loads from disk
+/// and delegates here; tests can hand in synthetic trees). `files` must be
+/// in final report order (sorted path order within each root, roots in
+/// scan_roots() order). Phase 1 builds per-file code/scope/symbol/call
+/// tables in parallel; the interprocedural checks then run serially over
+/// the merged tables; phase 2 runs the intraprocedural catalogue in
+/// parallel and merges findings back in `files` order — byte-identical
+/// output for any thread count.
+[[nodiscard]] TreeReport analyze_loaded(const std::vector<LoadedFile>& files,
+                                        const Options& options);
 
 /// Scans every `scan_roots()` directory under `root` recursively (files in
 /// sorted path order; `src/` is mandatory, the rest optional; `fixtures`
@@ -274,6 +335,11 @@ struct TreeReport {
 /// Throws std::runtime_error when `<root>/src` is missing.
 [[nodiscard]] TreeReport analyze_tree(const std::string& root,
                                       const Options& options);
+
+/// Writes `body` to `path` via a temporary file in the same directory and an
+/// atomic rename, so readers (and interrupted runs) never observe a
+/// truncated file. Throws std::runtime_error on I/O failure.
+void write_file_atomic(const std::string& path, const std::string& body);
 
 /// The CLI usage text (lib-level so tests can pin it).
 [[nodiscard]] const char* usage_text();

@@ -7,8 +7,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <fstream>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -66,6 +68,9 @@ TEST(GoldenFixtures, GuardedBy) { expect_golden("guarded_by"); }
 TEST(GoldenFixtures, CvWaitPredicate) { expect_golden("cv_wait"); }
 TEST(GoldenFixtures, LockScopeHygiene) { expect_golden("lock_hygiene"); }
 TEST(GoldenFixtures, AtomicDiscipline) { expect_golden("atomic_discipline"); }
+TEST(GoldenFixtures, HotPropagation) { expect_golden("hot_propagation"); }
+TEST(GoldenFixtures, RequiresContext) { expect_golden("requires_context"); }
+TEST(GoldenFixtures, HotCallUnresolved) { expect_golden("hot_call_unresolved"); }
 TEST(GoldenFixtures, RootProfiles) { expect_golden("root_profiles"); }
 
 // --- mutation tests: seed one bug into a clean fixture region, expect the
@@ -148,6 +153,77 @@ TEST(Mutation, MovingASanctionedFileOutOfItsModuleFlagsTheAtomic) {
       has_finding(analyze_text("src/obs/counters.cpp", text), "atomic-discipline", 7));
   EXPECT_TRUE(
       has_finding(analyze_text("src/core/counters.cpp", text), "atomic-discipline", 7));
+}
+
+// --- interprocedural mutations: the three graph checks need a tree scan,
+// --- so these go through analyze_loaded with in-memory files --------------
+
+LoadedFile loaded(const std::string& rel, std::string text,
+                  std::string companion = "") {
+  LoadedFile f;
+  f.rel = rel;
+  f.root_rel = rel.substr(std::string{"src/"}.size());
+  f.root_index = 0;
+  f.text = std::move(text);
+  f.companion = std::move(companion);
+  f.has_companion = !f.companion.empty();
+  return f;
+}
+
+TEST(Mutation, InsertingAnAllocationIntoAHotCalleeTripsPropagation) {
+  const std::string helper_hpp =
+      fixture_text("hot_propagation", "src/core/helper.hpp");
+  const std::string helper_cpp =
+      fixture_text("hot_propagation", "src/core/helper.cpp");
+  const std::string kernel =
+      mutate(fixture_text("hot_propagation", "src/core/kernel.cpp"),
+             "int charge(int n) { return expand(n) + 1; }",
+             "int charge(int n) { return *new int{expand(n) + 1}; }");
+  const TreeReport report = analyze_loaded(
+      {loaded("src/core/helper.cpp", helper_cpp, helper_hpp),
+       loaded("src/core/helper.hpp", helper_hpp),
+       loaded("src/core/kernel.cpp", kernel)},
+      Options{});
+  // charge was the clean interior callee; now the walk flags it too.
+  EXPECT_TRUE(has_finding(report.findings, "hot-propagation", 15));
+}
+
+TEST(Mutation, DroppingTheLockAtARequiresCallSiteTripsContext) {
+  const std::string cell =
+      mutate(fixture_text("requires_context", "src/core/cell.cpp"),
+             "std::lock_guard<std::mutex> lk{mu};", ";");
+  const TreeReport report =
+      analyze_loaded({loaded("src/core/cell.cpp", cell)}, Options{});
+  EXPECT_TRUE(has_finding(report.findings, "requires-context", 16));  // good_caller now bare
+  EXPECT_TRUE(has_finding(report.findings, "requires-context", 22));  // bad_caller still caught
+}
+
+TEST(Mutation, StrippingTheCalleeAllowReopensTheWalkBoundary) {
+  const std::string helper_hpp =
+      fixture_text("hot_propagation", "src/core/helper.hpp");
+  const std::string helper_cpp = mutate(
+      fixture_text("hot_propagation", "src/core/helper.cpp"),
+      "// GRIDBW-ALLOW(hot-propagation): amortized refill, measured off the sweep",
+      "//");
+  const std::string kernel =
+      fixture_text("hot_propagation", "src/core/kernel.cpp");
+  const TreeReport report = analyze_loaded(
+      {loaded("src/core/helper.cpp", helper_cpp, helper_hpp),
+       loaded("src/core/helper.hpp", helper_hpp),
+       loaded("src/core/kernel.cpp", kernel)},
+      Options{});
+  // boundary_refill's allocation stops being sanctioned.
+  EXPECT_TRUE(has_finding(report.findings, "hot-propagation", 18));
+}
+
+TEST(Mutation, StrippingTheAllowExposesTheHotVirtualCall) {
+  const std::string dispatch = mutate(
+      fixture_text("hot_call_unresolved", "src/core/dispatch.cpp"),
+      "// GRIDBW-ALLOW(hot-call-unresolved): devirtualized in release builds",
+      "//");
+  const TreeReport report =
+      analyze_loaded({loaded("src/core/dispatch.cpp", dispatch)}, Options{});
+  EXPECT_TRUE(has_finding(report.findings, "hot-call-unresolved", 24));
 }
 
 // --- baseline semantics ---------------------------------------------------
@@ -385,16 +461,20 @@ TEST(Output, JsonIsEscapedAndDeterministic) {
   EXPECT_NE(json.find("a \\\"quoted\\\" message"), std::string::npos);
 }
 
-TEST(Catalogue, ListsAllThirteenChecks) {
+TEST(Catalogue, ListsAllSixteenChecks) {
   const std::vector<CheckInfo>& catalogue = check_catalogue();
-  ASSERT_EQ(catalogue.size(), 13u);
+  ASSERT_EQ(catalogue.size(), 16u);
   EXPECT_STREQ(catalogue.front().id, "layering");
-  // The concurrency-discipline family closes the catalogue, in order.
+  // The concurrency-discipline family, in order.
   EXPECT_STREQ(catalogue[8].id, "lock-order");
   EXPECT_STREQ(catalogue[9].id, "guarded-by");
   EXPECT_STREQ(catalogue[10].id, "cv-wait-predicate");
   EXPECT_STREQ(catalogue[11].id, "lock-scope-hygiene");
   EXPECT_STREQ(catalogue[12].id, "atomic-discipline");
+  // The interprocedural family closes the catalogue.
+  EXPECT_STREQ(catalogue[13].id, "hot-propagation");
+  EXPECT_STREQ(catalogue[14].id, "requires-context");
+  EXPECT_STREQ(catalogue[15].id, "hot-call-unresolved");
 }
 
 TEST(Output, TreeScanIsByteIdenticalAcrossThreadCounts) {
@@ -402,13 +482,40 @@ TEST(Output, TreeScanIsByteIdenticalAcrossThreadCounts) {
   serial.threads = 1;
   Options pooled;
   pooled.threads = 4;
-  const std::string root = fixture_root("root_profiles");
-  const TreeReport a = analyze_tree(root, serial);
-  const TreeReport b = analyze_tree(root, pooled);
-  EXPECT_EQ(render_json(a.findings), render_json(b.findings));
-  EXPECT_EQ(a.keys, b.keys);
-  EXPECT_EQ(a.files_scanned, b.files_scanned);
-  EXPECT_EQ(a.stale_allows, b.stale_allows);
+  // root_profiles exercises the per-root skip logic; hot_propagation the
+  // two-phase interprocedural scan (whose serial graph pass must not leak
+  // any thread-count dependence into the merged report).
+  for (const char* name : {"root_profiles", "hot_propagation"}) {
+    const std::string root = fixture_root(name);
+    const TreeReport a = analyze_tree(root, serial);
+    const TreeReport b = analyze_tree(root, pooled);
+    EXPECT_EQ(render_json(a.findings), render_json(b.findings)) << name;
+    EXPECT_EQ(a.keys, b.keys) << name;
+    EXPECT_EQ(a.files_scanned, b.files_scanned) << name;
+    EXPECT_EQ(a.stale_allows, b.stale_allows) << name;
+    EXPECT_EQ(a.call_edges_resolved, b.call_edges_resolved) << name;
+    EXPECT_EQ(a.call_edges_unresolved, b.call_edges_unresolved) << name;
+  }
+}
+
+TEST(Output, AtomicWriteLandsWholeFileAndLeavesNoTemp) {
+  const std::string path =
+      ::testing::TempDir() + "gridbw_analyze_atomic_test.json";
+  write_file_atomic(path, "[]\n");
+  EXPECT_EQ(read_file(path), "[]\n");
+  // Replacing an existing file goes through the same temp + rename, so a
+  // reader can never observe a truncated body; the temp must be gone.
+  write_file_atomic(path, "[{\"line\": 3}]\n");
+  EXPECT_EQ(read_file(path), "[{\"line\": 3}]\n");
+  std::ifstream temp{path + ".tmp"};
+  EXPECT_FALSE(temp.good());
+  std::remove(path.c_str());
+}
+
+TEST(Output, AtomicWriteThrowsWhenTheDirectoryIsMissing) {
+  const std::string path =
+      ::testing::TempDir() + "gridbw_analyze_no_such_dir/report.json";
+  EXPECT_THROW(write_file_atomic(path, "x"), std::runtime_error);
 }
 
 TEST(Cli, UsageTextDocumentsEveryFlag) {

@@ -6,6 +6,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "callgraph.hpp"
+#include "symbols.hpp"
 #include "util/thread_pool.hpp"
 
 namespace gridbw::analyze {
@@ -132,13 +134,40 @@ const std::vector<ScanRoot>& scan_roots() {
   return kRoots;
 }
 
-TreeReport analyze_tree(const std::string& root, const Options& options) {
-  namespace fs = std::filesystem;
-  const fs::path root_path{root};
-  if (!fs::is_directory(root_path / "src")) {
-    throw std::runtime_error{"gridbw-analyze: no src/ directory under " + root};
-  }
+namespace {
 
+std::string join_code(const std::vector<std::string>& lines) {
+  std::string out;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    if (i != 0) out.push_back('\n');
+    out += lines[i];
+  }
+  return out;
+}
+
+std::vector<std::size_t> line_starts_of(const std::string& text) {
+  std::vector<std::size_t> starts{0};
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    if (text[i] == '\n') starts.push_back(i + 1);
+  }
+  return starts;
+}
+
+/// Runs `fn(i)` for every index, serially or over the pool.
+template <typename Fn>
+void for_each_index(std::size_t count, std::size_t threads, Fn&& fn) {
+  if (threads == 1 || count < 2) {
+    gridbw::serial_for_index(count, fn);
+  } else {
+    gridbw::ThreadPool pool{threads};
+    gridbw::parallel_for_index(pool, count, fn);
+  }
+}
+
+}  // namespace
+
+TreeReport analyze_loaded(const std::vector<LoadedFile>& files,
+                          const Options& options) {
   // Effective per-root check set: (user selection or the full catalogue)
   // minus the root's skip profile. An empty result means "scan nothing
   // here" — it must not fall through to Options' empty-means-all default.
@@ -160,13 +189,87 @@ TreeReport analyze_tree(const std::string& root, const Options& options) {
     per_root.push_back(std::move(effective));
   }
 
-  struct Job {
-    fs::path path;
-    std::string rel;       // repo-relative, '/'-separated
-    std::string root_rel;  // relative to the scan root
-    std::size_t root_index = 0;
+  // Phase 1 (parallel): per-file tables — stripped code, scope model,
+  // symbol index, call sites. Entries stay in `files` order, so the serial
+  // merge below sees the same sequence regardless of thread count.
+  std::vector<FileEntry> entries(files.size());
+  for_each_index(files.size(), options.threads, [&](std::size_t i) {
+    const LoadedFile& loaded = files[i];
+    FileEntry& entry = entries[i];
+    entry.rel = loaded.rel;
+    entry.root_rel = loaded.root_rel;
+    entry.root_index = loaded.root_index;
+    entry.file = make_source(loaded.rel, loaded.text);
+    if (loaded.has_companion) attach_companion(entry.file, loaded.companion);
+    entry.code = join_code(entry.file.code_lines);
+    entry.starts = line_starts_of(entry.code);
+    entry.scope = build_scope_info(entry.file, entry.code, entry.starts);
+    entry.symbols =
+        extract_symbols(entry.file, entry.code, entry.starts, entry.scope);
+    entry.calls = extract_calls(entry.code, entry.scope);
+  });
+
+  // Interprocedural passes: serial over the merged tables (deterministic by
+  // construction — entries, calls, and symbol refs all iterate in order).
+  std::vector<const Options*> per_entry_options(entries.size(), nullptr);
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    per_entry_options[i] = &per_root[entries[i].root_index];
+  }
+  const InterprocReport interproc =
+      run_interprocedural_checks(entries, per_entry_options);
+
+  // Phase 2 (parallel): the intraprocedural catalogue per file, reusing the
+  // phase-1 artifacts, plus that file's interprocedural findings; sorted and
+  // keyed per slot, merged in file order.
+  struct Slot {
+    std::vector<Finding> findings;
+    std::vector<std::string> keys;
+    std::vector<std::string> stale_allows;
   };
-  std::vector<Job> jobs;
+  std::vector<Slot> slots(entries.size());
+  for_each_index(entries.size(), options.threads, [&](std::size_t i) {
+    const FileEntry& entry = entries[i];
+    const Options& effective = per_root[entry.root_index];
+    std::vector<Finding> findings;
+    if (!effective.checks.empty()) {
+      findings = analyze_prepared(entry.file, entry.root_rel, entry.code,
+                                  entry.starts, entry.scope, effective);
+    }
+    for (const Finding& finding : interproc.per_file[i]) {
+      findings.push_back(finding);
+    }
+    std::sort(findings.begin(), findings.end());
+    for (Finding& finding : findings) {
+      slots[i].keys.push_back(baseline_key(finding, entry.file));
+      slots[i].findings.push_back(std::move(finding));
+    }
+    slots[i].stale_allows = stale_allows_in(entry.file);
+  });
+
+  TreeReport report;
+  report.files_scanned = entries.size();
+  report.call_edges_resolved = interproc.edges_resolved;
+  report.call_edges_unresolved = interproc.edges_unresolved;
+  for (Slot& slot : slots) {
+    for (std::size_t k = 0; k < slot.findings.size(); ++k) {
+      report.findings.push_back(std::move(slot.findings[k]));
+      report.keys.push_back(std::move(slot.keys[k]));
+    }
+    for (std::string& stale : slot.stale_allows) {
+      report.stale_allows.push_back(std::move(stale));
+    }
+  }
+  return report;
+}
+
+TreeReport analyze_tree(const std::string& root, const Options& options) {
+  namespace fs = std::filesystem;
+  const fs::path root_path{root};
+  if (!fs::is_directory(root_path / "src")) {
+    throw std::runtime_error{"gridbw-analyze: no src/ directory under " + root};
+  }
+
+  std::vector<LoadedFile> files;
   for (std::size_t r = 0; r < scan_roots().size(); ++r) {
     const ScanRoot& scan_root = scan_roots()[r];
     const fs::path dir = root_path / scan_root.dir;
@@ -184,61 +287,46 @@ TreeReport analyze_tree(const std::string& root, const Options& options) {
       if (ext == ".hpp" || ext == ".cpp") paths.push_back(it->path());
     }
     std::sort(paths.begin(), paths.end());
-    for (fs::path& path : paths) {
-      Job job;
-      job.root_rel = fs::relative(path, dir).generic_string();
-      job.rel = std::string{scan_root.dir} + "/" + job.root_rel;
-      job.path = std::move(path);
-      job.root_index = r;
-      jobs.push_back(std::move(job));
-    }
-  }
-
-  // Fan the per-file scans out over the pool into per-job slots, then merge
-  // in job order: the report is byte-identical for every thread count.
-  struct Slot {
-    std::vector<Finding> findings;
-    std::vector<std::string> keys;
-    std::vector<std::string> stale_allows;
-  };
-  std::vector<Slot> slots(jobs.size());
-  const auto scan_one = [&](std::size_t i) {
-    const Job& job = jobs[i];
-    SourceFile file = make_source(job.rel, read_file(job.path));
-    if (job.path.extension() == ".cpp") {
-      const fs::path sibling = fs::path{job.path}.replace_extension(".hpp");
-      if (fs::is_regular_file(sibling)) {
-        attach_companion(file, read_file(sibling));
+    for (const fs::path& path : paths) {
+      LoadedFile loaded;
+      loaded.root_rel = fs::relative(path, dir).generic_string();
+      loaded.rel = std::string{scan_root.dir} + "/" + loaded.root_rel;
+      loaded.root_index = r;
+      loaded.text = read_file(path);
+      if (path.extension() == ".cpp") {
+        const fs::path sibling = fs::path{path}.replace_extension(".hpp");
+        if (fs::is_regular_file(sibling)) {
+          loaded.companion = read_file(sibling);
+          loaded.has_companion = true;
+        }
       }
+      files.push_back(std::move(loaded));
     }
-    const Options& effective = per_root[job.root_index];
-    if (!effective.checks.empty()) {
-      for (Finding& finding : analyze_file(file, job.root_rel, effective)) {
-        slots[i].keys.push_back(baseline_key(finding, file));
-        slots[i].findings.push_back(std::move(finding));
-      }
-    }
-    slots[i].stale_allows = stale_allows_in(file);
-  };
-  if (options.threads == 1 || jobs.size() < 2) {
-    gridbw::serial_for_index(jobs.size(), scan_one);
-  } else {
-    gridbw::ThreadPool pool{options.threads};
-    gridbw::parallel_for_index(pool, jobs.size(), scan_one);
   }
+  return analyze_loaded(files, options);
+}
 
-  TreeReport report;
-  report.files_scanned = jobs.size();
-  for (Slot& slot : slots) {
-    for (std::size_t k = 0; k < slot.findings.size(); ++k) {
-      report.findings.push_back(std::move(slot.findings[k]));
-      report.keys.push_back(std::move(slot.keys[k]));
+void write_file_atomic(const std::string& path, const std::string& body) {
+  namespace fs = std::filesystem;
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out{tmp, std::ios::binary | std::ios::trunc};
+    if (!out) {
+      throw std::runtime_error{"gridbw-analyze: cannot write " + tmp};
     }
-    for (std::string& stale : slot.stale_allows) {
-      report.stale_allows.push_back(std::move(stale));
+    out << body;
+    out.flush();
+    if (!out) {
+      throw std::runtime_error{"gridbw-analyze: short write to " + tmp};
     }
   }
-  return report;
+  std::error_code error;
+  fs::rename(tmp, path, error);
+  if (error) {
+    fs::remove(tmp, error);
+    throw std::runtime_error{"gridbw-analyze: cannot rename " + tmp + " -> " +
+                             path};
+  }
 }
 
 const char* usage_text() {

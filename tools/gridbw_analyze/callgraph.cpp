@@ -1,0 +1,574 @@
+#include "callgraph.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace gridbw::analyze {
+
+namespace {
+
+constexpr std::size_t kNoBody = static_cast<std::size_t>(-1);
+
+bool is_ident(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool word_at(const std::string& text, std::size_t pos, const std::string& word) {
+  if (text.compare(pos, word.size(), word) != 0) return false;
+  if (pos > 0 && is_ident(text[pos - 1])) return false;
+  const std::size_t end = pos + word.size();
+  return end >= text.size() || !is_ident(text[end]);
+}
+
+int line_of(const std::vector<std::size_t>& starts, std::size_t pos) {
+  const auto it = std::upper_bound(starts.begin(), starts.end(), pos);
+  return static_cast<int>(it - starts.begin());
+}
+
+/// Names that look like calls lexically but never are (control keywords,
+/// cast-like operators) or that are functional casts on fundamental types.
+bool is_call_keyword(const std::string& name) {
+  static const std::set<std::string> kKeywords = {
+      "if",       "for",      "while",    "switch",   "catch",
+      "return",   "sizeof",   "alignof",  "alignas",  "decltype",
+      "noexcept", "typeid",   "requires", "static_assert", "new",
+      "delete",   "throw",    "assert",   "defined",  "co_await",
+      "co_yield", "co_return",
+      // functional casts on fundamental types / ubiquitous aliases
+      "int",      "char",     "bool",     "float",    "double",
+      "long",     "short",    "unsigned", "signed",   "void",
+      "auto",     "size_t",   "int8_t",   "int16_t",  "int32_t",
+      "int64_t",  "uint8_t",  "uint16_t", "uint32_t", "uint64_t",
+      "ptrdiff_t"};
+  return kKeywords.count(name) != 0;
+}
+
+/// Member-call names that collide with the standard container/stream
+/// vocabulary. A lexical graph cannot tell `pending_.clear()` (a vector)
+/// from `sink.clear()` (a class in the include closure), and the container
+/// reading is overwhelmingly the right one, so member calls with these
+/// names draw no edges — a documented precision choice, mirrored by the
+/// hot-call-unresolved virtual-name test.
+bool is_ambiguous_member_name(const std::string& name) {
+  static const std::set<std::string> kStl = {
+      "count",   "clear",       "size",     "empty",        "at",
+      "find",    "begin",       "end",      "cbegin",       "cend",
+      "insert",  "erase",       "push_back", "pop_back",    "emplace_back",
+      "emplace", "reserve",     "resize",   "front",        "back",
+      "data",    "swap",        "contains", "lower_bound",  "upper_bound",
+      "assign",  "push",        "pop",      "top",          "get",
+      "reset",   "release",     "value",    "has_value",    "flush",
+      "str",     "c_str",       "substr",   "compare",      "append",
+      "length",  "first",       "second",   "lock",         "unlock",
+      "min",     "max"};
+  return kStl.count(name) != 0;
+}
+
+/// Words that may directly precede a call expression; any other identifier
+/// word before the name means a declaration (`void f(`) or a placement
+/// construction (`new Foo(`), not a call.
+bool keeps_call_after(const std::string& word) {
+  static const std::set<std::string> kKeep = {"return",   "else",  "case",
+                                              "goto",     "do",    "co_return",
+                                              "co_yield", "co_await"};
+  return kKeep.count(word) != 0;
+}
+
+std::vector<std::string> split_components(const std::string& qualified) {
+  std::vector<std::string> parts;
+  std::string current;
+  for (std::size_t i = 0; i < qualified.size(); ++i) {
+    if (qualified.compare(i, 2, "::") == 0) {
+      parts.push_back(current);
+      current.clear();
+      ++i;
+    } else {
+      current.push_back(qualified[i]);
+    }
+  }
+  parts.push_back(current);
+  return parts;
+}
+
+/// Suffix compatibility on '::' components, either direction: a call written
+/// `execute_arrival` matches the symbol `Impl::execute_arrival`, and a call
+/// written `Impl::execute_arrival` matches a symbol indexed as plain
+/// `execute_arrival` (in-class definition).
+bool components_compatible(const std::vector<std::string>& a,
+                           const std::vector<std::string>& b) {
+  const std::vector<std::string>& shorter = a.size() <= b.size() ? a : b;
+  const std::vector<std::string>& longer = a.size() <= b.size() ? b : a;
+  const std::size_t offset = longer.size() - shorter.size();
+  for (std::size_t i = 0; i < shorter.size(); ++i) {
+    if (shorter[i] != longer[offset + i]) return false;
+  }
+  return true;
+}
+
+/// One mutex held over a byte interval of one file: RAII lock sites plus the
+/// gridbw:requires-derived holds (same model as concurrency.cpp).
+struct Hold {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  std::string mutex;
+};
+
+std::vector<Hold> holds_of(const ScopeInfo& info) {
+  std::vector<Hold> holds;
+  for (const LockSite& site : info.locks) {
+    for (const std::string& mutex : site.mutexes) {
+      holds.push_back({site.pos, site.release, mutex});
+    }
+  }
+  for (const RequiresSite& site : info.requires_held) {
+    for (const std::string& mutex : site.mutexes) {
+      holds.push_back({site.body_open, site.body_close, mutex});
+    }
+  }
+  return holds;
+}
+
+}  // namespace
+
+std::vector<CallSite> extract_calls(const std::string& code,
+                                    const ScopeInfo& scope) {
+  std::vector<CallSite> calls;
+  for (std::size_t paren = 0; paren < code.size(); ++paren) {
+    if (code[paren] != '(') continue;
+    // Read the (possibly qualified) identifier before the paren, tolerating
+    // whitespace (`if (` and friends fall to the keyword filter).
+    std::size_t end = paren;
+    while (end > 0 &&
+           std::isspace(static_cast<unsigned char>(code[end - 1])) != 0) {
+      --end;
+    }
+    std::size_t begin = end;
+    while (begin > 0) {
+      const char c = code[begin - 1];
+      if (is_ident(c)) {
+        --begin;
+        continue;
+      }
+      if (c == ':' && begin > 1 && code[begin - 2] == ':') {
+        begin -= 2;
+        continue;
+      }
+      break;
+    }
+    if (begin == end) continue;
+    std::string name = code.substr(begin, end - begin);
+    while (name.compare(0, 2, "::") == 0) name = name.substr(2);
+    if (name.empty() || name.front() == ':' || name.back() == ':') continue;
+    const std::string last = name.rfind("::") == std::string::npos
+                                 ? name
+                                 : name.substr(name.rfind("::") + 2);
+    if (is_call_keyword(last) || is_call_keyword(name)) continue;
+
+    CallSite call;
+    call.pos = begin;
+    call.name = name;
+
+    // Classify by what precedes the name.
+    std::size_t before = begin;
+    while (before > 0 &&
+           std::isspace(static_cast<unsigned char>(code[before - 1])) != 0) {
+      --before;
+    }
+    if (before >= 2 && code[before - 2] == '-' && code[before - 1] == '>') {
+      call.member = true;
+    } else if (before >= 1 && code[before - 1] == '.') {
+      call.member = true;
+    } else if (before >= 1 &&
+               (code[before - 1] == '>' || code[before - 1] == '*' ||
+                code[before - 1] == '&' || code[before - 1] == '~')) {
+      // `std::vector<T> f(` / `Foo* f(` / `Foo& f(`: a declaration header,
+      // not a call (a template-argument call `f<T>(` never reaches here —
+      // its name read stops at '>').
+      continue;
+    } else if (before >= 1 && is_ident(code[before - 1])) {
+      std::size_t word_begin = before;
+      while (word_begin > 0 && is_ident(code[word_begin - 1])) --word_begin;
+      if (!keeps_call_after(code.substr(word_begin, before - word_begin))) {
+        continue;  // `void f(` declaration, `new Foo(` placement, ...
+      }
+    }
+
+    // Enclosing outermost function body, if any.
+    for (const FunctionScope& fn : scope.functions) {
+      if (fn.open < call.pos && call.pos < fn.close) {
+        call.enclosing_body = fn.open;
+        break;
+      }
+    }
+    calls.push_back(std::move(call));
+  }
+  return calls;
+}
+
+namespace {
+
+/// A symbol's coordinates in the merged per-file tables.
+struct SymbolRef {
+  std::size_t file = 0;
+  std::size_t sym = 0;
+
+  friend bool operator<(const SymbolRef& a, const SymbolRef& b) {
+    if (a.file != b.file) return a.file < b.file;
+    return a.sym < b.sym;
+  }
+  friend bool operator==(const SymbolRef& a, const SymbolRef& b) {
+    return a.file == b.file && a.sym == b.sym;
+  }
+};
+
+/// The merged project view phase 2 consumes.
+struct Project {
+  const std::vector<FileEntry>* entries = nullptr;
+  /// closure[f]: entry indices visible from f (reflexive, include-transitive,
+  /// sibling-augmented), sorted.
+  std::vector<std::vector<std::size_t>> closure;
+  /// Last-component name -> definitions, in (file, sym) order.
+  std::map<std::string, std::vector<SymbolRef>> by_name;
+  /// Union of every file's virtual-method names.
+  std::set<std::string> virtual_methods;
+  /// resolved[f][c]: targets of entries[f].calls[c], in (file, sym) order.
+  std::vector<std::vector<std::vector<SymbolRef>>> resolved;
+  std::size_t edges_resolved = 0;
+  std::size_t edges_unresolved = 0;
+
+  const Symbol& symbol(const SymbolRef& ref) const {
+    return (*entries)[ref.file].symbols.symbols[ref.sym];
+  }
+};
+
+/// True when `rel` (repo-relative) is how include path `inc` would be
+/// written from some scan root: an exact match or a path suffix.
+bool include_matches(const std::string& rel, const std::string& inc) {
+  if (rel == inc) return true;
+  if (rel.size() <= inc.size()) return false;
+  return rel.compare(rel.size() - inc.size() - 1, 1, "/") == 0 &&
+         rel.compare(rel.size() - inc.size(), inc.size(), inc) == 0;
+}
+
+std::vector<std::vector<std::size_t>> build_closures(
+    const std::vector<FileEntry>& entries) {
+  const std::size_t n = entries.size();
+
+  // rel path -> entry index, and sibling pairs (extension swapped).
+  std::map<std::string, std::size_t> by_rel;
+  for (std::size_t i = 0; i < n; ++i) by_rel.emplace(entries[i].rel, i);
+  const auto sibling_of = [&](std::size_t i) -> std::size_t {
+    const std::string& rel = entries[i].rel;
+    const std::size_t dot = rel.rfind('.');
+    if (dot == std::string::npos) return kNoBody;
+    const std::string ext = rel.substr(dot);
+    const std::string other =
+        rel.substr(0, dot) + (ext == ".cpp" ? ".hpp" : ".cpp");
+    const auto it = by_rel.find(other);
+    return it == by_rel.end() ? kNoBody : it->second;
+  };
+
+  // Direct include targets per entry, resolved by path suffix once.
+  std::vector<std::vector<std::size_t>> direct(n);
+  std::map<std::string, std::vector<std::size_t>> include_targets;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (const std::string& inc : entries[i].symbols.quoted_includes) {
+      auto [it, fresh] = include_targets.try_emplace(inc);
+      if (fresh) {
+        for (std::size_t j = 0; j < n; ++j) {
+          if (include_matches(entries[j].rel, inc)) it->second.push_back(j);
+        }
+      }
+      for (const std::size_t j : it->second) direct[i].push_back(j);
+    }
+  }
+
+  std::vector<std::vector<std::size_t>> closure(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::set<std::size_t> seen{i};
+    std::vector<std::size_t> queue{i};
+    while (!queue.empty()) {
+      const std::size_t f = queue.back();
+      queue.pop_back();
+      const std::size_t sib = sibling_of(f);
+      if (sib != kNoBody && seen.insert(sib).second) queue.push_back(sib);
+      for (const std::size_t g : direct[f]) {
+        if (seen.insert(g).second) queue.push_back(g);
+      }
+    }
+    closure[i].assign(seen.begin(), seen.end());
+  }
+  return closure;
+}
+
+Project build_project(const std::vector<FileEntry>& entries) {
+  Project project;
+  project.entries = &entries;
+  project.closure = build_closures(entries);
+
+  for (std::size_t f = 0; f < entries.size(); ++f) {
+    const std::vector<Symbol>& symbols = entries[f].symbols.symbols;
+    for (std::size_t s = 0; s < symbols.size(); ++s) {
+      project.by_name[symbols[s].name].push_back({f, s});
+    }
+    for (const std::string& name : entries[f].symbols.virtual_methods) {
+      project.virtual_methods.insert(name);
+    }
+  }
+
+  project.resolved.resize(entries.size());
+  for (std::size_t f = 0; f < entries.size(); ++f) {
+    const std::vector<std::size_t>& visible = project.closure[f];
+    project.resolved[f].resize(entries[f].calls.size());
+    for (std::size_t c = 0; c < entries[f].calls.size(); ++c) {
+      const CallSite& call = entries[f].calls[c];
+      const std::vector<std::string> parts = split_components(call.name);
+      if (parts.front() == "std") continue;  // external, never an edge
+      if (call.member && is_ambiguous_member_name(parts.back())) continue;
+      const auto it = project.by_name.find(parts.back());
+      if (it != project.by_name.end()) {
+        for (const SymbolRef& ref : it->second) {
+          if (!std::binary_search(visible.begin(), visible.end(), ref.file)) {
+            continue;
+          }
+          if (parts.size() > 1 &&
+              !components_compatible(
+                  parts, split_components(project.symbol(ref).qualified))) {
+            continue;
+          }
+          project.resolved[f][c].push_back(ref);
+        }
+      }
+      if (project.resolved[f][c].empty()) {
+        ++project.edges_unresolved;
+      } else {
+        project.edges_resolved += project.resolved[f][c].size();
+      }
+    }
+  }
+  return project;
+}
+
+// ---------------------------------------------------------------------------
+// The three interprocedural checks
+// ---------------------------------------------------------------------------
+
+struct InterCtx {
+  const std::vector<FileEntry>& entries;
+  const Project& project;
+  const std::vector<const Options*>& per_entry_options;
+  InterprocReport* out;
+
+  [[nodiscard]] bool enabled(std::size_t file, const char* check) const {
+    const Options* options = per_entry_options[file];
+    return options != nullptr && options->checks.count(check) != 0;
+  }
+
+  void report(std::size_t file, std::size_t pos, const char* check,
+              std::string message) const {
+    if (!enabled(file, check)) return;
+    const FileEntry& entry = entries[file];
+    const int line = line_of(entry.starts, pos);
+    if (entry.file.suppressed(line, check)) return;
+    out->per_file[file].push_back(
+        Finding{entry.rel, line, check, std::move(message)});
+  }
+};
+
+/// The hot-path ban list (mirrors check_hot_path in checks.cpp), applied to
+/// transitively reached callee bodies.
+struct BanToken {
+  const char* token;
+  bool word;
+  const char* what;
+};
+
+constexpr BanToken kBanTokens[] = {
+    {"throw", true, "throw"},
+    {"new", true, "allocation (new)"},
+    {"make_unique", true, "allocation (make_unique)"},
+    {"make_shared", true, "allocation (make_shared)"},
+    {"malloc", true, "allocation (malloc)"},
+    {"calloc", true, "allocation (calloc)"},
+    {"realloc", true, "allocation (realloc)"},
+    {"dynamic_cast", true, "dynamic_cast"},
+    {"->record(", false, "virtual sink call (TraceSink::record)"},
+};
+
+/// Shared walk state: which symbols the hot walk has entered, and through
+/// which chain. Chains are first-visit-wins; the walk order (roots in file
+/// order, calls in position order, targets in (file, sym) order) pins them.
+struct HotWalk {
+  std::set<SymbolRef> visited;
+  /// Symbols whose bodies count as hot context for hot-call-unresolved:
+  /// the roots plus every clean interior callee the walk descended into.
+  std::vector<std::pair<SymbolRef, std::string>> hot_context;  // ref, chain
+};
+
+void scan_callee_body(const InterCtx& ctx, const SymbolRef& ref,
+                      const std::string& chain) {
+  const FileEntry& entry = ctx.entries[ref.file];
+  const Symbol& symbol = ctx.project.symbol(ref);
+  const std::string body =
+      entry.code.substr(symbol.body_open, symbol.body_close - symbol.body_open);
+  for (const BanToken& t : kBanTokens) {
+    const std::string token = t.token;
+    std::size_t pos = 0;
+    while ((pos = body.find(token, pos)) != std::string::npos) {
+      const std::size_t hit = pos;
+      pos += token.size();
+      if (t.word && !word_at(body, hit, token)) continue;
+      ctx.report(ref.file, symbol.body_open + hit, "hot-propagation",
+                 std::string{t.what} + " in '" + symbol.qualified +
+                     "', reached from a gridbw:hot body via " + chain +
+                     " — hoist it, mark the callee // gridbw:hot, or justify "
+                     "with GRIDBW-ALLOW(hot-propagation)");
+    }
+  }
+  for (const LockSite& site : entry.scope.locks) {
+    if (site.pos <= symbol.body_open || site.pos >= symbol.body_close) continue;
+    std::string mutexes;
+    for (const std::string& mutex : site.mutexes) {
+      if (!mutexes.empty()) mutexes += ", ";
+      mutexes += mutex;
+    }
+    ctx.report(ref.file, site.pos, "hot-propagation",
+               "lock acquisition (" + mutexes + ") in '" + symbol.qualified +
+                   "', reached from a gridbw:hot body via " + chain +
+                   " — hot paths stay lock-free; restructure or justify with "
+                   "GRIDBW-ALLOW(hot-propagation)");
+  }
+}
+
+void walk_hot(const InterCtx& ctx, HotWalk& walk, const SymbolRef& ref,
+              const std::string& chain) {
+  const FileEntry& entry = ctx.entries[ref.file];
+  const Symbol& symbol = ctx.project.symbol(ref);
+  walk.hot_context.emplace_back(ref, chain);
+  for (std::size_t c = 0; c < entry.calls.size(); ++c) {
+    if (entry.calls[c].enclosing_body != symbol.body_open) continue;
+    for (const SymbolRef& target : ctx.project.resolved[ref.file][c]) {
+      if (!walk.visited.insert(target).second) continue;
+      const Symbol& callee = ctx.project.symbol(target);
+      if (callee.hot || callee.hot_allow) continue;  // its own wall applies
+      const std::string next = chain + " -> " + callee.qualified;
+      scan_callee_body(ctx, target, next);
+      walk_hot(ctx, walk, target, next);
+    }
+  }
+}
+
+void check_hot_propagation(const InterCtx& ctx, HotWalk& walk) {
+  for (std::size_t f = 0; f < ctx.entries.size(); ++f) {
+    const std::vector<Symbol>& symbols = ctx.entries[f].symbols.symbols;
+    for (std::size_t s = 0; s < symbols.size(); ++s) {
+      if (!symbols[s].hot) continue;
+      const SymbolRef root{f, s};
+      walk.visited.insert(root);
+      walk_hot(ctx, walk, root, symbols[s].qualified);
+    }
+  }
+}
+
+void check_requires_context(const InterCtx& ctx) {
+  // Lazily built per-file hold intervals (most files have none).
+  std::vector<std::vector<Hold>> holds(ctx.entries.size());
+  std::vector<bool> holds_built(ctx.entries.size(), false);
+
+  for (std::size_t f = 0; f < ctx.entries.size(); ++f) {
+    const FileEntry& entry = ctx.entries[f];
+    for (std::size_t c = 0; c < entry.calls.size(); ++c) {
+      const CallSite& call = entry.calls[c];
+      for (const SymbolRef& target : ctx.project.resolved[f][c]) {
+        const Symbol& callee = ctx.project.symbol(target);
+        if (callee.requires_mutexes.empty()) continue;
+        if (!holds_built[f]) {
+          holds[f] = holds_of(entry.scope);
+          holds_built[f] = true;
+        }
+        std::string missing;
+        for (const std::string& mutex : callee.requires_mutexes) {
+          bool held = false;
+          for (const Hold& hold : holds[f]) {
+            if (hold.begin < call.pos && call.pos < hold.end &&
+                mutex_matches(hold.mutex, mutex)) {
+              held = true;
+              break;
+            }
+          }
+          if (!held) {
+            if (!missing.empty()) missing += ", ";
+            missing += mutex;
+          }
+        }
+        if (!missing.empty()) {
+          ctx.report(f, call.pos, "requires-context",
+                     "call to '" + callee.qualified +
+                         "', which is gridbw:requires(" + missing +
+                         "), without '" + missing +
+                         "' held — acquire it (scoped_lock/lock_guard/"
+                         "unique_lock) or mark the caller gridbw:requires");
+        }
+      }
+    }
+  }
+}
+
+void check_hot_call_unresolved(const InterCtx& ctx, const HotWalk& walk) {
+  // Each hot-context symbol appears once and each call site belongs to one
+  // enclosing body, so every (body, call) pair is examined exactly once.
+  for (const auto& [ref, chain] : walk.hot_context) {
+    const FileEntry& entry = ctx.entries[ref.file];
+    const Symbol& symbol = ctx.project.symbol(ref);
+    for (std::size_t c = 0; c < entry.calls.size(); ++c) {
+      const CallSite& call = entry.calls[c];
+      if (call.enclosing_body != symbol.body_open) continue;
+      const std::vector<std::string> parts = split_components(call.name);
+      if (parts.front() == "std") continue;
+      const std::string& last = parts.back();
+      if (std::binary_search(entry.symbols.callable_names.begin(),
+                             entry.symbols.callable_names.end(), last)) {
+        ctx.report(ref.file, call.pos, "hot-call-unresolved",
+                   "call through std::function '" + last +
+                       "' in hot context (" + chain +
+                       ") — the graph cannot see the bound callable; verify "
+                       "it is hot-clean and justify with "
+                       "GRIDBW-ALLOW(hot-call-unresolved)");
+        continue;
+      }
+      if (call.member && !is_ambiguous_member_name(last) &&
+          ctx.project.virtual_methods.count(last) != 0) {
+        ctx.report(ref.file, call.pos, "hot-call-unresolved",
+                   "virtual call '" + last + "' in hot context (" + chain +
+                       ") — dispatch target is unresolvable; devirtualize, "
+                       "hoist it out, or justify with "
+                       "GRIDBW-ALLOW(hot-call-unresolved)");
+      }
+    }
+  }
+}
+
+}  // namespace
+
+InterprocReport run_interprocedural_checks(
+    const std::vector<FileEntry>& entries,
+    const std::vector<const Options*>& per_entry_options) {
+  InterprocReport report;
+  report.per_file.resize(entries.size());
+  const Project project = build_project(entries);
+  report.edges_resolved = project.edges_resolved;
+  report.edges_unresolved = project.edges_unresolved;
+
+  const InterCtx ctx{entries, project, per_entry_options, &report};
+  HotWalk walk;
+  check_hot_propagation(ctx, walk);
+  check_requires_context(ctx);
+  check_hot_call_unresolved(ctx, walk);
+  return report;
+}
+
+}  // namespace gridbw::analyze

@@ -1,0 +1,91 @@
+// Deterministic project-wide call graph (ISSUE 10). Phase 1 of the tree
+// scan builds one FileEntry per file (stripped code, scope model, symbol
+// table, call sites) in parallel; the entries arrive here in sorted-path
+// order and every global pass below iterates them in that order, so the
+// result — and every finding derived from it — is byte-identical for any
+// --threads value.
+//
+// Resolution is best-effort and lexical, like the symbol index it consumes:
+// a call edge is drawn only when the callee name (suffix-aware on '::'
+// components) matches a symbol defined in the caller's include closure
+// (quoted #includes, transitively, plus the sibling header/source of every
+// file in the closure). `std::`-qualified calls are external by definition.
+// Everything else that cannot be matched is recorded as an unresolved edge —
+// counted, never fatal — because a lexical scanner must under-approximate
+// the graph, not invent edges across unrelated modules.
+//
+// The three interprocedural checks that run on top:
+//
+//   hot-propagation      walk resolved edges from every `// gridbw:hot` body;
+//                        each reachable function must be hot-clean (no
+//                        throw/alloc/dynamic_cast/->record(/lock acquisition)
+//                        unless it carries its own gridbw:hot or a
+//                        GRIDBW-ALLOW(hot-propagation). Findings print the
+//                        call chain from the hot root.
+//   requires-context     a call to a gridbw:requires(mu) function from a
+//                        body that neither holds mu via an RAII lock site
+//                        nor declares gridbw:requires(mu) itself.
+//   hot-call-unresolved  calls from hot-context bodies through sinks the
+//                        graph cannot resolve — std::function-typed
+//                        callables and virtual methods — must carry a
+//                        GRIDBW-ALLOW(hot-call-unresolved) justification.
+
+#pragma once
+
+#include "analyze.hpp"
+#include "symbols.hpp"
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace gridbw::analyze {
+
+/// One candidate call site in one file's stripped code.
+struct CallSite {
+  std::size_t pos = 0;   // offset of the first character of the name
+  std::string name;      // as written, possibly qualified ("Impl::collect")
+  bool member = false;   // preceded by '.' or '->'
+  /// body_open of the enclosing outermost function scope; npos at file scope.
+  std::size_t enclosing_body = static_cast<std::size_t>(-1);
+};
+
+/// Extracts call sites from one file's stripped code: an identifier (with
+/// optional '::' qualification) directly followed by '(', minus keywords,
+/// functional casts on fundamental types, and declaration-shaped sites
+/// (preceded by a type-ish token). Calls through explicit template
+/// arguments (`f<T>(...)`) are not extracted — a documented limitation.
+[[nodiscard]] std::vector<CallSite> extract_calls(const std::string& code,
+                                                  const ScopeInfo& scope);
+
+/// Phase-1 product for one scanned file, in scan (sorted-path) order.
+struct FileEntry {
+  std::string rel;       // repo-relative path ("src/core/ledger.cpp")
+  std::string root_rel;  // relative to the scan root ("core/ledger.cpp")
+  std::size_t root_index = 0;
+  SourceFile file;
+  std::string code;                  // code lines joined
+  std::vector<std::size_t> starts;   // line starts into `code`
+  ScopeInfo scope;
+  FileSymbols symbols;
+  std::vector<CallSite> calls;
+};
+
+/// Output of the interprocedural passes: findings grouped by the file they
+/// land in (aligned with the entries vector) plus the edge statistics.
+struct InterprocReport {
+  std::vector<std::vector<Finding>> per_file;
+  std::size_t edges_resolved = 0;
+  std::size_t edges_unresolved = 0;
+};
+
+/// Runs hot-propagation, requires-context, and hot-call-unresolved over the
+/// merged per-file tables. `per_entry_options[i]` is the effective check set
+/// for entries[i]'s scan root (nullptr = nothing enabled there); suppression
+/// is applied against the file each finding lands in. Serial and
+/// deterministic: entries must already be in sorted-path order.
+[[nodiscard]] InterprocReport run_interprocedural_checks(
+    const std::vector<FileEntry>& entries,
+    const std::vector<const Options*>& per_entry_options);
+
+}  // namespace gridbw::analyze

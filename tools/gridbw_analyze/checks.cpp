@@ -103,8 +103,8 @@ bool is_dimensioned_name(const std::string& name) {
 struct Scan {
   const SourceFile& file;
   const std::string& src_rel;      // path relative to src/
-  std::string code;                // code lines joined
-  std::vector<std::size_t> starts; // line starts into `code`
+  const std::string& code;         // code lines joined
+  const std::vector<std::size_t>& starts;  // line starts into `code`
   std::vector<Finding>* out;
 
   void report(std::size_t pos, const std::string& check, std::string message) const {
@@ -620,16 +620,26 @@ const std::vector<CheckInfo>& check_catalogue() {
        "no throw/I-O/sink-call/blocking submit-join-wait while a lock is held"},
       {"atomic-discipline",
        "raw std::atomic and weak memory orders confined to sanctioned modules"},
+      // The interprocedural family (callgraph.cpp): only tree scans run
+      // these — a single file has no call graph to propagate over.
+      {"hot-propagation",
+       "everything reachable from a gridbw:hot body is transitively hot-clean"},
+      {"requires-context",
+       "gridbw:requires(mu) functions only called with mu held or propagated"},
+      {"hot-call-unresolved",
+       "virtual/std::function calls from hot contexts carry a GRIDBW-ALLOW"},
   };
   return kCatalogue;
 }
 
-std::vector<Finding> analyze_file(const SourceFile& file,
-                                  const std::string& src_rel_path,
-                                  const Options& options) {
+std::vector<Finding> analyze_prepared(const SourceFile& file,
+                                      const std::string& src_rel_path,
+                                      const std::string& code,
+                                      const std::vector<std::size_t>& starts,
+                                      const ScopeInfo& scope,
+                                      const Options& options) {
   std::vector<Finding> findings;
-  Scan scan{file, src_rel_path, join_code(file.code_lines), {}, &findings};
-  scan.starts = line_starts_of(scan.code);
+  const Scan scan{file, src_rel_path, code, starts, &findings};
   const auto enabled = [&](const char* id) {
     return options.checks.empty() || options.checks.count(id) != 0;
   };
@@ -641,9 +651,18 @@ std::vector<Finding> analyze_file(const SourceFile& file,
   if (enabled("float-format")) check_float_format(scan);
   if (enabled("unit-safety")) check_unit_safety(scan);
   if (enabled("hot-path")) check_hot_path(scan);
-  run_concurrency_checks(file, scan.code, scan.starts, options, &findings);
+  run_concurrency_checks(file, code, starts, scope, options, &findings);
   std::sort(findings.begin(), findings.end());
   return findings;
+}
+
+std::vector<Finding> analyze_file(const SourceFile& file,
+                                  const std::string& src_rel_path,
+                                  const Options& options) {
+  const std::string code = join_code(file.code_lines);
+  const std::vector<std::size_t> starts = line_starts_of(code);
+  const ScopeInfo scope = build_scope_info(file, code, starts);
+  return analyze_prepared(file, src_rel_path, code, starts, scope, options);
 }
 
 }  // namespace gridbw::analyze

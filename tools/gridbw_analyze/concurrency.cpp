@@ -325,7 +325,7 @@ void check_atomic_discipline(const Ctx& ctx) {
 
 void run_concurrency_checks(const SourceFile& file, const std::string& code,
                             const std::vector<std::size_t>& starts,
-                            const Options& options,
+                            const ScopeInfo& scope, const Options& options,
                             std::vector<Finding>* out) {
   const auto enabled = [&](const char* id) {
     return options.checks.empty() || options.checks.count(id) != 0;
@@ -336,13 +336,20 @@ void run_concurrency_checks(const SourceFile& file, const std::string& code,
     return;
   }
   const Ctx ctx{file, code, starts, out};
-  const ScopeInfo info = build_scope_info(file, code, starts);
-  const std::vector<Hold> holds = hold_intervals(info);
-  if (enabled("lock-order")) check_lock_order(ctx, info, holds);
-  if (enabled("guarded-by")) check_guarded_by(ctx, info, holds);
-  if (enabled("cv-wait-predicate")) check_cv_wait(ctx, info);
+  const std::vector<Hold> holds = hold_intervals(scope);
+  if (enabled("lock-order")) check_lock_order(ctx, scope, holds);
+  if (enabled("guarded-by")) check_guarded_by(ctx, scope, holds);
+  if (enabled("cv-wait-predicate")) check_cv_wait(ctx, scope);
   if (enabled("lock-scope-hygiene")) check_lock_hygiene(ctx, holds);
   if (enabled("atomic-discipline")) check_atomic_discipline(ctx);
+}
+
+void run_concurrency_checks(const SourceFile& file, const std::string& code,
+                            const std::vector<std::size_t>& starts,
+                            const Options& options,
+                            std::vector<Finding>* out) {
+  const ScopeInfo scope = build_scope_info(file, code, starts);
+  run_concurrency_checks(file, code, starts, scope, options, out);
 }
 
 }  // namespace gridbw::analyze

@@ -1,0 +1,29 @@
+// Fixture: calls from hot contexts through sinks the call graph cannot
+// resolve. A virtual method and a std::function value are findings unless
+// ALLOW'd; the same calls from cold code are fine.
+#include <functional>
+
+namespace fixture {
+
+struct Probe {
+  virtual ~Probe() = default;
+  virtual int absorb(int sample) = 0;
+};
+
+std::function<int(int)> transform;
+
+// gridbw:hot
+int hot_virtual(Probe* probe, int n) { return probe->absorb(n); }
+
+// gridbw:hot
+int hot_pointer(int n) { return transform(n); }
+
+// gridbw:hot
+int hot_allowed(Probe* probe, int n) {
+  // GRIDBW-ALLOW(hot-call-unresolved): devirtualized in release builds
+  return probe->absorb(n);
+}
+
+int cold_virtual(Probe* probe, int n) { return probe->absorb(n); }
+
+}  // namespace fixture

@@ -1,0 +1,25 @@
+// Fixture: callees reached from the hot root in kernel.cpp. expand
+// allocates (the finding lands here, with the chain from the root);
+// boundary_refill carries its own ALLOW, so the walk stops at it.
+#include "core/helper.hpp"
+
+namespace fixture {
+
+int expand(int n) {
+  int* grown = new int[static_cast<unsigned>(n) + 1u];
+  grown[0] = n;
+  const int out = grown[0];
+  delete[] grown;
+  return out;
+}
+
+// GRIDBW-ALLOW(hot-propagation): amortized refill, measured off the sweep
+int boundary_refill(int n) {
+  int* grown = new int[static_cast<unsigned>(n) + 1u];
+  grown[0] = n;
+  const int out = grown[0];
+  delete[] grown;
+  return out;
+}
+
+}  // namespace fixture

@@ -1,0 +1,7 @@
+// Fixture helper header: declarations for the cross-file propagation case.
+#pragma once
+
+namespace fixture {
+int expand(int n);
+int boundary_refill(int n);
+}  // namespace fixture

@@ -1,0 +1,33 @@
+// Fixture: interprocedural hot-propagation. sweep is the hot root; charge
+// is a clean interior callee the walk descends through; expand (helper.cpp)
+// allocates -> finding with the call chain; tally locks -> finding;
+// boundary_refill carries its own ALLOW -> the walk stops there; the
+// unannotated cold() path may allocate and lock freely.
+#include <mutex>
+
+#include "core/helper.hpp"
+
+namespace fixture {
+
+std::mutex stats_mu;
+int stats_total = 0;
+
+int charge(int n) { return expand(n) + 1; }
+
+int tally(int n) {
+  std::lock_guard<std::mutex> lk{stats_mu};
+  stats_total += n;
+  return stats_total;
+}
+
+// gridbw:hot
+int sweep(int n) {
+  int acc = charge(n);
+  acc += tally(acc);
+  acc += boundary_refill(acc);
+  return acc;
+}
+
+int cold(int n) { return expand(n) + tally(n); }
+
+}  // namespace fixture

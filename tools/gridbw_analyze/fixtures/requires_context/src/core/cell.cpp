@@ -1,0 +1,29 @@
+// Fixture: interprocedural requires-context. apply must only be called
+// with mu held: an RAII hold satisfies it, a requires(mu) caller
+// propagates it, a bare call is a finding, and an ALLOW justifies one.
+#include <mutex>
+
+namespace fixture {
+
+std::mutex mu;
+int shared_total = 0;
+
+// gridbw:requires(mu)
+void apply(int n) { shared_total += n; }
+
+void good_caller(int n) {
+  std::lock_guard<std::mutex> lk{mu};
+  apply(n);
+}
+
+// gridbw:requires(mu)
+void propagating_caller(int n) { apply(n + 1); }
+
+void bad_caller(int n) { apply(n); }
+
+void allowed_caller(int n) {
+  // GRIDBW-ALLOW(requires-context): caller serialized externally in tests
+  apply(n);
+}
+
+}  // namespace fixture

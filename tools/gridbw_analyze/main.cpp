@@ -167,12 +167,7 @@ int main(int argc, char** argv) {
             .count();
 
     if (fix_baseline) {
-      std::ofstream out{baseline_path, std::ios::binary};
-      if (!out) {
-        std::cerr << "gridbw-analyze: cannot write " << baseline_path << "\n";
-        return 2;
-      }
-      out << render_baseline(report.keys);
+      write_file_atomic(baseline_path, render_baseline(report.keys));
       std::cout << "gridbw-analyze: baseline rewritten with "
                 << report.keys.size() << " finding(s) -> " << baseline_path
                 << "\n";
@@ -187,12 +182,9 @@ int main(int argc, char** argv) {
         apply_baseline(report.findings, report.keys, baseline);
 
     if (!json_out_path.empty()) {
-      std::ofstream out{json_out_path, std::ios::binary};
-      if (!out) {
-        std::cerr << "gridbw-analyze: cannot write " << json_out_path << "\n";
-        return 2;
-      }
-      out << json_report(report, split.fresh, scan_ms);
+      // Temp file + rename: an aborted scan can never leave a truncated
+      // report for the CI artifact upload.
+      write_file_atomic(json_out_path, json_report(report, split.fresh, scan_ms));
     }
     if (json) {
       std::cout << json_report(report, split.fresh, scan_ms);
@@ -217,6 +209,9 @@ int main(int argc, char** argv) {
               << split.fresh.size() << " new finding(s), "
               << split.baselined.size() << " baselined, " << split.stale.size()
               << " stale, " << scan_ms << " ms\n";
+    std::cerr << "gridbw-analyze: call graph: " << report.call_edges_resolved
+              << " resolved edge(s), " << report.call_edges_unresolved
+              << " unresolved call site(s) (informational)\n";
     return split.fresh.empty() ? 0 : 1;
   } catch (const std::exception& error) {
     std::cerr << error.what() << "\n";

@@ -1,0 +1,60 @@
+// Project-wide symbol index (ISSUE 10): the per-file half. The scope parser
+// (scope.cpp) already finds every outermost function body; this layer names
+// them — the qualified identifier written before the parameter list — and
+// binds the gridbw annotations (hot, requires, symbol-level ALLOWs) to the
+// symbol, from the definition file and from the sibling header (a
+// `// gridbw:hot` above a declaration in x.hpp marks the definition in
+// x.cpp, matched by name suffix). Per-file tables are merged into the global
+// index in sorted-path order (callgraph.hpp), so the result is byte-stable
+// for any --threads value.
+//
+// Deliberately lexical, like the rest of the analyzer: names are extracted
+// textually, so `operator` overloads, `noexcept(...)`-qualified headers, and
+// constructor bodies behind member-initializer lists are skipped rather than
+// guessed at — an unindexed function makes an edge unresolved (recorded,
+// non-fatal), never a wrong edge.
+
+#pragma once
+
+#include "analyze.hpp"
+
+#include <string>
+#include <vector>
+
+namespace gridbw::analyze {
+
+/// One outermost function definition in one file.
+struct Symbol {
+  std::string qualified;  // as written before '(', e.g. "NetworkLedger::fits"
+  std::string name;       // last '::' component
+  std::size_t body_open = 0;   // offsets into the file's joined stripped code
+  std::size_t body_close = 0;
+  int line = 0;                // 1-based line of the body-open brace
+  bool hot = false;            // // gridbw:hot on the definition or the
+                               // sibling-header declaration (name-bound)
+  bool hot_allow = false;      // GRIDBW-ALLOW(hot-propagation) on the
+                               // definition header line (or the line above)
+  std::vector<std::string> requires_mutexes;  // gridbw:requires operands
+};
+
+/// Everything the global passes need from one file, extracted in phase 1.
+struct FileSymbols {
+  std::vector<Symbol> symbols;               // in body_open order
+  std::vector<std::string> quoted_includes;  // #include "..." paths as written
+  /// Names declared with std::function type in this file or its companion —
+  /// calls through them can never be resolved by the graph.
+  std::vector<std::string> callable_names;
+  /// Method names declared `virtual` here (destructors excluded) — the
+  /// global union forms the virtual-sink name set.
+  std::vector<std::string> virtual_methods;
+};
+
+/// Builds the per-file symbol table. `code`/`starts` are the joined stripped
+/// text and its line starts; `scope` must come from build_scope_info on the
+/// same inputs.
+[[nodiscard]] FileSymbols extract_symbols(const SourceFile& file,
+                                          const std::string& code,
+                                          const std::vector<std::size_t>& starts,
+                                          const ScopeInfo& scope);
+
+}  // namespace gridbw::analyze
